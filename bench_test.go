@@ -1,0 +1,297 @@
+package routerwatch
+
+// The benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured). Each benchmark runs the
+// corresponding experiment end to end and reports the headline quantity as
+// a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the entire evaluation.
+
+import (
+	"testing"
+	"time"
+
+	"routerwatch/internal/auth"
+	"routerwatch/internal/experiments"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/summary"
+	"routerwatch/internal/topology"
+)
+
+// BenchmarkFig5_2 regenerates the Π2 monitoring-state figure (max/avg/
+// median |Pr| vs k on the Sprintlink- and EBONE-scale topologies).
+func BenchmarkFig5_2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs := experiments.Fig5_2(8)
+		sprint := figs[0]
+		b.ReportMetric(sprint.Stats[1].Mean, "avgPr(k=2)")
+		b.ReportMetric(float64(sprint.WatchersMean), "watchersCounters")
+	}
+}
+
+// BenchmarkFig5_4 regenerates the Πk+2 monitoring-state figure.
+func BenchmarkFig5_4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs := experiments.Fig5_4(8)
+		sprint := figs[0]
+		b.ReportMetric(sprint.Stats[1].Mean, "avgPr(k=2)")
+	}
+}
+
+// BenchmarkFig5_7 regenerates the Fatih timeline (Abilene, Kansas City
+// compromise): detection latency, reroute latency, RTT shift.
+func BenchmarkFig5_7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig5_7(int64(5 + i))
+		b.ReportMetric((res.FirstDetectionAt - res.AttackAt).Seconds(), "detect-s")
+		b.ReportMetric((res.RerouteAt - res.FirstDetectionAt).Seconds(), "reroute-s")
+		b.ReportMetric(float64(res.PreAttackRTT.Milliseconds()), "rttBefore-ms")
+		b.ReportMetric(float64(res.PostRerouteRTT.Milliseconds()), "rttAfter-ms")
+	}
+}
+
+// BenchmarkFig6_2 regenerates the single-loss confidence curve.
+func BenchmarkFig6_2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig6_2(50_000, 1000, 0, 1500)
+	}
+}
+
+// BenchmarkFig6_3 regenerates the qerror distribution study.
+func BenchmarkFig6_3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, _ := experiments.Fig6_3(int64(77 + i))
+		b.ReportMetric(rep.StdDev, "qerror-sd-bytes")
+		b.ReportMetric(rep.Skewness, "skew")
+	}
+}
+
+func reportChi(b *testing.B, res *experiments.ChiResult) {
+	b.Helper()
+	detected := 0.0
+	if res.Detected() {
+		detected = 1
+	}
+	b.ReportMetric(detected, "detected")
+	b.ReportMetric(float64(res.AttackerDropped), "attackDrops")
+	if res.FirstDetectionAt > 0 {
+		b.ReportMetric(res.FirstDetectionAt.Seconds(), "firstDetect-s")
+	}
+}
+
+// BenchmarkFig6_5 regenerates the drop-tail no-attack run (must stay
+// silent despite congestion).
+func BenchmarkFig6_5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig6_5(int64(3001 + i))
+		reportChi(b, res)
+	}
+}
+
+// BenchmarkFig6_6 regenerates attack 1: drop 20% of the selected flows.
+func BenchmarkFig6_6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportChi(b, experiments.Fig6_6(int64(3101+i)))
+	}
+}
+
+// BenchmarkFig6_7 regenerates attack 2: drop when the queue is 90% full.
+func BenchmarkFig6_7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportChi(b, experiments.Fig6_7(int64(3201+i)))
+	}
+}
+
+// BenchmarkFig6_8 regenerates attack 3: drop when the queue is 95% full.
+func BenchmarkFig6_8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportChi(b, experiments.Fig6_8(int64(3301+i)))
+	}
+}
+
+// BenchmarkFig6_9 regenerates attack 4: the SYN drop.
+func BenchmarkFig6_9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportChi(b, experiments.Fig6_9(int64(3401+i)))
+	}
+}
+
+// BenchmarkChiVsThreshold regenerates the §6.4.3 comparison.
+func BenchmarkChiVsThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunChiVsThreshold(int64(3501 + i))
+		b.ReportMetric(float64(res.CongestionCeiling), "congestionCeiling")
+		detected := 0.0
+		if res.Chi.Detected() {
+			detected = 1
+		}
+		b.ReportMetric(detected, "chiDetected")
+	}
+}
+
+// BenchmarkFig6_11 regenerates the RED no-attack run.
+func BenchmarkFig6_11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportChi(b, experiments.Fig6_11(int64(3601+i)))
+	}
+}
+
+// BenchmarkFig6_12 regenerates RED attack 1 (mask above avg 45 kB).
+func BenchmarkFig6_12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportChi(b, experiments.Fig6_12(int64(3701+i)))
+	}
+}
+
+// BenchmarkFig6_13 regenerates RED attack 2 (mask above avg 54 kB).
+func BenchmarkFig6_13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportChi(b, experiments.Fig6_13(int64(3801+i)))
+	}
+}
+
+// BenchmarkFig6_14 regenerates RED attack 3 (10% above avg 45 kB).
+func BenchmarkFig6_14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportChi(b, experiments.Fig6_14(int64(3901+i)))
+	}
+}
+
+// BenchmarkFig6_15 regenerates RED attack 4 (5% above avg 45 kB).
+func BenchmarkFig6_15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportChi(b, experiments.Fig6_15(int64(4001+i)))
+	}
+}
+
+// BenchmarkFig6_16 regenerates RED attack 5 (SYN drop).
+func BenchmarkFig6_16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportChi(b, experiments.Fig6_16(int64(4101+i)))
+	}
+}
+
+// BenchmarkArchitectures regenerates the §2.3/§2.4 validation-architecture
+// design-space matrix.
+func BenchmarkArchitectures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunArchitectures(int64(4301 + i))
+		detected := 0
+		for _, row := range res.Rows {
+			if row.Detected {
+				detected++
+			}
+		}
+		b.ReportMetric(float64(detected), "architecturesDetecting")
+	}
+}
+
+// BenchmarkOverhead regenerates the §2.4.1 summary-size and Πk+2
+// exchange-bandwidth comparisons.
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.SummarySizeTable([]int{100, 1000, 10000}, 12)
+		_ = experiments.ExchangeBandwidthTable(int64(4401 + i))
+	}
+}
+
+// BenchmarkStateSize regenerates the §5.1.1/§7.2 state comparison.
+func BenchmarkStateSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.StateSizeTable(topology.SprintlinkSpec(), 2)
+		_ = experiments.StateSizeTable(topology.EBONESpec(), 2)
+	}
+}
+
+// BenchmarkWatchersFlaw regenerates the §3.1 consorting-routers table.
+func BenchmarkWatchersFlaw(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.WatchersFlawTable(int64(4201 + i))
+	}
+}
+
+// BenchmarkPerlmanFlaw regenerates the §3.7/§3.3 analysis.
+func BenchmarkPerlmanFlaw(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.PerlmanFlawTable()
+	}
+}
+
+// BenchmarkFingerprints measures §7.1's per-packet cost of summary
+// generation: keyed fingerprint computation throughput.
+func BenchmarkFingerprints(b *testing.B) {
+	h := packet.NewHasher(1, 2)
+	p := &packet.Packet{ID: 9, Src: 1, Dst: 2, Flow: 77, Seq: 3, Size: 1500, Payload: 42}
+	b.SetBytes(int64(p.Size))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ID = uint64(i)
+		_ = h.Fingerprint(p)
+	}
+}
+
+// BenchmarkSummaryUpdate measures the §7.1 per-packet cost of maintaining
+// a conservation-of-content summary (fingerprint + multiset insert).
+func BenchmarkSummaryUpdate(b *testing.B) {
+	h := packet.NewHasher(1, 2)
+	p := &packet.Packet{ID: 9, Src: 1, Dst: 2, Flow: 77, Seq: 3, Size: 1500, Payload: 42}
+	s := summary.NewFPSet()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ID = uint64(i)
+		s.Add(h.Fingerprint(p))
+	}
+}
+
+// BenchmarkSetReconciliation measures Appendix A's bandwidth-optimal
+// summary comparison: recovering an 8-element difference between
+// 1000-element fingerprint sets.
+func BenchmarkSetReconciliation(b *testing.B) {
+	shared := make([]uint64, 1000)
+	for i := range shared {
+		shared[i] = uint64(i)*2654435761 + 7
+	}
+	sa := append(append([]uint64(nil), shared...), 11, 22, 33, 44)
+	sb := append(append([]uint64(nil), shared...), 55, 66, 77, 88)
+	points := summary.ReconcilePoints(10)
+	ea := summary.EvaluateCharPoly(sa, points)
+	eb := summary.EvaluateCharPoly(sb, points)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := summary.Reconcile(ea, eb, points, len(sa), len(sb)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSigning measures the control-plane signature cost (§7.1).
+func BenchmarkSigning(b *testing.B) {
+	a := auth.NewAuthority(1)
+	msg := make([]byte, 512)
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Sign(3, msg)
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: packet events
+// per wall second on a saturated line (sanity metric for the harness
+// itself, not a paper figure).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := topology.Line(4)
+		net := NewNetwork(g, NetworkOptions{Seed: int64(i)})
+		for j := 0; j < 5000; j++ {
+			j := j
+			net.Scheduler().At(time.Duration(j)*100*time.Microsecond, func() {
+				net.Inject(0, &Packet{Dst: 3, Size: 500, Seq: uint32(j)})
+			})
+		}
+		net.Run(5 * time.Second)
+	}
+}

@@ -1,0 +1,190 @@
+// Command mrsim runs one malicious-router detection scenario: pick a
+// topology, a detection protocol, and an attack; watch the suspicions.
+//
+//	go run ./cmd/mrsim -protocol pik2 -attack drop -rate 1
+//	go run ./cmd/mrsim -protocol pi2 -attack modify
+//	go run ./cmd/mrsim -protocol chi -attack masked90
+//	go run ./cmd/mrsim -protocol watchers -attack drop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"routerwatch/internal/attack"
+	"routerwatch/internal/baseline"
+	"routerwatch/internal/detector"
+	"routerwatch/internal/detector/chi"
+	"routerwatch/internal/detector/pi2"
+	"routerwatch/internal/detector/pik2"
+	"routerwatch/internal/detector/tvinfo"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/tcpsim"
+	"routerwatch/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mrsim: ")
+
+	protocol := flag.String("protocol", "pik2", "pik2 | pi2 | chi | watchers")
+	attackName := flag.String("attack", "drop", "drop | modify | reorder | fabricate | syn | masked90 | none")
+	rate := flag.Float64("rate", 1, "drop probability for the drop attack")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	dur := flag.Duration("duration", 30*time.Second, "simulated duration")
+	flag.Parse()
+
+	if *protocol == "chi" {
+		runChi(*attackName, *seed, *dur)
+		return
+	}
+
+	// Path-segment protocols run on a 5-router line with the middle
+	// router compromised.
+	g := topology.Line(5)
+	net := network.New(g, network.Options{Seed: *seed, ProcessingJitter: 100 * time.Microsecond})
+	logbook := detector.NewLog()
+	sink := detector.LogSink(logbook)
+
+	switch *protocol {
+	case "pik2":
+		pik2.Attach(net, pik2.Options{
+			K: 1, Round: time.Second, Timeout: 250 * time.Millisecond,
+			LossThreshold: 2, FabricationThreshold: 2, Sink: sink,
+		})
+	case "pi2":
+		pi2.Attach(net, pi2.Options{
+			K: 1, Round: time.Second, Settle: 250 * time.Millisecond,
+			Thresholds: tvinfo.Thresholds{Loss: 2, Fabrication: 2}, Sink: sink,
+		})
+	case "watchers":
+		baseline.AttachWatchers(net, baseline.WatchersOptions{
+			Round: time.Second, Threshold: 5000, Fixed: true, Sink: sink,
+		})
+	default:
+		log.Fatalf("unknown protocol %q", *protocol)
+	}
+
+	faulty := packet.NodeID(2)
+	switch *attackName {
+	case "drop":
+		net.Router(faulty).SetBehavior(&attack.Dropper{
+			Select: attack.All, P: *rate, Rng: rand.New(rand.NewSource(*seed)),
+			Start: 5 * time.Second,
+		})
+	case "modify":
+		net.Router(faulty).SetBehavior(&attack.Modifier{Select: attack.All, Start: 5 * time.Second})
+	case "reorder":
+		net.Router(faulty).SetBehavior(&attack.Delayer{
+			Select: attack.DataOnly, Jitter: 10 * time.Millisecond,
+			Rng: rand.New(rand.NewSource(*seed)),
+		})
+	case "fabricate":
+		attack.NewFabricator(net, faulty, 0, 4, 700, 20*time.Millisecond)
+	case "none":
+	default:
+		log.Fatalf("attack %q not available for path-segment protocols", *attackName)
+	}
+
+	// Bidirectional traffic across the line.
+	for i := 0; i < int(dur.Seconds()*500); i++ {
+		i := i
+		net.Scheduler().At(time.Duration(i)*2*time.Millisecond+time.Microsecond, func() {
+			net.Inject(0, &packet.Packet{Dst: 4, Size: 500, Flow: 1, Seq: uint32(i), Payload: uint64(i)})
+			net.Inject(4, &packet.Packet{Dst: 0, Size: 500, Flow: 2, Seq: uint32(i), Payload: uint64(i)})
+		})
+	}
+	net.Run(*dur)
+	report(logbook, faulty)
+}
+
+func runChi(attackName string, seed int64, dur time.Duration) {
+	st := topology.SimpleChi(3, 2)
+	buildNet := func(seed int64, opts chi.Options) (*network.Network, *chi.Protocol, *tcpsim.Manager) {
+		net := network.New(st.Graph, network.Options{Seed: seed, ProcessingJitter: 2 * time.Millisecond})
+		opts.Queues = []chi.QueueID{{R: st.R, RD: st.RD}}
+		p := chi.Attach(net, opts)
+		return net, p, tcpsim.NewManager(net)
+	}
+
+	fmt.Println("learning period (60 s simulated)...")
+	lnet, lproto, lman := buildNet(seed, chi.Options{Learning: true, Round: time.Second})
+	var flows []*tcpsim.Flow
+	for i := 0; i < 3; i++ {
+		flows = append(flows, lman.StartFlow(tcpsim.FlowConfig{
+			Src: st.Sources[i], Dst: st.Sinks[i%2],
+			Start: time.Duration(i) * 200 * time.Millisecond,
+		}))
+	}
+	lnet.Run(60 * time.Second)
+	cal := lproto.Validator(chi.QueueID{R: st.R, RD: st.RD}).Calibrate()
+	fmt.Printf("calibrated: mu=%.0f sigma=%.0f\n", cal.Mu, cal.Sigma)
+
+	logbook := detector.NewLog()
+	net, _, man := buildNet(seed+1, chi.Options{
+		Round: time.Second, Calibration: cal,
+		SingleThreshold: 0.999, CombinedThreshold: 0.99,
+		FabricationTolerance: 2, Sink: detector.LogSink(logbook),
+	})
+	flows = flows[:0]
+	for i := 0; i < 3; i++ {
+		flows = append(flows, man.StartFlow(tcpsim.FlowConfig{
+			Src: st.Sources[i], Dst: st.Sinks[i%2],
+			Start: time.Duration(i) * 200 * time.Millisecond,
+		}))
+	}
+	attackAt := 10 * time.Second
+	net.Run(attackAt)
+	switch attackName {
+	case "drop":
+		net.Router(st.R).SetBehavior(&attack.Dropper{
+			Select: attack.And(attack.ByFlow(flows[0].ID()), attack.DataOnly),
+			P:      0.2, Rng: rand.New(rand.NewSource(seed)), Start: attackAt,
+		})
+	case "masked90":
+		net.Router(st.R).SetBehavior(&attack.Dropper{
+			Select: attack.And(attack.ByFlow(flows[1].ID()), attack.DataOnly),
+			P:      1, MinQueueFrac: 0.9, Start: attackAt,
+		})
+	case "syn":
+		net.Router(st.R).SetBehavior(&attack.Dropper{Select: attack.SYNOnly, P: 1, Start: attackAt})
+		man.StartFlow(tcpsim.FlowConfig{
+			Src: st.Sources[2], Dst: st.Sinks[0],
+			Start: attackAt + 500*time.Millisecond, MaxPackets: 10,
+		})
+	case "none":
+	default:
+		log.Fatalf("attack %q not available for chi", attackName)
+	}
+	if dur < 30*time.Second {
+		dur = 30 * time.Second
+	}
+	net.Run(dur)
+	report(logbook, st.R)
+}
+
+func report(logbook *detector.Log, faulty packet.NodeID) {
+	fmt.Printf("\n%d suspicions:\n", logbook.Len())
+	for i, s := range logbook.All() {
+		if i >= 12 {
+			fmt.Printf("  ... and %d more\n", logbook.Len()-i)
+			break
+		}
+		fmt.Printf("  %v\n", s)
+	}
+	if logbook.Len() == 0 {
+		fmt.Println("  (none)")
+		return
+	}
+	hit := false
+	for _, seg := range logbook.Segments() {
+		if seg.Contains(faulty) {
+			hit = true
+		}
+	}
+	fmt.Printf("\nfaulty router %v implicated: %v\n", faulty, hit)
+}

@@ -1,0 +1,75 @@
+// Command topoinfo reports the per-router monitoring state of the
+// path-segment protocols on a topology — the data behind Figs 5.2 and 5.4.
+//
+//	go run ./cmd/topoinfo -topology sprintlink -maxk 8
+//	go run ./cmd/topoinfo -topology ebone -mode nodes
+//	go run ./cmd/topoinfo -topology abilene
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"routerwatch/internal/baseline"
+	"routerwatch/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topoinfo: ")
+
+	topoName := flag.String("topology", "sprintlink", "sprintlink | ebone | abilene | line:<n>")
+	mode := flag.String("mode", "both", "nodes (Π2) | ends (Πk+2) | both")
+	maxK := flag.Int("maxk", 8, "largest AdjacentFault(k)")
+	flag.Parse()
+
+	var g *topology.Graph
+	switch *topoName {
+	case "sprintlink":
+		g = topology.Generate(topology.SprintlinkSpec())
+	case "ebone":
+		g = topology.Generate(topology.EBONESpec())
+	case "abilene":
+		g = topology.Abilene()
+	default:
+		var n int
+		if _, err := fmt.Sscanf(*topoName, "line:%d", &n); err != nil || n < 2 {
+			log.Fatalf("unknown topology %q", *topoName)
+		}
+		g = topology.Line(n)
+	}
+
+	fmt.Printf("topology %s: %d routers, %d duplex links\n",
+		*topoName, g.NumNodes(), g.NumDuplexLinks())
+	paths := g.AllPairsPaths()
+	fmt.Printf("%d routing paths\n\n", len(paths))
+
+	printMode := func(m topology.MonitorMode, name string) {
+		fmt.Printf("%s:\n  k   max|Pr|   avg|Pr|   median|Pr|\n", name)
+		for k := 1; k <= *maxK; k++ {
+			s := topology.ComputePrStats(g, paths, k, m)
+			fmt.Printf("  %-3d %-9d %-9.1f %.1f\n", s.K, s.Max, s.Mean, s.Median)
+		}
+		fmt.Println()
+	}
+	if *mode == "nodes" || *mode == "both" {
+		printMode(topology.ModeNodes, "Protocol Π2 (per path-segment nodes, Fig 5.2)")
+	}
+	if *mode == "ends" || *mode == "both" {
+		printMode(topology.ModeEnds, "Protocol Πk+2 (per path-segment ends, Fig 5.4)")
+	}
+
+	total, max := 0, 0
+	for _, r := range g.Nodes() {
+		s := baseline.CounterStateSize(g, r)
+		total += s
+		if s > max {
+			max = s
+		}
+	}
+	fmt.Printf("WATCHERS comparison (§5.1.1): %d counters/router mean, %d max\n",
+		total/g.NumNodes(), max)
+	os.Exit(0)
+}

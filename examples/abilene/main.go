@@ -1,0 +1,58 @@
+// Abilene: the Fig 5.7 "Fatih in progress" experiment. The Kansas City
+// router is compromised at t≈117 s and begins dropping 20% of its transit
+// traffic; Fatih detects the inconsistent path-segments within one
+// validation round, floods the suspicions, and link-state routing excises
+// the segments — the New York↔Sunnyvale RTT jumps from ≈50 ms (northern
+// path) to ≈56 ms (southern path), and Kansas City ends up isolated.
+//
+//	go run ./examples/abilene
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"routerwatch/internal/fatih"
+)
+
+func main() {
+	res := fatih.RunAbilene(fatih.ScenarioOptions{Seed: 5})
+	g := res.System.Net.Graph()
+
+	fmt.Println("Fatih on Abilene — timeline:")
+	fmt.Printf("  %-32s %8.1fs\n", "routing converged", res.ConvergedAt.Seconds())
+	fmt.Printf("  %-32s %8.1fs\n", "Kansas City compromised", res.AttackAt.Seconds())
+	fmt.Printf("  %-32s %8.1fs\n", "first detection", res.FirstDetectionAt.Seconds())
+	for r, at := range res.DetectionsBy {
+		fmt.Printf("  %-32s %8.1fs\n", "suspicion at "+g.Name(r), at.Seconds())
+	}
+	fmt.Printf("  %-32s %8.1fs\n", "first reroute", res.RerouteAt.Seconds())
+
+	fmt.Printf("\nRTT New York <-> Sunnyvale: %.1f ms before attack, %.1f ms after reroute\n",
+		float64(res.PreAttackRTT.Microseconds())/1000,
+		float64(res.PostRerouteRTT.Microseconds())/1000)
+	fmt.Printf("probe round trips lost during the episode: %d\n", res.LostPings)
+	fmt.Printf("Kansas City transit packets in the final eighth of the run: %d\n\n", res.KCTransitTail)
+
+	fmt.Println("suspected path-segments:")
+	for _, seg := range res.System.Log.Segments() {
+		names := ""
+		for i, id := range seg {
+			if i > 0 {
+				names += " -> "
+			}
+			names += g.Name(id)
+		}
+		fmt.Printf("  %s\n", names)
+	}
+
+	fmt.Println("\nRTT trace excerpt (one sample per 10 s):")
+	last := time.Duration(-10 * time.Second)
+	for _, s := range res.RTT {
+		if s.At-last < 10*time.Second {
+			continue
+		}
+		last = s.At
+		fmt.Printf("  t=%5.1fs  rtt=%.1fms\n", s.At.Seconds(), float64(s.RTT.Microseconds())/1000)
+	}
+}

@@ -1,0 +1,50 @@
+// Congestion: Protocol χ separating congestive from malicious loss.
+//
+// The bottleneck router drops packets constantly under TCP congestion; a
+// compromised router hides its victim-flow drops inside that congestion by
+// only dropping when the queue is ≥90% full. No static threshold can catch
+// it (§6.4.3), but χ's queue replay knows the buffer still had room.
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"fmt"
+
+	"routerwatch/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Phase 1 — learning period (no attack): calibrating qerror …")
+	clean := experiments.Fig6_5(11)
+	cong, drops := 0, 0
+	for _, rr := range clean.Rounds {
+		cong += rr.Congestive
+		drops += rr.Dropped
+	}
+	fmt.Printf("  calibration: mu=%.0f sigma=%.0f bytes\n", clean.Calibration.Mu, clean.Calibration.Sigma)
+	fmt.Printf("  no-attack run: %d drops, %d classified congestive, %d suspicions\n\n",
+		drops, cong, len(clean.Suspicions))
+
+	fmt.Println("Phase 2 — queue-masked attack (drop victim flow when queue ≥90% full):")
+	attacked := experiments.Fig6_7(12)
+	fmt.Printf("  attacker dropped %d packets, hidden among congestion\n", attacked.AttackerDropped)
+	fmt.Printf("  χ detected: %v (first at %.1fs, %d suspicions)\n\n",
+		attacked.Detected(), attacked.FirstDetectionAt.Seconds(), len(attacked.Suspicions))
+	for i, s := range attacked.Suspicions {
+		if i == 3 {
+			fmt.Println("    ...")
+			break
+		}
+		fmt.Printf("    %v\n", s)
+	}
+
+	fmt.Println("\nPhase 3 — the static-threshold dilemma (§6.4.3):")
+	cmp := experiments.RunChiVsThreshold(13)
+	fmt.Print(cmp.Table())
+
+	fmt.Println("\nPhase 4 — SYN-drop attack (single packets, outsized harm):")
+	syn := experiments.Fig6_9(14)
+	fmt.Printf("  victim SYN retries: %d (each costs the 3 s initial RTO)\n", syn.Victim.Stats.SynRetries)
+	fmt.Printf("  χ detected: %v via the single-packet-loss test\n", syn.Detected())
+}

@@ -1,0 +1,46 @@
+// Watchers: the prior-art failure modes Chapter 3 documents, reproduced.
+//
+//   - WATCHERS (Fig 3.3): consorting routers c and d drop traffic while c
+//     misreports its transit counters; the original protocol's "they will
+//     detect each other" assumption hides the attack, and the fix closes it.
+//
+//   - PERLMANd (Fig 3.8): colluding routers make the ack-based detector
+//     frame a correct pair.
+//
+//   - SecTrace (Fig 3.7): an attacker that waits until it has been
+//     "cleared" frames a correct downstream pair.
+//
+//     go run ./examples/watchers
+package main
+
+import (
+	"fmt"
+
+	"routerwatch/internal/baseline"
+	"routerwatch/internal/experiments"
+)
+
+func main() {
+	fmt.Print(experiments.WatchersFlawTable(21))
+	fmt.Println()
+	fmt.Print(experiments.PerlmanFlawTable())
+
+	fmt.Println("\nHERZBERG §3.3 checkpointing tradeoff on a 16-hop path:")
+	fmt.Printf("  %-28s %9s %6s\n", "acking nodes", "messages", "time")
+	n := 16
+	var all []int
+	for i := 1; i < n; i++ {
+		all = append(all, i)
+	}
+	for _, cfg := range []struct {
+		name        string
+		checkpoints []int
+	}{
+		{"sink only (end-to-end)", []int{n - 1}},
+		{"every 4th (optimal-ish)", []int{4, 8, 12, 15}},
+		{"every node (hop-by-hop)", all},
+	} {
+		msgs, tu := baseline.HerzbergComplexity(n, cfg.checkpoints)
+		fmt.Printf("  %-28s %9d %6d\n", cfg.name, msgs, tu)
+	}
+}

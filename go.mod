@@ -1,0 +1,3 @@
+module routerwatch
+
+go 1.22

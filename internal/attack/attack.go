@@ -1,0 +1,299 @@
+// Package attack implements the adversarial router behaviours of the threat
+// model (§2.2.1) and the concrete attacks of the evaluation chapters: packet
+// loss (unconditional, fractional, flow-selective, queue-masked, SYN-
+// targeted), modification, fabrication, reordering, delay, misrouting, and
+// protocol-faulty suppression of control traffic.
+//
+// Behaviours plug into network.Router.SetBehavior. They are deliberately
+// composable: the §6.4.2 attacker drops selected flows only when the queue
+// is nearly full, hiding inside congestion — built here from a selector
+// plus a queue condition.
+package attack
+
+import (
+	"math/rand"
+	"time"
+
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+)
+
+// Selector picks victim packets.
+type Selector func(*packet.Packet) bool
+
+// All selects every packet.
+func All(*packet.Packet) bool { return true }
+
+// ByFlow selects packets of the given flows (the "selected flows" of the
+// §6.4.2 attacks).
+func ByFlow(flows ...packet.FlowID) Selector {
+	set := make(map[packet.FlowID]bool, len(flows))
+	for _, f := range flows {
+		set[f] = true
+	}
+	return func(p *packet.Packet) bool { return set[p.Flow] }
+}
+
+// ByDst selects packets destined to the victim node.
+func ByDst(dst packet.NodeID) Selector {
+	return func(p *packet.Packet) bool { return p.Dst == dst }
+}
+
+// SYNOnly selects connection-opening SYN packets (not SYN|ACK), the §6.4.2
+// attack 4 / §6.5.3 attack 5 victim class.
+func SYNOnly(p *packet.Packet) bool {
+	return p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK)
+}
+
+// DataOnly selects flag-less data segments.
+func DataOnly(p *packet.Packet) bool { return p.Flags == 0 }
+
+// And composes selectors conjunctively.
+func And(ss ...Selector) Selector {
+	return func(p *packet.Packet) bool {
+		for _, s := range ss {
+			if !s(p) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// forwardControl is embedded by behaviours that are only traffic faulty.
+type forwardControl struct{}
+
+func (forwardControl) OnControl(*network.RouterView, *network.ControlMessage) network.ControlVerdict {
+	return network.CtrlForward
+}
+
+// Dropper drops selected packets with probability P, optionally gated on
+// the output queue state. It covers the paper's loss attacks:
+//
+//   - Attack "drop 20% of the selected flows" (Fig 6.6): Select=ByFlow,
+//     P=0.2.
+//   - Attack "drop the selected flows when the queue is 90% full"
+//     (Fig 6.7): Select=ByFlow, P=1, MinQueueFrac=0.9.
+//   - Attack "drop when the average queue size is above 45,000 bytes"
+//     (Fig 6.12): Select=ByFlow, P=1, MinREDAvg=45000.
+//   - SYN attack (Fig 6.9): Select=SYNOnly (optionally And ByDst), P=1.
+type Dropper struct {
+	forwardControl
+
+	Select Selector
+	P      float64
+
+	// MinQueueFrac, if positive, only drops when the victim output queue
+	// is at least this full (instantaneous occupancy / limit).
+	MinQueueFrac float64
+
+	// MinREDAvg, if positive, only drops when the RED average queue size
+	// (bytes) toward the next hop exceeds it.
+	MinREDAvg float64
+
+	// Start/Stop bound the attack window (Stop 0 = forever).
+	Start, Stop time.Duration
+
+	// Rng drives probabilistic drops; required when P < 1.
+	Rng *rand.Rand
+
+	// Dropped counts victims, for experiment ground truth.
+	Dropped int
+}
+
+var _ network.Behavior = (*Dropper)(nil)
+
+// OnForward implements network.Behavior.
+func (d *Dropper) OnForward(rv *network.RouterView, p *packet.Packet, next packet.NodeID) network.Verdict {
+	if !d.active(rv) || (d.Select != nil && !d.Select(p)) {
+		return network.Verdict{Action: network.ActForward}
+	}
+	if d.MinQueueFrac > 0 {
+		qb, ql := rv.QueueBytes(next), rv.QueueLimit(next)
+		if ql <= 0 || float64(qb) < d.MinQueueFrac*float64(ql) {
+			return network.Verdict{Action: network.ActForward}
+		}
+	}
+	if d.MinREDAvg > 0 {
+		if avg := rv.REDAvg(next); avg < d.MinREDAvg {
+			return network.Verdict{Action: network.ActForward}
+		}
+	}
+	if d.P < 1 {
+		if d.Rng == nil || d.Rng.Float64() >= d.P {
+			return network.Verdict{Action: network.ActForward}
+		}
+	}
+	d.Dropped++
+	return network.Verdict{Action: network.ActDrop}
+}
+
+func (d *Dropper) active(rv *network.RouterView) bool {
+	now := rv.Now()
+	if now < d.Start {
+		return false
+	}
+	return d.Stop == 0 || now < d.Stop
+}
+
+// Modifier corrupts the payload of selected packets in flight, the
+// conservation-of-content violation.
+type Modifier struct {
+	forwardControl
+	Select      Selector
+	Start, Stop time.Duration
+	Modified    int
+}
+
+var _ network.Behavior = (*Modifier)(nil)
+
+// OnForward implements network.Behavior.
+func (m *Modifier) OnForward(rv *network.RouterView, p *packet.Packet, _ packet.NodeID) network.Verdict {
+	now := rv.Now()
+	if now < m.Start || (m.Stop != 0 && now >= m.Stop) {
+		return network.Verdict{Action: network.ActForward}
+	}
+	if m.Select != nil && !m.Select(p) {
+		return network.Verdict{Action: network.ActForward}
+	}
+	p.Payload ^= 0xdeadbeefcafebabe
+	m.Modified++
+	return network.Verdict{Action: network.ActModify}
+}
+
+// Delayer holds selected packets for Delay before forwarding them
+// (conservation-of-timeliness violation); with a jittered delay it also
+// reorders.
+type Delayer struct {
+	forwardControl
+	Select Selector
+	Delay  time.Duration
+	// Jitter, if positive, adds uniform extra delay in [0, Jitter),
+	// producing reordering.
+	Jitter  time.Duration
+	Rng     *rand.Rand
+	Delayed int
+}
+
+var _ network.Behavior = (*Delayer)(nil)
+
+// OnForward implements network.Behavior.
+func (d *Delayer) OnForward(_ *network.RouterView, p *packet.Packet, _ packet.NodeID) network.Verdict {
+	if d.Select != nil && !d.Select(p) {
+		return network.Verdict{Action: network.ActForward}
+	}
+	delay := d.Delay
+	if d.Jitter > 0 && d.Rng != nil {
+		delay += time.Duration(d.Rng.Int63n(int64(d.Jitter)))
+	}
+	d.Delayed++
+	return network.Verdict{Action: network.ActDelay, Delay: delay}
+}
+
+// Misrouter diverts selected packets to the wrong neighbor.
+type Misrouter struct {
+	forwardControl
+	Select    Selector
+	To        packet.NodeID
+	Misrouted int
+}
+
+var _ network.Behavior = (*Misrouter)(nil)
+
+// OnForward implements network.Behavior.
+func (m *Misrouter) OnForward(_ *network.RouterView, p *packet.Packet, _ packet.NodeID) network.Verdict {
+	if m.Select != nil && !m.Select(p) {
+		return network.Verdict{Action: network.ActForward}
+	}
+	m.Misrouted++
+	return network.Verdict{Action: network.ActDivert, NewNext: m.To}
+}
+
+// Fabricator periodically injects bogus packets claiming a legitimate
+// source (packet fabrication, §2.2.1). Construct with NewFabricator so it
+// can schedule itself.
+type Fabricator struct {
+	forwardControl
+	Fabricated int
+}
+
+var _ network.Behavior = (*Fabricator)(nil)
+
+// NewFabricator installs a fabricator at router r injecting size-byte
+// packets with forged source src toward dst every interval.
+func NewFabricator(net *network.Network, r, src, dst packet.NodeID, size int, interval time.Duration) *Fabricator {
+	f := &Fabricator{}
+	sched := net.Scheduler()
+	var tick func()
+	tick = func() {
+		p := &packet.Packet{
+			ID: net.NextPacketID(), Src: src, Dst: dst, Size: size,
+			Flow: 0xFAB, TTL: 64, Payload: uint64(f.Fabricated),
+		}
+		f.Fabricated++
+		// Hand the forged packet to the router's forwarding path as if it
+		// had arrived from the claimed source's direction.
+		net.Router(r).InjectTransit(p, src)
+		sched.After(interval, tick)
+	}
+	sched.After(interval, tick)
+	return f
+}
+
+// OnForward implements network.Behavior (the fabricator forwards transit
+// traffic normally; its attack is the injection loop).
+func (f *Fabricator) OnForward(_ *network.RouterView, _ *packet.Packet, _ packet.NodeID) network.Verdict {
+	return network.Verdict{Action: network.ActForward}
+}
+
+// ControlDropper is a purely protocol-faulty behaviour: it forwards all
+// data correctly but suppresses transiting control messages of the given
+// kinds (empty = all kinds).
+type ControlDropper struct {
+	Kinds   map[string]bool
+	Dropped int
+}
+
+var _ network.Behavior = (*ControlDropper)(nil)
+
+// OnForward implements network.Behavior.
+func (c *ControlDropper) OnForward(_ *network.RouterView, _ *packet.Packet, _ packet.NodeID) network.Verdict {
+	return network.Verdict{Action: network.ActForward}
+}
+
+// OnControl implements network.Behavior.
+func (c *ControlDropper) OnControl(_ *network.RouterView, m *network.ControlMessage) network.ControlVerdict {
+	if len(c.Kinds) == 0 || c.Kinds[m.Kind] {
+		c.Dropped++
+		return network.CtrlDrop
+	}
+	return network.CtrlForward
+}
+
+// Compose chains behaviours: the first non-forward data verdict wins; a
+// control message is dropped if any component drops it.
+type Compose struct {
+	Behaviors []network.Behavior
+}
+
+var _ network.Behavior = (*Compose)(nil)
+
+// OnForward implements network.Behavior.
+func (c *Compose) OnForward(rv *network.RouterView, p *packet.Packet, next packet.NodeID) network.Verdict {
+	for _, b := range c.Behaviors {
+		if v := b.OnForward(rv, p, next); v.Action != network.ActForward {
+			return v
+		}
+	}
+	return network.Verdict{Action: network.ActForward}
+}
+
+// OnControl implements network.Behavior.
+func (c *Compose) OnControl(rv *network.RouterView, m *network.ControlMessage) network.ControlVerdict {
+	for _, b := range c.Behaviors {
+		if b.OnControl(rv, m) == network.CtrlDrop {
+			return network.CtrlDrop
+		}
+	}
+	return network.CtrlForward
+}

@@ -1,0 +1,168 @@
+// Package auth provides the cryptographic substrate the detection protocols
+// assume (§2.1.5): a key-distribution authority, pairwise shared keys,
+// message authentication codes standing in for digital signatures, and keyed
+// fingerprint keys.
+//
+// The paper's negative result (Goldberg et al., §3.11) shows any Byzantine
+// detection protocol needs a key infrastructure; this package is that
+// infrastructure for the simulated network. Signatures are HMAC-SHA256 under
+// per-router keys known to a verification authority that every correct
+// router trusts — operationally equivalent to the administratively
+// distributed keys or PKI the paper assumes, and implementable with the
+// standard library alone.
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"routerwatch/internal/packet"
+)
+
+// KeySize is the size in bytes of all symmetric keys.
+const KeySize = 32
+
+// Key is a symmetric key.
+type Key [KeySize]byte
+
+// Signature is an authentication tag over a message, attributable to a
+// signer. It models the paper's [x]_i notation.
+type Signature struct {
+	Signer packet.NodeID
+	Tag    [sha256.Size]byte
+}
+
+// String formats a short prefix of the tag for logs.
+func (s Signature) String() string {
+	return fmt.Sprintf("[%v:%x...]", s.Signer, s.Tag[:4])
+}
+
+// Authority is the administrative key-distribution service (§2.1.5: "the
+// administrative ability to assign and distribute shared keys"). It issues
+// per-router signing keys, pairwise keys, and fingerprint keys.
+//
+// Authority is safe for concurrent use.
+type Authority struct {
+	mu       sync.RWMutex
+	master   Key
+	signing  map[packet.NodeID]Key
+	pairwise map[pairKey]Key
+}
+
+type pairKey struct{ a, b packet.NodeID }
+
+func orderedPair(a, b packet.NodeID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// NewAuthority creates an Authority whose entire key schedule derives
+// deterministically from seed, so simulations are reproducible.
+func NewAuthority(seed uint64) *Authority {
+	var master Key
+	binary.BigEndian.PutUint64(master[:8], seed)
+	sum := sha256.Sum256(master[:])
+	copy(master[:], sum[:])
+	return &Authority{
+		master:   master,
+		signing:  make(map[packet.NodeID]Key),
+		pairwise: make(map[pairKey]Key),
+	}
+}
+
+func (a *Authority) derive(label string, parts ...uint64) Key {
+	mac := hmac.New(sha256.New, a.master[:])
+	mac.Write([]byte(label))
+	var buf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(buf[:], p)
+		mac.Write(buf[:])
+	}
+	var k Key
+	copy(k[:], mac.Sum(nil))
+	return k
+}
+
+// SigningKey returns router r's signing key, creating it on first use.
+func (a *Authority) SigningKey(r packet.NodeID) Key {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	k, ok := a.signing[r]
+	if !ok {
+		k = a.derive("sign", uint64(uint32(r)))
+		a.signing[r] = k
+	}
+	return k
+}
+
+// PairwiseKey returns the shared key between routers x and y (symmetric in
+// its arguments), creating it on first use.
+func (a *Authority) PairwiseKey(x, y packet.NodeID) Key {
+	p := orderedPair(x, y)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	k, ok := a.pairwise[p]
+	if !ok {
+		k = a.derive("pair", uint64(uint32(p.a)), uint64(uint32(p.b)))
+		a.pairwise[p] = k
+	}
+	return k
+}
+
+// FingerprintKeys returns the two 64-bit keys for the network-wide packet
+// fingerprint function. All routers use the same fingerprint keys so that
+// summaries computed at different routers are comparable.
+func (a *Authority) FingerprintKeys() (k0, k1 uint64) {
+	k := a.derive("fingerprint")
+	return binary.BigEndian.Uint64(k[:8]), binary.BigEndian.Uint64(k[8:16])
+}
+
+// SamplingKeys returns per-pair keys for hash-range sampling (§2.4.1,
+// trajectory sampling): the pair (x, y) agree on a secret sampling function
+// intermediate routers cannot predict.
+func (a *Authority) SamplingKeys(x, y packet.NodeID) (k0, k1 uint64) {
+	p := orderedPair(x, y)
+	k := a.derive("sample", uint64(uint32(p.a)), uint64(uint32(p.b)))
+	return binary.BigEndian.Uint64(k[:8]), binary.BigEndian.Uint64(k[8:16])
+}
+
+// Sign produces r's signature over msg.
+func (a *Authority) Sign(r packet.NodeID, msg []byte) Signature {
+	k := a.SigningKey(r)
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write(msg)
+	var sig Signature
+	sig.Signer = r
+	copy(sig.Tag[:], mac.Sum(nil))
+	return sig
+}
+
+// Verify reports whether sig is a valid signature by sig.Signer over msg.
+func (a *Authority) Verify(msg []byte, sig Signature) bool {
+	k := a.SigningKey(sig.Signer)
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write(msg)
+	return hmac.Equal(mac.Sum(nil), sig.Tag[:])
+}
+
+// MAC computes an HMAC over msg under the pairwise key of (x, y); used to
+// authenticate point-to-point summary exchanges.
+func (a *Authority) MAC(x, y packet.NodeID, msg []byte) [sha256.Size]byte {
+	k := a.PairwiseKey(x, y)
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write(msg)
+	var out [sha256.Size]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// VerifyMAC checks a pairwise MAC.
+func (a *Authority) VerifyMAC(x, y packet.NodeID, msg []byte, tag [sha256.Size]byte) bool {
+	want := a.MAC(x, y, msg)
+	return hmac.Equal(want[:], tag[:])
+}

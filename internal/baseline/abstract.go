@@ -1,0 +1,266 @@
+package baseline
+
+import (
+	"fmt"
+)
+
+// This file models the per-packet, single-path detection protocols of
+// Chapter 3 — PERLMAN's ack-based detector, HERZBERG's forwarding-fault
+// detectors, and Secure Traceroute — as abstract path executions. The
+// paper analyzes these protocols on a fixed path ⟨0, 1, …, n-1⟩ with
+// scripted adversaries; these models reproduce that analysis: who detects
+// what, how fast, and at what message cost, including the accuracy flaws
+// of Figs 3.7 and 3.8.
+
+// PathBehavior scripts node i's adversarial actions on the abstract path.
+type PathBehavior struct {
+	// DropData makes the node silently drop the data packet.
+	DropData bool
+	// DropAcksFrom suppresses acks (or reports) originated by the listed
+	// downstream nodes as they transit this node toward the source.
+	DropAcksFrom map[int]bool
+	// AttackAfterRound (SecTrace): the node forwards honestly during
+	// validation rounds < this value, then starts dropping (Fig 3.7's
+	// timed attack). Negative means never.
+	AttackAfterRound int
+}
+
+// Honest is a correct node's behaviour.
+func Honest() PathBehavior { return PathBehavior{AttackAfterRound: -1} }
+
+// PathDetection is the outcome of an abstract-path protocol run.
+type PathDetection struct {
+	// Detected reports whether any fault was suspected.
+	Detected bool
+	// Suspected is the suspected link (i, i+1) as indices into the path.
+	Suspected [2]int
+	// Accurate reports whether the suspicion contains a faulty node.
+	Accurate bool
+	// Messages counts protocol messages sent (data + acks/reports).
+	Messages int
+	// TimeUnits counts abstract hop-times until detection (or delivery).
+	TimeUnits int
+	// Delivered reports whether the data packet reached the sink.
+	Delivered bool
+}
+
+func (d PathDetection) String() string {
+	if !d.Detected {
+		return fmt.Sprintf("no detection (delivered=%v, msgs=%d)", d.Delivered, d.Messages)
+	}
+	return fmt.Sprintf("suspect <%d,%d> accurate=%v msgs=%d time=%d",
+		d.Suspected[0], d.Suspected[1], d.Accurate, d.Messages, d.TimeUnits)
+}
+
+// faultySet lists the indices with any scripted misbehaviour.
+func faultySet(behaviors []PathBehavior) map[int]bool {
+	f := make(map[int]bool)
+	for i, b := range behaviors {
+		if b.DropData || len(b.DropAcksFrom) > 0 || b.AttackAfterRound >= 0 {
+			f[i] = true
+		}
+	}
+	return f
+}
+
+func containsFaulty(f map[int]bool, link [2]int) bool {
+	return f[link[0]] || f[link[1]]
+}
+
+// PerlmanAck runs PERLMANd (§3.7): the source sends one data packet along
+// the path; every node that receives it returns an ack to the source (which
+// transits the intermediate nodes and can be selectively suppressed). The
+// source suspects the link between the last acked node and the first
+// unacked one. Fig 3.8 shows the flaw: colluding b (ack suppression) and e
+// (data drop) make the source frame the correct pair ⟨c, d⟩.
+func PerlmanAck(behaviors []PathBehavior) PathDetection {
+	n := len(behaviors)
+	if n < 2 {
+		return PathDetection{Delivered: n == 1}
+	}
+	det := PathDetection{}
+
+	// Data propagation: reached[i] = data packet arrived at node i.
+	reached := make([]bool, n)
+	reached[0] = true
+	for i := 0; i+1 < n; i++ {
+		if !reached[i] {
+			break
+		}
+		if i > 0 && behaviors[i].DropData {
+			break
+		}
+		reached[i+1] = true
+		det.Messages++ // one data transmission per hop
+	}
+	det.Delivered = reached[n-1]
+
+	// Acks: node i (>0) that received the data sends an ack; the ack must
+	// transit nodes i-1 … 1, any of which may suppress acks from i.
+	acked := make([]bool, n)
+	acked[0] = true
+	for i := 1; i < n; i++ {
+		if !reached[i] {
+			continue
+		}
+		det.Messages++ // ack transmission (abstracted as one message)
+		ok := true
+		for j := i - 1; j >= 1; j-- {
+			if behaviors[j].DropAcksFrom[i] {
+				ok = false
+				break
+			}
+		}
+		acked[i] = ok
+	}
+
+	// Source analysis: first gap in the ack prefix.
+	last := 0
+	for i := 1; i < n; i++ {
+		if acked[i] {
+			last = i
+		} else {
+			break
+		}
+	}
+	if last == n-1 {
+		return det // everything acked: no detection
+	}
+	det.Detected = true
+	det.Suspected = [2]int{last, last + 1}
+	det.TimeUnits = 2 * n // worst-case round trip
+	det.Accurate = containsFaulty(faultySet(behaviors), det.Suspected)
+	return det
+}
+
+// HerzbergEndToEnd runs HERZBERG's end-to-end fault detector (§3.3): the
+// sink acks along the reverse path; each node keeps a timeout for the ack
+// or a fault announcement from its downstream neighbor, and on expiry
+// announces its adjacent downstream link. One ack per message (optimal
+// communication), detection time linear in the distance to the fault.
+func HerzbergEndToEnd(behaviors []PathBehavior) PathDetection {
+	n := len(behaviors)
+	det := PathDetection{}
+	reached := make([]bool, n)
+	reached[0] = true
+	firstDrop := -1
+	for i := 0; i+1 < n; i++ {
+		if i > 0 && behaviors[i].DropData {
+			firstDrop = i
+			break
+		}
+		reached[i+1] = true
+		det.Messages++
+	}
+	det.Delivered = reached[n-1]
+	if det.Delivered {
+		det.Messages += n - 1 // single ack traverses the reverse path
+		det.TimeUnits = 2 * (n - 1)
+		return det
+	}
+	// The node just upstream of the dropper is the first to time out
+	// waiting for the ack (its timeout is shortest among those who
+	// forwarded the packet and got nothing back).
+	det.Detected = true
+	det.Suspected = [2]int{firstDrop - 1, firstDrop}
+	// Timeout is proportional to the worst-case round trip from the
+	// detecting node to the sink.
+	det.TimeUnits = 2 * (n - firstDrop + 1)
+	det.Accurate = containsFaulty(faultySet(behaviors), det.Suspected)
+	return det
+}
+
+// HerzbergHopByHop runs the hop-by-hop variant (§3.3): every node acks the
+// source immediately upon receipt. Detection time is optimal (the fault
+// surfaces one hop-time after the drop), message complexity is quadratic
+// in path length.
+func HerzbergHopByHop(behaviors []PathBehavior) PathDetection {
+	n := len(behaviors)
+	det := PathDetection{}
+	reached := make([]bool, n)
+	reached[0] = true
+	firstDrop := -1
+	for i := 0; i+1 < n; i++ {
+		if i > 0 && behaviors[i].DropData {
+			firstDrop = i
+			break
+		}
+		reached[i+1] = true
+		det.Messages++          // data hop
+		det.Messages += (i + 1) // ack from node i+1 back to the source
+	}
+	det.Delivered = reached[n-1]
+	if det.Delivered {
+		det.TimeUnits = 2 * (n - 1)
+		return det
+	}
+	det.Detected = true
+	det.Suspected = [2]int{firstDrop, firstDrop + 1}
+	det.TimeUnits = 2 * (firstDrop + 1)
+	det.Accurate = containsFaulty(faultySet(behaviors), det.Suspected)
+	return det
+}
+
+// HerzbergComplexity returns (messages, detection time units) for the
+// checkpointed variant HERZBERG_optimal with acking nodes at the given
+// positions — the §3.3 communication/latency tradeoff. Checkpoints must be
+// sorted ascending and include n-1 (the sink).
+func HerzbergComplexity(n int, checkpoints []int) (messages, timeUnits int) {
+	messages = n - 1 // data transmissions
+	prev := 0
+	worst := 0
+	for _, c := range checkpoints {
+		messages += c // ack from checkpoint c to the source
+		// A fault just after prev is detected when checkpoint c's ack
+		// fails to arrive: round trip source→c.
+		if t := 2 * c; t > worst {
+			worst = t
+		}
+		prev = c
+	}
+	_ = prev
+	return messages, worst
+}
+
+// SecTraceRound is one Secure Traceroute validation round.
+type SecTraceRound struct {
+	Round     int
+	Target    int
+	Validated bool
+}
+
+// SecTrace runs Secure Traceroute (§3.6): the source validates traffic
+// hop-by-hop, round r checking the path prefix up to node r. On the first
+// failed round it suspects the link between the current target and its
+// upstream neighbor — which Fig 3.7 shows is inaccurate: a faulty node
+// that forwards honestly until it has been "cleared" (AttackAfterRound)
+// frames a correct downstream pair.
+func SecTrace(behaviors []PathBehavior) (PathDetection, []SecTraceRound) {
+	n := len(behaviors)
+	det := PathDetection{}
+	var rounds []SecTraceRound
+	for target := 1; target < n; target++ {
+		round := target - 1
+		det.Messages += 2 * target // validation request/report exchange
+		ok := true
+		for i := 1; i < target; i++ {
+			b := behaviors[i]
+			if b.DropData {
+				ok = false
+			}
+			if b.AttackAfterRound >= 0 && round >= b.AttackAfterRound {
+				ok = false
+			}
+		}
+		rounds = append(rounds, SecTraceRound{Round: round, Target: target, Validated: ok})
+		if !ok {
+			det.Detected = true
+			det.Suspected = [2]int{target - 1, target}
+			det.TimeUnits = 2 * target * (round + 1)
+			det.Accurate = containsFaulty(faultySet(behaviors), det.Suspected)
+			return det, rounds
+		}
+	}
+	det.Delivered = true
+	return det, rounds
+}

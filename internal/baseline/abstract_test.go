@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"testing"
+)
+
+func honestPath(n int) []PathBehavior {
+	bs := make([]PathBehavior, n)
+	for i := range bs {
+		bs[i] = Honest()
+	}
+	return bs
+}
+
+func TestPerlmanAckHonest(t *testing.T) {
+	det := PerlmanAck(honestPath(6))
+	if det.Detected || !det.Delivered {
+		t.Fatalf("honest path: %v", det)
+	}
+}
+
+func TestPerlmanAckSimpleDropper(t *testing.T) {
+	bs := honestPath(6)
+	bs[3].DropData = true
+	det := PerlmanAck(bs)
+	if !det.Detected || !det.Accurate {
+		t.Fatalf("simple dropper: %v", det)
+	}
+	// Node 3 acks the data it received but forwards nothing: the gap is
+	// after 3.
+	if det.Suspected != [2]int{3, 4} {
+		t.Fatalf("suspected %v", det.Suspected)
+	}
+}
+
+func TestPerlmanAckColludingFlaw(t *testing.T) {
+	// Fig 3.8: path a,b,c,d,e,f (indices 0..5). b (1) and e (4) collude:
+	// e drops the data, b suppresses the ack from d (3). The source sees
+	// acks from b and c only and frames the correct pair ⟨c, d⟩.
+	bs := honestPath(6)
+	bs[4].DropData = true
+	bs[1].DropAcksFrom = map[int]bool{3: true, 4: true}
+	det := PerlmanAck(bs)
+	if !det.Detected {
+		t.Fatal("no detection")
+	}
+	if det.Suspected != [2]int{2, 3} {
+		t.Fatalf("suspected %v, want the framed ⟨c,d⟩ = ⟨2,3⟩", det.Suspected)
+	}
+	if det.Accurate {
+		t.Fatal("the flaw should make the detection inaccurate")
+	}
+}
+
+func TestHerzbergEndToEndHonest(t *testing.T) {
+	det := HerzbergEndToEnd(honestPath(5))
+	if det.Detected || !det.Delivered {
+		t.Fatalf("%v", det)
+	}
+	// n-1 data + n-1 ack messages.
+	if det.Messages != 8 {
+		t.Fatalf("messages %d, want 8", det.Messages)
+	}
+}
+
+func TestHerzbergEndToEndDetects(t *testing.T) {
+	bs := honestPath(6)
+	bs[3].DropData = true
+	det := HerzbergEndToEnd(bs)
+	if !det.Detected || !det.Accurate {
+		t.Fatalf("%v", det)
+	}
+	if det.Suspected != [2]int{2, 3} {
+		t.Fatalf("suspected %v", det.Suspected)
+	}
+}
+
+func TestHerzbergHopByHopFasterButCostlier(t *testing.T) {
+	// The §3.3 tradeoff: end-to-end waits a near-full-path timeout for
+	// faults near the source, where hop-by-hop detects in a couple of hop
+	// times — at quadratic message cost.
+	bs := honestPath(10)
+	bs[2].DropData = true
+	e2e := HerzbergEndToEnd(bs)
+	hbh := HerzbergHopByHop(bs)
+	if !e2e.Detected || !hbh.Detected {
+		t.Fatal("both variants must detect")
+	}
+	if hbh.TimeUnits >= e2e.TimeUnits {
+		t.Fatalf("hop-by-hop not faster for a near-source fault: %d vs %d", hbh.TimeUnits, e2e.TimeUnits)
+	}
+	if hbh.Messages <= e2e.Messages {
+		t.Fatalf("hop-by-hop not costlier: %d vs %d", hbh.Messages, e2e.Messages)
+	}
+	if !hbh.Accurate || (hbh.Suspected[0] != 2 && hbh.Suspected[1] != 2) {
+		t.Fatalf("hop-by-hop suspicion %v", hbh.Suspected)
+	}
+}
+
+func TestHerzbergComplexityTradeoff(t *testing.T) {
+	n := 16
+	// End-to-end: only the sink acks. Hop-by-hop: everyone acks.
+	e2eMsgs, e2eTime := HerzbergComplexity(n, []int{n - 1})
+	var all []int
+	for i := 1; i < n; i++ {
+		all = append(all, i)
+	}
+	hbhMsgs, hbhTime := HerzbergComplexity(n, all)
+	// Intermediate checkpointing: every 4th node.
+	mid := []int{4, 8, 12, 15}
+	midMsgs, midTime := HerzbergComplexity(n, mid)
+
+	if !(e2eMsgs < midMsgs && midMsgs < hbhMsgs) {
+		t.Fatalf("message ordering: %d %d %d", e2eMsgs, midMsgs, hbhMsgs)
+	}
+	if e2eTime < midTime || e2eTime < hbhTime {
+		t.Fatalf("time ordering: e2e %d mid %d hbh %d", e2eTime, midTime, hbhTime)
+	}
+}
+
+func TestSecTraceHonest(t *testing.T) {
+	det, rounds := SecTrace(honestPath(5))
+	if det.Detected || !det.Delivered {
+		t.Fatalf("%v", det)
+	}
+	if len(rounds) != 4 {
+		t.Fatalf("rounds %d", len(rounds))
+	}
+}
+
+func TestSecTraceDetectsPersistentDropper(t *testing.T) {
+	bs := honestPath(6)
+	bs[2].DropData = true
+	det, _ := SecTrace(bs)
+	if !det.Detected || !det.Accurate {
+		t.Fatalf("%v", det)
+	}
+	// The first failing round targets node 3 (the first prefix containing
+	// the dropper as an intermediate node).
+	if det.Suspected != [2]int{2, 3} {
+		t.Fatalf("suspected %v", det.Suspected)
+	}
+}
+
+func TestSecTraceTimedAttackFramesCorrectPair(t *testing.T) {
+	// Fig 3.7: b (1) forwards honestly until the source has validated
+	// through c, then attacks; the source frames ⟨c, d⟩.
+	bs := honestPath(5)
+	bs[1].AttackAfterRound = 2
+	det, rounds := SecTrace(bs)
+	if !det.Detected {
+		t.Fatalf("no detection: %v", rounds)
+	}
+	if det.Suspected != [2]int{2, 3} {
+		t.Fatalf("suspected %v, want framed ⟨2,3⟩", det.Suspected)
+	}
+	if det.Accurate {
+		t.Fatal("timed attack should frame a correct pair (accuracy flaw)")
+	}
+}
+
+func TestFaultySetClassification(t *testing.T) {
+	bs := honestPath(4)
+	if len(faultySet(bs)) != 0 {
+		t.Fatal("honest path has faulty nodes")
+	}
+	bs[1].DropData = true
+	bs[2].AttackAfterRound = 1
+	f := faultySet(bs)
+	if !f[1] || !f[2] || f[0] || f[3] {
+		t.Fatalf("faulty set %v", f)
+	}
+}

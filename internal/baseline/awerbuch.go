@@ -1,0 +1,89 @@
+package baseline
+
+// AWERBUCH (§3.5): an on-demand secure routing protocol resilient to
+// Byzantine failures. Where SecTrace searches the path linearly, AWERBUCH
+// binary-searches it: the source maintains a probe list of intermediate
+// nodes that must acknowledge; when validation between two consecutive
+// probes fails, the node midway between them is added, halving the
+// suspicious region each round until it is a single link — log(M) rounds.
+
+// AwerbuchResult is the outcome of the adaptive probing search.
+type AwerbuchResult struct {
+	PathDetection
+	// Rounds is how many probe rounds ran until the fault was localized.
+	Rounds int
+	// ProbeHistory records the probe list of each round.
+	ProbeHistory [][]int
+}
+
+// AwerbuchSearch runs the adaptive probing protocol on the abstract path.
+// Each round sends a batch of traffic; a node with DropData drops it, so
+// every probe downstream of the first dropper reports loss. The source
+// inserts a probe midway into the first failing interval and repeats.
+func AwerbuchSearch(behaviors []PathBehavior) AwerbuchResult {
+	n := len(behaviors)
+	res := AwerbuchResult{}
+	if n < 2 {
+		res.Delivered = n == 1
+		return res
+	}
+
+	firstDrop := -1
+	for i := 1; i+1 < n; i++ {
+		if behaviors[i].DropData {
+			firstDrop = i
+			break
+		}
+	}
+	if firstDrop == -1 {
+		res.Delivered = true
+		res.Rounds = 1
+		res.Messages = n - 1 // one traffic batch, destination-only probing
+		return res
+	}
+
+	// Probe list always contains the destination; grows by bisection.
+	probes := []int{n - 1}
+	inList := map[int]bool{0: true, n - 1: true}
+
+	for {
+		res.Rounds++
+		probeRound := append([]int{0}, probes...)
+		res.ProbeHistory = append(res.ProbeHistory, probeRound)
+		// Each listed probe acks the traffic it received; traffic dies at
+		// firstDrop, so probes < firstDrop validate, probes ≥ firstDrop
+		// report loss. Message cost: the traffic batch to the fault plus
+		// one report per probe.
+		res.Messages += firstDrop + len(probes)
+
+		// Find the failing interval [lo, hi]: lo = last validated node in
+		// the probe list, hi = first failing one.
+		lo := 0
+		hi := n - 1
+		for _, p := range probeRound {
+			if p < firstDrop {
+				if p > lo {
+					lo = p
+				}
+			} else if p < hi {
+				hi = p
+			}
+		}
+		if hi-lo == 1 {
+			res.Detected = true
+			res.Suspected = [2]int{lo, hi}
+			res.Accurate = containsFaulty(faultySet(behaviors), res.Suspected)
+			return res
+		}
+		mid := (lo + hi) / 2
+		if inList[mid] {
+			// Should not happen with hi-lo > 1, but guard against loops.
+			res.Detected = true
+			res.Suspected = [2]int{lo, hi}
+			res.Accurate = containsFaulty(faultySet(behaviors), res.Suspected)
+			return res
+		}
+		inList[mid] = true
+		probes = append(probes, mid)
+	}
+}

@@ -1,0 +1,50 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAwerbuchHonest(t *testing.T) {
+	res := AwerbuchSearch(honestPath(8))
+	if res.Detected || !res.Delivered {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestAwerbuchLocalizesInLogRounds(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64} {
+		for drop := 1; drop < n-1; drop += (n / 5) + 1 {
+			bs := honestPath(n)
+			bs[drop].DropData = true
+			res := AwerbuchSearch(bs)
+			if !res.Detected {
+				t.Fatalf("n=%d drop=%d: not detected", n, drop)
+			}
+			if !res.Accurate {
+				t.Fatalf("n=%d drop=%d: inaccurate suspicion %v", n, drop, res.Suspected)
+			}
+			if res.Suspected[0] != drop-1 && res.Suspected[1] != drop {
+				t.Fatalf("n=%d drop=%d: localized %v", n, drop, res.Suspected)
+			}
+			// log(M) rounds (§3.5: "after log M rounds").
+			bound := int(math.Ceil(math.Log2(float64(n)))) + 1
+			if res.Rounds > bound {
+				t.Fatalf("n=%d drop=%d: %d rounds exceeds log bound %d", n, drop, res.Rounds, bound)
+			}
+		}
+	}
+}
+
+func TestAwerbuchVsSecTraceRounds(t *testing.T) {
+	// Binary search needs far fewer rounds than linear SecTrace for a
+	// fault near the end of a long path.
+	n := 64
+	bs := honestPath(n)
+	bs[n-2].DropData = true
+	aw := AwerbuchSearch(bs)
+	_, rounds := SecTrace(bs)
+	if aw.Rounds >= len(rounds) {
+		t.Fatalf("AWERBUCH %d rounds not fewer than SecTrace %d", aw.Rounds, len(rounds))
+	}
+}

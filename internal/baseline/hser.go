@@ -1,0 +1,81 @@
+package baseline
+
+// HSER (§3.2) and the GOLDBERG protocols (§3.11), as abstract path models.
+//
+// HSER — Highly Secure and Efficient Routing — combines source routing,
+// hop-by-hop authentication, a-priori reserved buffers (packets are never
+// congestion-dropped), per-hop timeouts and fault announcements. Each
+// router along the path verifies authenticity, forwards, and arms a
+// timeout for the worst-case round trip to the destination; a failed
+// verification or expiry produces a fault announcement naming the router
+// and its downstream neighbor: weak-complete and accurate with precision 2.
+//
+// GOLDBERG's OptimisticProtocol is the per-packet end-to-end detector
+// with the PERLMANd flaws repaired via onion-authenticated reports; its
+// sampling variants (PepperProbing) monitor only a keyed subsample.
+
+// HSERRun executes one monitored packet transmission under HSER. Unlike
+// PERLMANd, every intermediate router participates in detection, so
+// colluding ack suppression cannot frame a correct pair: the router just
+// upstream of the dropper times out and announces its own adjacent link.
+func HSERRun(behaviors []PathBehavior) PathDetection {
+	n := len(behaviors)
+	det := PathDetection{}
+	if n < 2 {
+		det.Delivered = n == 1
+		return det
+	}
+	firstDrop := -1
+	for i := 1; i+1 < n; i++ {
+		if behaviors[i].DropData {
+			firstDrop = i
+			break
+		}
+		det.Messages++ // authenticated forward
+	}
+	if firstDrop == -1 {
+		det.Messages++ // final hop
+		det.Delivered = true
+		// Destination's end-to-end ack (reliability mechanism).
+		det.Messages++
+		det.TimeUnits = 2 * (n - 1)
+		return det
+	}
+	// The upstream neighbor of the dropper holds the packet in its
+	// reserved buffer, its timeout expires first, and it announces
+	// ⟨firstDrop−1, firstDrop⟩ back to the source.
+	det.Detected = true
+	det.Suspected = [2]int{firstDrop - 1, firstDrop}
+	det.Accurate = containsFaulty(faultySet(behaviors), det.Suspected)
+	det.TimeUnits = 2 * (n - firstDrop)
+	det.Messages += firstDrop // announcement travels back to the source
+	return det
+}
+
+// GoldbergSampledRun executes GOLDBERG's sampled end-to-end detection
+// (PepperProbing): only packets selected by a keyed hash shared by source
+// and destination are monitored. An attacker who cannot predict the sample
+// (§3.11: pairwise symmetric keys) and drops a fraction p of all packets is
+// caught once a *sampled* packet is among the victims; sampling trades
+// detection latency for state.
+//
+// sampleEvery models the sampling rate 1/sampleEvery; dropEvery models the
+// attacker dropping every dropEvery-th packet (it cannot see which packets
+// are sampled). The function returns how many packets must transit before
+// the first monitored loss — the latency/overhead tradeoff.
+func GoldbergSampledRun(sampleEvery, dropEvery, maxPackets int) (detectedAt int, monitored int) {
+	if sampleEvery < 1 || dropEvery < 1 {
+		panic("baseline: rates must be ≥ 1")
+	}
+	for i := 1; i <= maxPackets; i++ {
+		sampled := i%sampleEvery == 0
+		dropped := i%dropEvery == 0
+		if sampled {
+			monitored++
+		}
+		if sampled && dropped {
+			return i, monitored
+		}
+	}
+	return 0, monitored
+}

@@ -1,0 +1,70 @@
+package baseline
+
+import "testing"
+
+func TestHSERHonestDelivery(t *testing.T) {
+	det := HSERRun(honestPath(6))
+	if det.Detected || !det.Delivered {
+		t.Fatalf("%+v", det)
+	}
+}
+
+func TestHSERLocalizesWithPrecision2(t *testing.T) {
+	for drop := 1; drop <= 4; drop++ {
+		bs := honestPath(6)
+		bs[drop].DropData = true
+		det := HSERRun(bs)
+		if !det.Detected || !det.Accurate {
+			t.Fatalf("drop at %d: %+v", drop, det)
+		}
+		if det.Suspected != [2]int{drop - 1, drop} {
+			t.Fatalf("drop at %d suspected %v", drop, det.Suspected)
+		}
+	}
+}
+
+func TestHSERResistsAckSuppression(t *testing.T) {
+	// The Fig 3.8 collusion that fools PERLMANd: e drops data, b
+	// suppresses transit acks. HSER's detection is hop-local (the
+	// upstream neighbor of the dropper announces), so b's suppression
+	// changes nothing about who detects what.
+	bs := honestPath(6)
+	bs[4].DropData = true
+	bs[1].DropAcksFrom = map[int]bool{3: true, 4: true}
+	det := HSERRun(bs)
+	if !det.Detected || !det.Accurate {
+		t.Fatalf("%+v", det)
+	}
+	if det.Suspected != [2]int{3, 4} {
+		t.Fatalf("suspected %v, want the true ⟨3,4⟩", det.Suspected)
+	}
+	// Contrast with PERLMANd on the identical scenario.
+	per := PerlmanAck(bs)
+	if per.Accurate {
+		t.Fatal("PERLMANd should be fooled where HSER is not")
+	}
+}
+
+func TestGoldbergSamplingTradeoff(t *testing.T) {
+	// Denser sampling detects sooner but monitors more packets.
+	dense, denseMon := GoldbergSampledRun(2, 10, 100000)
+	sparse, sparseMon := GoldbergSampledRun(50, 10, 100000)
+	if dense == 0 || sparse == 0 {
+		t.Fatal("attack never detected")
+	}
+	if dense > sparse {
+		t.Fatalf("denser sampling detected later: %d vs %d", dense, sparse)
+	}
+	if denseMon <= sparseMon {
+		t.Fatalf("denser sampling monitored fewer packets: %d vs %d", denseMon, sparseMon)
+	}
+}
+
+func TestGoldbergSamplingMissesShortAttack(t *testing.T) {
+	// Sparse sampling can miss an attack entirely within a bounded window
+	// — the accuracy/overhead tradeoff of §5.2.1.
+	detected, _ := GoldbergSampledRun(1000, 999, 500)
+	if detected != 0 {
+		t.Fatalf("sparse sampling detected at %d within 500 packets", detected)
+	}
+}

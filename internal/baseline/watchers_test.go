@@ -1,0 +1,201 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"routerwatch/internal/attack"
+	"routerwatch/internal/detector"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/topology"
+)
+
+// consortingTopology builds the Fig 3.3 network: the path a-b-c-d-e plus a
+// bypass a-x-e so the good-path condition holds.
+func consortingTopology() (*topology.Graph, map[string]packet.NodeID) {
+	g := topology.NewGraph()
+	ids := make(map[string]packet.NodeID)
+	for _, name := range []string{"a", "b", "c", "d", "e", "x"} {
+		ids[name] = g.AddNode(name)
+	}
+	attrs := topology.DefaultLinkAttrs()
+	g.AddDuplex(ids["a"], ids["b"], attrs)
+	g.AddDuplex(ids["b"], ids["c"], attrs)
+	g.AddDuplex(ids["c"], ids["d"], attrs)
+	g.AddDuplex(ids["d"], ids["e"], attrs)
+	// Bypass with higher cost so primary traffic uses the main path.
+	bypass := attrs
+	bypass.Cost = 100
+	g.AddDuplex(ids["a"], ids["x"], bypass)
+	g.AddDuplex(ids["x"], ids["e"], bypass)
+	return g, ids
+}
+
+func pumpTraffic(net *network.Network, from, to packet.NodeID, n int) {
+	for i := 0; i < n; i++ {
+		i := i
+		net.Scheduler().At(time.Duration(i)*time.Millisecond+time.Microsecond, func() {
+			net.Inject(from, &packet.Packet{Dst: to, Size: 1000, Flow: 1, Seq: uint32(i)})
+		})
+	}
+}
+
+func TestWatchersNoAttack(t *testing.T) {
+	g, ids := consortingTopology()
+	net := network.New(g, network.Options{Seed: 1, ProcessingJitter: 100 * time.Microsecond})
+	log := detector.NewLog()
+	AttachWatchers(net, WatchersOptions{
+		Round: 500 * time.Millisecond, Threshold: 5000,
+		Sink: detector.LogSink(log),
+	})
+	pumpTraffic(net, ids["a"], ids["e"], 1000)
+	pumpTraffic(net, ids["e"], ids["a"], 1000)
+	net.Run(3 * time.Second)
+	if log.Len() != 0 {
+		t.Fatalf("false positives: %v", log.All())
+	}
+}
+
+func TestWatchersDetectsHonestDropper(t *testing.T) {
+	// c drops traffic and reports honestly: conservation of flow catches
+	// it and its validating neighbors suspect their links to c.
+	g, ids := consortingTopology()
+	net := network.New(g, network.Options{Seed: 2})
+	log := detector.NewLog()
+	AttachWatchers(net, WatchersOptions{
+		Round: 500 * time.Millisecond, Threshold: 5000,
+		Sink: detector.LogSink(log),
+	})
+	net.Router(ids["c"]).SetBehavior(&attack.Dropper{Select: attack.All, P: 1})
+	pumpTraffic(net, ids["a"], ids["e"], 500)
+	net.Run(3 * time.Second)
+
+	if log.Len() == 0 {
+		t.Fatal("honest dropper not detected")
+	}
+	for _, s := range log.All() {
+		if !s.Segment.Contains(ids["c"]) {
+			t.Fatalf("suspicion does not contain c: %v", s)
+		}
+		if len(s.Segment) != 2 {
+			t.Fatalf("precision violated: %v", s)
+		}
+	}
+}
+
+// consort installs the Fig 3.3 consorting counters: c drops traffic for
+// destination e but inflates its reported transit-out counter toward d as
+// if it had forwarded, and d inflates its reported in-counter from c to
+// match, so the shared-link counters agree and both pass validation.
+func consort(w *Watchers, net *network.Network, ids map[string]packet.NodeID, coordinated bool) *int64 {
+	var claimed int64
+	c, d, e := ids["c"], ids["d"], ids["e"]
+	// Track what c *should* have forwarded: everything it received for e.
+	net.Router(c).AddTap(func(ev network.Event) {
+		if ev.Kind == network.EvReceive && ev.Packet.Dst == e {
+			claimed += int64(ev.Packet.Size)
+		}
+	})
+	w.SetCorruptor(c, func(round int, honest *WatcherCounters) *WatcherCounters {
+		honest.TransitOut[watcherKey{Neighbor: d, Dst: e}] = claimed
+		return honest
+	})
+	if coordinated {
+		w.SetCorruptor(d, func(round int, honest *WatcherCounters) *WatcherCounters {
+			honest.In[watcherKey{Neighbor: c, Dst: e}] = claimed
+			// d also claims to have forwarded everything to e.
+			honest.TransitOut[watcherKey{Neighbor: e, Dst: e}] = 0
+			return honest
+		})
+	}
+	return &claimed
+}
+
+func TestWatchersConsortingFlaw(t *testing.T) {
+	// Fig 3.3 with the *uncoordinated* lie: c lies about T_{c,d} but d
+	// reports honestly. Their shared-link counters disagree; original
+	// WATCHERS assumes "b will detect c as faulty or vice versa" and does
+	// nothing — d, being faulty, stays silent, and the attack is hidden.
+	g, ids := consortingTopology()
+	net := network.New(g, network.Options{Seed: 3})
+	log := detector.NewLog()
+	w := AttachWatchers(net, WatchersOptions{
+		Round: 500 * time.Millisecond, Threshold: 5000, Fixed: false,
+		Sink: detector.LogSink(log),
+	})
+	// c and d drop all transit traffic for e.
+	sel := attack.And(attack.ByDst(ids["e"]), attack.All)
+	net.Router(ids["c"]).SetBehavior(&attack.Dropper{Select: sel, P: 1})
+	net.Router(ids["d"]).SetBehavior(&attack.Dropper{Select: sel, P: 1})
+	consort(w, net, ids, false)
+
+	pumpTraffic(net, ids["a"], ids["e"], 500)
+	net.Run(3 * time.Second)
+
+	for _, s := range log.All() {
+		if s.Segment.Contains(ids["c"]) || s.Segment.Contains(ids["d"]) {
+			t.Fatalf("original WATCHERS should miss the consorting attack, got %v", s)
+		}
+	}
+}
+
+func TestWatchersFixedClosesFlaw(t *testing.T) {
+	// Same scenario with the Fixed variant: b and e observe the
+	// inconsistent ⟨c,d⟩ counters, expect an announcement, and on silence
+	// detect their adjacent links ⟨b,c⟩ and ⟨e,d⟩.
+	g, ids := consortingTopology()
+	net := network.New(g, network.Options{Seed: 4})
+	log := detector.NewLog()
+	w := AttachWatchers(net, WatchersOptions{
+		Round: 500 * time.Millisecond, Threshold: 5000, Fixed: true,
+		Sink: detector.LogSink(log),
+	})
+	sel := attack.And(attack.ByDst(ids["e"]), attack.All)
+	net.Router(ids["c"]).SetBehavior(&attack.Dropper{Select: sel, P: 1})
+	net.Router(ids["d"]).SetBehavior(&attack.Dropper{Select: sel, P: 1})
+	consort(w, net, ids, false)
+
+	pumpTraffic(net, ids["a"], ids["e"], 500)
+	net.Run(3 * time.Second)
+
+	found := false
+	for _, s := range log.All() {
+		if s.Segment.Contains(ids["c"]) || s.Segment.Contains(ids["d"]) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fixed WATCHERS missed the consorting attack: %v", log.All())
+	}
+	// Accuracy: every suspicion by a correct router must touch c or d.
+	gt := detector.NewGroundTruth(
+		[]packet.NodeID{ids["c"], ids["d"]},
+		[]packet.NodeID{ids["c"], ids["d"]},
+	)
+	if v := detector.CheckAccuracy(log, gt, 2); len(v) != 0 {
+		t.Fatalf("accuracy violations: %v", v)
+	}
+}
+
+func TestWatchersStateSize(t *testing.T) {
+	// §5.1.1's comparison: 7 counters per neighbor per destination.
+	g := topology.Generate(topology.GeneratorSpec{Name: "t", Nodes: 50, Links: 100, MaxDegree: 12, Seed: 9})
+	total := 0
+	maxSize := 0
+	for _, r := range g.Nodes() {
+		s := CounterStateSize(g, r)
+		total += s
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	mean := total / g.NumNodes()
+	wantMean := 7 * (2 * 100 / 50) * 50 // 7 × mean degree × N
+	if mean != wantMean {
+		t.Fatalf("mean state %d, want %d", mean, wantMean)
+	}
+	if maxSize <= mean {
+		t.Fatal("hub routers should carry more state")
+	}
+}

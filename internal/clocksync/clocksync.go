@@ -1,0 +1,88 @@
+// Package clocksync models the synchronous-network assumption of §2.1.2 and
+// the NTP-based time synchronization of the Fatih prototype (§5.3.1):
+// every router has a local clock offset from true time, bounded after
+// synchronization rounds to within a few milliseconds — orders of magnitude
+// below the τ = 5 s validation rounds, which is why the detection protocols
+// can treat rounds as aligned.
+package clocksync
+
+import (
+	"time"
+
+	"routerwatch/internal/packet"
+	"routerwatch/internal/sim"
+)
+
+// Model holds per-router clock offsets.
+type Model struct {
+	offsets []time.Duration
+	resid   time.Duration
+	rng     interface{ Int63n(int64) int64 }
+}
+
+// New returns a model for n routers with initial offsets uniform in
+// (−initialSkew, +initialSkew) and post-synchronization residual error
+// bounded by residual.
+func New(n int, initialSkew, residual time.Duration, seed int64) *Model {
+	m := &Model{
+		offsets: make([]time.Duration, n),
+		resid:   residual,
+		rng:     sim.NewRNG(seed),
+	}
+	for i := range m.offsets {
+		m.offsets[i] = m.randomIn(initialSkew)
+	}
+	return m
+}
+
+func (m *Model) randomIn(bound time.Duration) time.Duration {
+	if bound <= 0 {
+		return 0
+	}
+	return time.Duration(m.rng.Int63n(int64(2*bound))) - bound
+}
+
+// Read returns router r's local clock at true time now.
+func (m *Model) Read(r packet.NodeID, now time.Duration) time.Duration {
+	return now + m.offsets[r]
+}
+
+// Offset returns router r's current offset from true time.
+func (m *Model) Offset(r packet.NodeID) time.Duration { return m.offsets[r] }
+
+// Sync performs an NTP-style synchronization round: every offset collapses
+// to a fresh residual error within the configured bound.
+func (m *Model) Sync() {
+	for i := range m.offsets {
+		m.offsets[i] = m.randomIn(m.resid)
+	}
+}
+
+// MaxSkew returns the largest pairwise clock disagreement.
+func (m *Model) MaxSkew() time.Duration {
+	if len(m.offsets) == 0 {
+		return 0
+	}
+	min, max := m.offsets[0], m.offsets[0]
+	for _, o := range m.offsets[1:] {
+		if o < min {
+			min = o
+		}
+		if o > max {
+			max = o
+		}
+	}
+	return max - min
+}
+
+// RoundIndex returns which validation round (of length tau) router r
+// believes it is in at true time now. Protocols use this to show that with
+// post-NTP skew ≪ tau, all correct routers agree on round boundaries up to
+// a negligible edge window.
+func (m *Model) RoundIndex(r packet.NodeID, now, tau time.Duration) int {
+	local := m.Read(r, now)
+	if local < 0 {
+		return -1
+	}
+	return int(local / tau)
+}

@@ -1,0 +1,75 @@
+package clocksync
+
+import (
+	"testing"
+	"time"
+
+	"routerwatch/internal/packet"
+)
+
+func TestInitialSkewBounded(t *testing.T) {
+	m := New(20, 100*time.Millisecond, time.Millisecond, 1)
+	for i := 0; i < 20; i++ {
+		off := m.Offset(packet.NodeID(i))
+		if off <= -100*time.Millisecond || off >= 100*time.Millisecond {
+			t.Fatalf("offset %v outside bound", off)
+		}
+	}
+	if m.MaxSkew() >= 200*time.Millisecond {
+		t.Fatalf("max skew %v", m.MaxSkew())
+	}
+}
+
+func TestSyncShrinksSkew(t *testing.T) {
+	m := New(50, 500*time.Millisecond, 2*time.Millisecond, 7)
+	before := m.MaxSkew()
+	m.Sync()
+	after := m.MaxSkew()
+	if after >= before {
+		t.Fatalf("sync did not reduce skew: %v -> %v", before, after)
+	}
+	if after >= 4*time.Millisecond {
+		t.Fatalf("post-sync skew %v exceeds residual bound", after)
+	}
+}
+
+func TestRoundAgreementAfterSync(t *testing.T) {
+	// The property the detection protocols rely on (§2.1.2): with
+	// post-NTP skew ≪ τ, all routers agree on the round index except in a
+	// negligible window around boundaries.
+	m := New(30, time.Second, 2*time.Millisecond, 3)
+	m.Sync()
+	tau := 5 * time.Second
+	agree, total := 0, 0
+	for now := tau; now < 20*tau; now += tau/2 + 7*time.Millisecond {
+		base := m.RoundIndex(0, now, tau)
+		allSame := true
+		for r := 1; r < 30; r++ {
+			if m.RoundIndex(packet.NodeID(r), now, tau) != base {
+				allSame = false
+			}
+		}
+		total++
+		if allSame {
+			agree++
+		}
+	}
+	if agree < total*9/10 {
+		t.Fatalf("round agreement only %d/%d", agree, total)
+	}
+}
+
+func TestReadMonotonicWithTime(t *testing.T) {
+	m := New(3, 10*time.Millisecond, time.Millisecond, 5)
+	if m.Read(1, 2*time.Second)-m.Read(1, time.Second) != time.Second {
+		t.Fatal("clock rate wrong")
+	}
+}
+
+func TestNegativeLocalClockRound(t *testing.T) {
+	m := New(1, 0, 0, 1)
+	// Zero offsets: RoundIndex at time 0 is round 0.
+	if got := m.RoundIndex(0, 0, time.Second); got != 0 {
+		t.Fatalf("round %d", got)
+	}
+}

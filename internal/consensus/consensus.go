@@ -1,0 +1,194 @@
+// Package consensus provides the agreement substrate Protocol Π2 needs
+// (§5.1): Perlman-style robust flooding (reliable broadcast that reaches
+// every correct router despite protocol-faulty relays, given the good-path
+// condition §2.1.3), and signed-value collection with equivocation
+// detection — the "consensus ... digitally signed to prevent an attack"
+// step of Fig 5.1.
+//
+// With digital signatures and robust flooding, agreement on each router's
+// traffic summary reduces to: flood your signed value; accept a value from
+// origin o iff o's signature verifies; if two *different* validly signed
+// values from o surface, o is provably protocol faulty (equivocation) and
+// every correct router learns it, because the conflicting evidence is
+// itself flooded.
+package consensus
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"routerwatch/internal/auth"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+)
+
+// KindFlood is the control-message kind used by the flooding service.
+const KindFlood = "consensus/flood"
+
+// Msg is a flooded, signed value.
+type Msg struct {
+	Origin   packet.NodeID
+	Topic    string
+	Instance string
+	Payload  []byte
+	Sig      auth.Signature
+}
+
+// digest uniquely identifies a flooded message for deduplication. Payload
+// content is included so that equivocating messages (same origin/instance,
+// different payload) both propagate.
+func (m *Msg) digest() [sha256.Size]byte {
+	h := sha256.New()
+	var idb [4]byte
+	binary.BigEndian.PutUint32(idb[:], uint32(m.Origin))
+	h.Write(idb[:])
+	h.Write([]byte(m.Topic))
+	h.Write([]byte{0})
+	h.Write([]byte(m.Instance))
+	h.Write([]byte{0})
+	h.Write(m.Payload)
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// SignedBody returns the byte string the origin signs.
+func SignedBody(origin packet.NodeID, topic, instance string, payload []byte) []byte {
+	b := make([]byte, 0, 16+len(topic)+len(instance)+len(payload))
+	var idb [4]byte
+	binary.BigEndian.PutUint32(idb[:], uint32(origin))
+	b = append(b, idb[:]...)
+	b = append(b, topic...)
+	b = append(b, 0)
+	b = append(b, instance...)
+	b = append(b, 0)
+	b = append(b, payload...)
+	return b
+}
+
+// Service is the network-wide flooding layer. One Service serves all
+// protocols; topics separate them.
+type Service struct {
+	net  *network.Network
+	subs map[packet.NodeID]map[string]func(Msg)
+	seen map[packet.NodeID]map[[sha256.Size]byte]bool
+}
+
+// NewService installs flood relays on every router of the network.
+func NewService(net *network.Network) *Service {
+	s := &Service{
+		net:  net,
+		subs: make(map[packet.NodeID]map[string]func(Msg)),
+		seen: make(map[packet.NodeID]map[[sha256.Size]byte]bool),
+	}
+	for _, r := range net.Routers() {
+		id := r.ID()
+		s.seen[id] = make(map[[sha256.Size]byte]bool)
+		r.HandleControl(KindFlood, func(cm *network.ControlMessage) {
+			msg, ok := cm.Payload.(*Msg)
+			if !ok {
+				return
+			}
+			s.receive(id, *msg, cm.From)
+		})
+	}
+	return s
+}
+
+// Subscribe registers router r's handler for a topic. Delivery happens at
+// most once per distinct message per router.
+func (s *Service) Subscribe(r packet.NodeID, topic string, fn func(Msg)) {
+	m, ok := s.subs[r]
+	if !ok {
+		m = make(map[string]func(Msg))
+		s.subs[r] = m
+	}
+	m[topic] = fn
+}
+
+// Flood originates a signed value from router `from`. The signature covers
+// (origin, topic, instance, payload), so relays cannot alter it
+// undetectably — they can only refuse to relay, which robust flooding
+// tolerates.
+func (s *Service) Flood(from packet.NodeID, topic, instance string, payload []byte) {
+	sig := s.net.Auth().Sign(from, SignedBody(from, topic, instance, payload))
+	msg := Msg{Origin: from, Topic: topic, Instance: instance, Payload: payload, Sig: sig}
+	s.receive(from, msg, -1)
+}
+
+// receive processes a flooded message at router at, delivering locally and
+// relaying to all neighbors except the one it came from.
+func (s *Service) receive(at packet.NodeID, msg Msg, from packet.NodeID) {
+	d := msg.digest()
+	if s.seen[at][d] {
+		return
+	}
+	s.seen[at][d] = true
+	// Correct routers verify the origin signature before delivering (or
+	// re-flooding — unsigned garbage must not propagate).
+	if !s.net.Auth().Verify(SignedBody(msg.Origin, msg.Topic, msg.Instance, msg.Payload), msg.Sig) ||
+		msg.Sig.Signer != msg.Origin {
+		return
+	}
+	if fn := s.subs[at][msg.Topic]; fn != nil {
+		fn(msg)
+	}
+	m := msg
+	for _, nb := range s.net.Graph().Neighbors(at) {
+		if nb == from {
+			continue
+		}
+		s.net.SendControlDirect(at, nb, KindFlood, &m, msg.Sig)
+	}
+}
+
+// Status is the outcome of collecting an origin's value in one instance.
+type Status int
+
+// Collection outcomes.
+const (
+	// StatusMissing: no validly signed value arrived.
+	StatusMissing Status = iota
+	// StatusValue: exactly one value arrived.
+	StatusValue
+	// StatusEquivocated: conflicting signed values arrived — the origin is
+	// provably protocol faulty.
+	StatusEquivocated
+)
+
+// ValueSet accumulates flooded values for one instance and classifies each
+// origin's outcome.
+type ValueSet struct {
+	values map[packet.NodeID]map[string][]byte // origin → payload-digest → payload
+}
+
+// NewValueSet returns an empty collection.
+func NewValueSet() *ValueSet {
+	return &ValueSet{values: make(map[packet.NodeID]map[string][]byte)}
+}
+
+// Add records a received value.
+func (v *ValueSet) Add(origin packet.NodeID, payload []byte) {
+	m, ok := v.values[origin]
+	if !ok {
+		m = make(map[string][]byte)
+		v.values[origin] = m
+	}
+	sum := sha256.Sum256(payload)
+	m[string(sum[:])] = payload
+}
+
+// Outcome classifies origin's collection result and returns its unique
+// payload when StatusValue.
+func (v *ValueSet) Outcome(origin packet.NodeID) ([]byte, Status) {
+	m := v.values[origin]
+	switch len(m) {
+	case 0:
+		return nil, StatusMissing
+	case 1:
+		for _, p := range m {
+			return p, StatusValue
+		}
+	}
+	return nil, StatusEquivocated
+}

@@ -1,0 +1,285 @@
+// Package chi implements Protocol χ (Chapter 6): the compromised-router
+// detection protocol that removes congestion ambiguity by *replaying* each
+// validated output queue from reported traffic information, dynamically
+// inferring exactly which packet losses were congestive. Once congestive
+// losses are accounted for, remaining losses are attributed to malice using
+// two statistical tests — the single-packet-loss confidence test (Fig 6.2)
+// and the combined Z-test (§6.2.1) — plus the RED validation of §6.5.
+//
+// For each validated queue Q on link ⟨r, rd⟩ (Fig 6.1), every neighbor rs
+// of r reports ⟨fingerprint, size, predicted enqueue time⟩ for the traffic
+// it sends into Q, and rd records ⟨fingerprint, size, exit time⟩ for the
+// traffic leaving Q. rd merges the streams in timestamp order, maintains
+// the predicted queue length qpred, and classifies every missing packet:
+// congestive if the buffer had no room, malicious otherwise — with
+// confidence derived from the learned distribution of the prediction error
+// X = qact − qpred (approximately normal, Fig 6.3).
+package chi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"routerwatch/internal/auth"
+	"routerwatch/internal/detector"
+	"routerwatch/internal/detector/tvinfo"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/queue"
+	"routerwatch/internal/stats"
+	"routerwatch/internal/summary"
+	"routerwatch/internal/topology"
+)
+
+// KindBatch is the control-message kind carrying reporter batches.
+const KindBatch = "chi/batch"
+
+// QueueID names a validated queue: the output interface of router R toward
+// RD.
+type QueueID struct {
+	R, RD packet.NodeID
+}
+
+// String renders the queue ID.
+func (q QueueID) String() string { return fmt.Sprintf("Q(%v->%v)", q.R, q.RD) }
+
+// Options configures Protocol χ.
+type Options struct {
+	// Round is the validation interval τ. Default 1 s.
+	Round time.Duration
+	// Timeout µ: the checkpoint runs this long after a round boundary.
+	// Default 250 ms.
+	Timeout time.Duration
+
+	// Calibration carries the learned parameters from the learning
+	// period (§6.2.1): the qerror distribution and the RED excess test's
+	// empirical null.
+	Calibration Calibration
+
+	// SingleThreshold is th_single, the target significance of the
+	// single-packet loss test. Default 0.999.
+	SingleThreshold float64
+	// CombinedThreshold is th_combined for the Z-test. Default 0.999.
+	CombinedThreshold float64
+	// REDThreshold is the target significance for the RED excess-drop
+	// test. Default 0.999.
+	REDThreshold float64
+	// REDWindow is how many recent rounds the RED excess test aggregates
+	// over; windowing averages out replay-divergence noise and grows the
+	// power against sustained attacks. Default 10.
+	REDWindow int
+	// REDShareZ is the z-score threshold of the per-flow drop-share test:
+	// a flow whose windowed drop count exceeds its share of the replayed
+	// drop probability by this many binomial standard deviations is being
+	// selectively dropped. The contrast is immune to global replay bias.
+	// TCP's per-flow drop clustering makes the binomial null heavy-tailed
+	// (no-attack maxima of 5–7 were measured), so the default of 9 fires
+	// only on egregious selectivity (full victim-flow drops).
+	REDShareZ float64
+	// FabricationTolerance ignores this many unexplained departures per
+	// round before suspecting fabrication. Default 0.
+	FabricationTolerance int
+
+	// RED, when non-nil, validates RED queues (§6.5): the validator
+	// replays the RED state machine instead of drop-tail occupancy.
+	RED *queue.REDConfig
+
+	// Learning suppresses detection and (with ground-truth taps) collects
+	// qerror samples instead.
+	Learning bool
+
+	// Queues restricts validation to the given queues; nil validates every
+	// directed link's output queue.
+	Queues []QueueID
+
+	// Sink receives suspicions.
+	Sink detector.Sink
+	// Responder is invoked at the detecting router (rd) on suspicion.
+	Responder func(by packet.NodeID, seg topology.Segment)
+	// Observer, if set, receives a report after every validated round of
+	// every queue — the data series behind Figs 6.5–6.16.
+	Observer func(RoundReport)
+}
+
+func (o *Options) fill() {
+	if o.Round == 0 {
+		o.Round = time.Second
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 250 * time.Millisecond
+	}
+	if o.SingleThreshold == 0 {
+		o.SingleThreshold = 0.999
+	}
+	if o.CombinedThreshold == 0 {
+		o.CombinedThreshold = 0.999
+	}
+	if o.REDThreshold == 0 {
+		o.REDThreshold = 0.999
+	}
+	if o.REDWindow == 0 {
+		o.REDWindow = 10
+	}
+	if o.REDShareZ == 0 {
+		o.REDShareZ = 9
+	}
+	if o.Sink == nil {
+		o.Sink = func(detector.Suspicion) {}
+	}
+}
+
+// Calibration is what the learning period estimates (§6.2.1): the mean and
+// standard deviation of the queue prediction error X = qact − qpred, and —
+// for RED — the empirical null distribution of the windowed excess-drop
+// Z-statistic, which absorbs the correlated noise of replayed drop
+// probabilities.
+type Calibration struct {
+	// Mu and Sigma describe X = qact − qpred in bytes.
+	Mu, Sigma float64
+	// REDExcessMean and REDExcessStd describe the no-attack distribution
+	// of the per-round drop excess (observed drops − Σp over replayed
+	// arrivals). The excess test compares windowed mean excess against
+	// this empirical null; zero REDExcessStd means uncalibrated (a
+	// conservative default of sd 3 packets is used).
+	REDExcessMean, REDExcessStd float64
+}
+
+// redNull returns the usable RED per-round excess null parameters.
+func (c Calibration) redNull() (mean, sd float64) {
+	if c.REDExcessStd <= 0 {
+		return 0, 3
+	}
+	if c.REDExcessStd < 0.5 {
+		return c.REDExcessMean, 0.5
+	}
+	return c.REDExcessMean, c.REDExcessStd
+}
+
+// RoundReport summarizes one queue's validation round.
+type RoundReport struct {
+	Queue QueueID
+	Round int
+	At    time.Duration
+
+	Arrivals   int
+	Departures int
+	// Congestive counts drops explained by the queue replay.
+	Congestive int
+	// Dropped counts all unexplained-by-transmission packets (congestive +
+	// suspicious).
+	Dropped int
+	// Suspicious counts drops with room in the predicted buffer.
+	Suspicious int
+	// MaxSingleConfidence is the largest c_single seen this round.
+	MaxSingleConfidence float64
+	// CombinedConfidence is c_combined over this round's drops (0 if < 2
+	// drops).
+	CombinedConfidence float64
+	// REDExcessConfidence is the RED Z-test confidence (RED mode only).
+	REDExcessConfidence float64
+	// REDExpected is this round's Σp over replayed arrivals (RED only).
+	REDExpected float64
+	// REDObserved is this round's observed drop count (RED only).
+	REDObserved int
+	// REDMaxShareZ is the largest per-flow drop-share z-score this round's
+	// window produced (RED only).
+	REDMaxShareZ float64
+	// Fabricated counts departures no neighbor reported sending into Q.
+	Fabricated int
+	// Detected reports whether any test crossed its threshold this round.
+	Detected bool
+}
+
+// Protocol is a running χ deployment.
+type Protocol struct {
+	net    *network.Network
+	opts   Options
+	oracle *tvinfo.PathOracle
+
+	validators map[QueueID]*queueValidator
+}
+
+// Attach deploys χ validators and reporters for the selected queues.
+func Attach(net *network.Network, opts Options) *Protocol {
+	opts.fill()
+	g := net.Graph()
+	p := &Protocol{
+		net:        net,
+		opts:       opts,
+		oracle:     tvinfo.NewPathOracle(g),
+		validators: make(map[QueueID]*queueValidator),
+	}
+	queues := opts.Queues
+	if queues == nil {
+		for _, l := range g.Links() {
+			queues = append(queues, QueueID{R: l.From, RD: l.To})
+		}
+	}
+	for _, q := range queues {
+		p.validators[q] = newQueueValidator(p, q)
+	}
+	return p
+}
+
+// Validator returns the validator for a queue (tests, experiments).
+func (p *Protocol) Validator(q QueueID) *Validator {
+	return (*Validator)(p.validators[q])
+}
+
+// Validator is the exported read-only view of a queue validator.
+type Validator queueValidator
+
+// QErrorSamples returns the learning-period samples of qact − qpred
+// (bytes); the distribution plotted in Fig 6.3.
+func (v *Validator) QErrorSamples() []float64 {
+	return append([]float64(nil), v.samples...)
+}
+
+// Calibrate fits the learning-period samples into the parameters a
+// detection deployment needs.
+func (v *Validator) Calibrate() Calibration {
+	var c Calibration
+	var qe stats.Estimator
+	for _, s := range v.samples {
+		qe.Add(s)
+	}
+	c.Mu, c.Sigma = qe.Mean(), qe.StdDev()
+	if len(v.redExcess) > 0 {
+		var ze stats.Estimator
+		for _, z := range v.redExcess {
+			ze.Add(z)
+		}
+		c.REDExcessMean, c.REDExcessStd = ze.Mean(), ze.StdDev()
+	}
+	return c
+}
+
+// Batch is the signed per-round traffic report a neighbor rs sends to the
+// validating router rd (Tinfo(rs, Qin, ⟨rs,r,rd⟩, τ) of §6.2.1).
+type Batch struct {
+	Queue    QueueID
+	Reporter packet.NodeID
+	Round    int
+	Entries  []summary.TimedEntry
+	Sig      auth.Signature
+}
+
+// batchBody serializes the signed portion of a batch.
+func batchBody(b *Batch) []byte {
+	tf := summary.NewTimedFP()
+	for _, e := range b.Entries {
+		tf.AddFlow(e.FP, e.Size, e.TS, e.Flow)
+	}
+	body := make([]byte, 0, 24+20*len(b.Entries))
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], uint32(b.Queue.R))
+	body = append(body, tmp[:4]...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(b.Queue.RD))
+	body = append(body, tmp[:4]...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(b.Reporter))
+	body = append(body, tmp[:4]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(b.Round))
+	body = append(body, tmp[:]...)
+	return append(body, tf.Encode()...)
+}

@@ -1,0 +1,374 @@
+package pi2
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"routerwatch/internal/consensus"
+	"routerwatch/internal/detector"
+	"routerwatch/internal/detector/tvinfo"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/topology"
+)
+
+// segState is per-(router, monitored segment) state.
+type segState struct {
+	seg topology.Segment
+	key topology.SegmentKey
+	// pos is this router's index in seg.
+	pos int
+	// links are the segment links from pos to the sink, for arrival-time
+	// binning.
+	links []topology.Link
+
+	// cur holds this router's own per-round summaries.
+	cur map[int]*tvinfo.Summary
+	// collected maps round → origin → received signed summaries (more
+	// than one distinct payload per origin = equivocation).
+	collected map[int]map[packet.NodeID][]consensus.Msg
+	judged    map[int]bool
+}
+
+// agent is the per-router Π2 engine.
+type agent struct {
+	p      *Protocol
+	id     packet.NodeID
+	router *network.Router
+
+	segs     map[topology.SegmentKey]*segState
+	segOrder []*segState
+
+	corrupt    Corruptor
+	equivocate bool
+
+	suspected map[topology.SegmentKey]bool
+}
+
+func newAgent(p *Protocol, r *network.Router, monitored []topology.Segment) *agent {
+	a := &agent{
+		p:         p,
+		id:        r.ID(),
+		router:    r,
+		segs:      make(map[topology.SegmentKey]*segState),
+		suspected: make(map[topology.SegmentKey]bool),
+	}
+	g := p.net.Graph()
+	for _, seg := range monitored {
+		pos := -1
+		for i, v := range seg {
+			if v == a.id {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		st := &segState{
+			seg:       seg,
+			key:       topology.Key(seg),
+			pos:       pos,
+			cur:       make(map[int]*tvinfo.Summary),
+			collected: make(map[int]map[packet.NodeID][]consensus.Msg),
+			judged:    make(map[int]bool),
+		}
+		for i := pos; i+1 < len(seg); i++ {
+			if l, ok := g.Link(seg[i], seg[i+1]); ok {
+				st.links = append(st.links, l)
+			}
+		}
+		a.segs[st.key] = st
+		a.segOrder = append(a.segOrder, st)
+	}
+
+	r.AddTap(a.onEvent)
+	p.flood.Subscribe(a.id, TopicInfo, a.onInfo)
+	p.flood.Subscribe(a.id, TopicAlert, a.onAlert)
+
+	sched := p.net.Scheduler()
+	round := 0
+	sched.NewTicker(p.opts.Round, func() {
+		n := round
+		round++
+		a.publishRound(n)
+		sched.After(p.opts.Settle, func() { a.judgeRound(n) })
+	})
+	return a
+}
+
+// transit predicts traversal time from this router's dequeue to the sink's
+// receive.
+func (st *segState) transit(size int) time.Duration {
+	var d time.Duration
+	for _, l := range st.links {
+		d += l.Delay + l.TransmissionTime(size)
+	}
+	return d
+}
+
+// onEvent records traffic this router forwards along each monitored
+// segment (interior and source positions), or receives from the segment
+// (sink position).
+func (a *agent) onEvent(ev network.Event) {
+	switch ev.Kind {
+	case network.EvDequeue:
+		for _, st := range a.segOrder {
+			if st.pos >= len(st.seg)-1 || st.seg[st.pos+1] != ev.Peer {
+				continue
+			}
+			if !a.p.oracle.OnSegment(ev.Packet.Src, ev.Packet.Dst, ev.Packet.Flow, st.seg, a.id, st.pos) {
+				continue
+			}
+			a.record(st, ev.Packet, ev.Time+st.transit(ev.Packet.Size))
+		}
+	case network.EvReceive:
+		for _, st := range a.segOrder {
+			if st.pos != len(st.seg)-1 || st.seg[st.pos-1] != ev.Peer {
+				continue
+			}
+			if !a.p.oracle.OnSegment(ev.Packet.Src, ev.Packet.Dst, ev.Packet.Flow, st.seg, a.id, st.pos) {
+				continue
+			}
+			a.record(st, ev.Packet, ev.Time)
+		}
+	}
+}
+
+func (a *agent) record(st *segState, p *packet.Packet, sinkTS time.Duration) {
+	n := int(sinkTS / a.p.opts.Round)
+	s := st.cur[n]
+	if s == nil {
+		s = tvinfo.NewSummary(a.p.opts.Policy)
+		st.cur[n] = s
+	}
+	s.RecordTimed(a.p.net.Hasher().Fingerprint(p), p.Size, sinkTS)
+}
+
+// publishRound floods this router's signed summaries for round n.
+func (a *agent) publishRound(n int) {
+	for _, st := range a.segOrder {
+		s := st.cur[n]
+		if s == nil {
+			s = tvinfo.NewSummary(a.p.opts.Policy)
+			st.cur[n] = s
+		}
+		if a.corrupt != nil {
+			s = a.corrupt(st.seg, n, s)
+			if s == nil {
+				continue
+			}
+		}
+		inst := infoInstance(st.key, n)
+		a.p.flood.Flood(a.id, TopicInfo, inst, infoPayload(st.pos, s))
+		if a.equivocate {
+			forged := tvinfo.NewSummary(a.p.opts.Policy)
+			forged.Record(packet.Fingerprint(n)+0xE0E0, 1)
+			a.p.flood.Flood(a.id, TopicInfo, inst, infoPayload(st.pos, forged))
+		}
+	}
+}
+
+// onInfo collects a flooded summary (already signature-verified by the
+// consensus layer).
+func (a *agent) onInfo(m consensus.Msg) {
+	key, n, ok := parseInstance(m.Instance)
+	if !ok {
+		return
+	}
+	st := a.segs[key]
+	if st == nil || st.judged[n] {
+		return
+	}
+	if len(m.Payload) < 4 {
+		return
+	}
+	pos := int(binary.BigEndian.Uint32(m.Payload))
+	if pos < 0 || pos >= len(st.seg) || st.seg[pos] != m.Origin {
+		return // a router may only report for its own position
+	}
+	byOrigin := st.collected[n]
+	if byOrigin == nil {
+		byOrigin = make(map[packet.NodeID][]consensus.Msg)
+		st.collected[n] = byOrigin
+	}
+	// Keep distinct payloads only (duplicates collapse, conflicts stay).
+	for _, prev := range byOrigin[m.Origin] {
+		if string(prev.Payload) == string(m.Payload) {
+			return
+		}
+	}
+	byOrigin[m.Origin] = append(byOrigin[m.Origin], m)
+}
+
+// judgeRound evaluates all adjacent pairs of each monitored segment for
+// round n (Fig 5.1's post-consensus loop).
+func (a *agent) judgeRound(n int) {
+	for _, st := range a.segOrder {
+		if st.judged[n] {
+			continue
+		}
+		st.judged[n] = true
+		byOrigin := st.collected[n]
+		delete(st.collected, n)
+		delete(st.cur, n)
+
+		// Decode each participant's summary; classify missing and
+		// equivocating participants.
+		type report struct {
+			sum *tvinfo.Summary
+			msg consensus.Msg
+		}
+		reports := make([]*report, len(st.seg))
+		for i, router := range st.seg {
+			msgs := byOrigin[router]
+			switch len(msgs) {
+			case 0:
+				// missing — handled below
+			case 1:
+				if sum, ok := tvinfo.DecodeSummary(msgs[0].Payload[4:]); ok {
+					reports[i] = &report{sum: sum, msg: msgs[0]}
+				}
+			default:
+				a.suspectPair(st, n, i, detector.KindEquivocation,
+					fmt.Sprintf("%v equivocated during consensus", router), nil, nil)
+			}
+		}
+		for i, router := range st.seg {
+			if reports[i] == nil && len(byOrigin[router]) <= 1 {
+				a.suspectPair(st, n, i, detector.KindExchangeTimeout,
+					fmt.Sprintf("no signed summary from %v", router), nil, nil)
+			}
+		}
+		for i := 0; i+1 < len(st.seg); i++ {
+			up, dn := reports[i], reports[i+1]
+			if up == nil || dn == nil {
+				continue
+			}
+			res := tvinfo.Validate(a.p.opts.Policy, a.p.opts.Thresholds, up.sum, dn.sum)
+			if !res.OK {
+				pair := topology.Segment{st.seg[i], st.seg[i+1]}
+				a.suspect(st, pair, n, detector.KindTrafficValidation, res.String(),
+					&up.msg, &dn.msg)
+			}
+		}
+	}
+}
+
+// suspectPair suspects the 2-segment(s) of seg containing position i.
+func (a *agent) suspectPair(st *segState, n, i int, kind detector.Kind, detail string, up, dn *consensus.Msg) {
+	if i+1 < len(st.seg) {
+		a.suspect(st, topology.Segment{st.seg[i], st.seg[i+1]}, n, kind, detail, up, dn)
+	} else if i > 0 {
+		a.suspect(st, topology.Segment{st.seg[i-1], st.seg[i]}, n, kind, detail, up, dn)
+	}
+}
+
+// suspect raises a suspicion of the pair and floods evidence when present.
+func (a *agent) suspect(st *segState, pair topology.Segment, n int, kind detector.Kind, detail string, up, dn *consensus.Msg) {
+	key := topology.Key(pair)
+	if a.suspected[key] {
+		return
+	}
+	a.suspected[key] = true
+	a.p.opts.Sink(detector.Suspicion{
+		By: a.id, Segment: pair, Round: n, At: a.p.net.Now(),
+		Kind: kind, Confidence: 1, Detail: detail,
+	})
+	if a.p.opts.Responder != nil {
+		a.p.opts.Responder(a.id, pair)
+	}
+	ev := &AlertEvidence{
+		Seg: st.seg, Pair: pair, Round: n, Detail: detail, Announce: a.id, Kind: kind,
+	}
+	if up != nil && dn != nil {
+		ev.Up, ev.Dn = *up, *dn
+		ev.HasEvidence = true
+	}
+	a.p.floodAlert(a.id, ev)
+}
+
+// onAlert adopts another router's suspicion. TV alerts carry the two signed
+// summaries; the receiver re-verifies the signatures and re-evaluates the
+// predicate before adopting, so faulty announcers cannot frame correct
+// pairs. Evidence-free alerts (timeouts, equivocation) are adopted only if
+// the announcer is a member of the monitored segment.
+func (a *agent) onAlert(m consensus.Msg) {
+	ev, ok := decodeAlert(m.Payload)
+	if !ok || ev.Announce != m.Origin || ev.Announce == a.id {
+		return
+	}
+	key := topology.Key(ev.Pair)
+	if a.suspected[key] {
+		return
+	}
+	if ev.HasEvidence {
+		if !a.verifyEvidence(ev) {
+			return
+		}
+	} else if !ev.Seg.Contains(ev.Announce) {
+		return
+	}
+	a.suspected[key] = true
+	a.p.opts.Sink(detector.Suspicion{
+		By: a.id, Segment: ev.Pair, Round: ev.Round, At: a.p.net.Now(),
+		Kind: ev.Kind, Confidence: 1,
+		Detail: fmt.Sprintf("announced by %v: %s", ev.Announce, ev.Detail),
+	})
+	if a.p.opts.Responder != nil {
+		a.p.opts.Responder(a.id, ev.Pair)
+	}
+}
+
+// verifyEvidence checks the two signed summaries and re-runs TV.
+func (a *agent) verifyEvidence(ev *AlertEvidence) bool {
+	au := a.p.net.Auth()
+	inst := infoInstance(topology.Key(ev.Seg), ev.Round)
+	for _, m := range []consensus.Msg{ev.Up, ev.Dn} {
+		if m.Topic != TopicInfo || m.Instance != inst {
+			return false
+		}
+		if !au.Verify(consensus.SignedBody(m.Origin, m.Topic, m.Instance, m.Payload), m.Sig) ||
+			m.Sig.Signer != m.Origin {
+			return false
+		}
+	}
+	// Origins must be the adjacent pair, in order, at their positions.
+	upPos := int(binary.BigEndian.Uint32(ev.Up.Payload))
+	dnPos := int(binary.BigEndian.Uint32(ev.Dn.Payload))
+	if dnPos != upPos+1 || upPos < 0 || dnPos >= len(ev.Seg) {
+		return false
+	}
+	if ev.Seg[upPos] != ev.Up.Origin || ev.Seg[dnPos] != ev.Dn.Origin {
+		return false
+	}
+	if len(ev.Pair) != 2 || ev.Pair[0] != ev.Up.Origin || ev.Pair[1] != ev.Dn.Origin {
+		return false
+	}
+	upSum, ok1 := tvinfo.DecodeSummary(ev.Up.Payload[4:])
+	dnSum, ok2 := tvinfo.DecodeSummary(ev.Dn.Payload[4:])
+	if !ok1 || !ok2 {
+		return false
+	}
+	res := tvinfo.Validate(a.p.opts.Policy, a.p.opts.Thresholds, upSum, dnSum)
+	return !res.OK
+}
+
+func parseInstance(inst string) (topology.SegmentKey, int, bool) {
+	i := strings.LastIndexByte(inst, '/')
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(inst[i+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	keyBytes := make([]byte, len(inst[:i])/2)
+	if _, err := fmt.Sscanf(inst[:i], "%x", &keyBytes); err != nil {
+		return "", 0, false
+	}
+	return topology.SegmentKey(keyBytes), n, true
+}

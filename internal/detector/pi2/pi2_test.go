@@ -1,0 +1,270 @@
+package pi2
+
+import (
+	"testing"
+	"time"
+
+	"routerwatch/internal/attack"
+	"routerwatch/internal/consensus"
+	"routerwatch/internal/detector"
+	"routerwatch/internal/detector/tvinfo"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/topology"
+)
+
+const testRound = 500 * time.Millisecond
+
+func testOpts(log *detector.Log) Options {
+	return Options{
+		K:          1,
+		Round:      testRound,
+		Settle:     150 * time.Millisecond,
+		Policy:     tvinfo.PolicyContent,
+		Thresholds: tvinfo.Thresholds{Loss: 2, Fabrication: 2},
+		Sink:       detector.LogSink(log),
+	}
+}
+
+func pump(net *network.Network, from, to packet.NodeID, n int, flow packet.FlowID) {
+	for i := 0; i < n; i++ {
+		i := i
+		net.Scheduler().At(time.Duration(i)*time.Millisecond+time.Microsecond, func() {
+			net.Inject(from, &packet.Packet{Dst: to, Size: 500, Flow: flow, Seq: uint32(i), Payload: uint64(i)})
+		})
+	}
+}
+
+func TestMonitoredSegments(t *testing.T) {
+	net := network.New(topology.Line(6), network.Options{Seed: 1})
+	p := Attach(net, testOpts(detector.NewLog()))
+	// k=1 on a 6-line: router 2 belongs to 3-segments starting at 0,1,2 in
+	// each direction = 6 (mirrors the topology test).
+	if got := len(p.MonitoredSegments(2)); got != 6 {
+		t.Fatalf("router 2 monitors %d segments, want 6", got)
+	}
+}
+
+func TestNoAttackNoSuspicions(t *testing.T) {
+	log := detector.NewLog()
+	net := network.New(topology.Line(4), network.Options{Seed: 2, ProcessingJitter: 100 * time.Microsecond})
+	Attach(net, testOpts(log))
+	pump(net, 0, 3, 1500, 1)
+	pump(net, 3, 0, 1500, 2)
+	net.Run(3 * time.Second)
+	if log.Len() != 0 {
+		t.Fatalf("false positives: %v", log.All())
+	}
+}
+
+func TestHonestRecorderDropLocalizedUpstreamPair(t *testing.T) {
+	// Faulty router 1 drops traffic but reports honestly: the discrepancy
+	// appears between 0's sends and 1's (empty) sends — pair ⟨0,1⟩.
+	log := detector.NewLog()
+	net := network.New(topology.Line(3), network.Options{Seed: 3})
+	Attach(net, testOpts(log))
+	net.Router(1).SetBehavior(&attack.Dropper{Select: attack.All, P: 1})
+	pump(net, 0, 2, 400, 1)
+	net.Run(3 * time.Second)
+
+	if log.Len() == 0 {
+		t.Fatal("drop attack not detected")
+	}
+	gt := detector.NewGroundTruth([]packet.NodeID{1}, nil)
+	if v := detector.CheckAccuracy(log, gt, 2); len(v) != 0 {
+		t.Fatalf("accuracy violations: %v", v)
+	}
+	if missing := detector.CheckCompleteness(log, gt, 1, net.Graph().Nodes()); len(missing) != 0 {
+		t.Fatalf("incomplete, missing %v", missing)
+	}
+	if p := detector.Precision(log); p != 2 {
+		t.Fatalf("precision %d, want 2", p)
+	}
+	want := topology.Segment{0, 1}
+	found := false
+	for _, seg := range log.Segments() {
+		if topology.Key(seg) == topology.Key(want) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected pair %v among %v", want, log.Segments())
+	}
+}
+
+func TestLyingDropperLocalizedDownstreamPair(t *testing.T) {
+	// Faulty router 1 drops traffic AND lies, claiming to have forwarded
+	// everything it received. The lie makes pair ⟨0,1⟩ validate, but pair
+	// ⟨1,2⟩ then fails: 1 claims sends that 2 never saw.
+	log := detector.NewLog()
+	net := network.New(topology.Line(3), network.Options{Seed: 4})
+	p := Attach(net, testOpts(log))
+	net.Router(1).SetBehavior(&attack.Dropper{Select: attack.All, P: 1})
+
+	// The liar builds its forged "sends" from what it actually received.
+	hasher := net.Hasher()
+	g := net.Graph()
+	l12, _ := g.Link(1, 2)
+	forged := make(map[int]*tvinfo.Summary)
+	net.Router(1).AddTap(func(ev network.Event) {
+		if ev.Kind == network.EvReceive && ev.Peer == 0 {
+			ts := ev.Time + l12.Delay + l12.TransmissionTime(ev.Packet.Size)
+			n := int(ts / testRound)
+			s := forged[n]
+			if s == nil {
+				s = tvinfo.NewSummary(tvinfo.PolicyContent)
+				forged[n] = s
+			}
+			s.Record(hasher.Fingerprint(ev.Packet), ev.Packet.Size)
+		}
+	})
+	p.SetCorruptor(1, func(seg topology.Segment, round int, s *tvinfo.Summary) *tvinfo.Summary {
+		if f := forged[round]; f != nil {
+			return f
+		}
+		return tvinfo.NewSummary(tvinfo.PolicyContent)
+	})
+
+	pump(net, 0, 2, 400, 1)
+	net.Run(3 * time.Second)
+
+	gt := detector.NewGroundTruth([]packet.NodeID{1}, []packet.NodeID{1})
+	if v := detector.CheckAccuracy(log, gt, 2); len(v) != 0 {
+		t.Fatalf("accuracy violations: %v", v)
+	}
+	want := topology.Segment{1, 2}
+	found := false
+	for _, seg := range log.Segments() {
+		if topology.Key(seg) == topology.Key(want) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected pair %v among %v", want, log.Segments())
+	}
+}
+
+func TestEquivocationDetected(t *testing.T) {
+	log := detector.NewLog()
+	net := network.New(topology.Line(3), network.Options{Seed: 5})
+	p := Attach(net, testOpts(log))
+	p.SetEquivocator(1)
+	pump(net, 0, 2, 100, 1)
+	net.Run(2 * time.Second)
+
+	found := false
+	for _, s := range log.All() {
+		if s.Kind == detector.KindEquivocation && s.Segment.Contains(1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("equivocation not detected: %v", log.All())
+	}
+}
+
+func TestSilentParticipantDetected(t *testing.T) {
+	log := detector.NewLog()
+	net := network.New(topology.Line(3), network.Options{Seed: 6})
+	p := Attach(net, testOpts(log))
+	p.SetCorruptor(1, func(topology.Segment, int, *tvinfo.Summary) *tvinfo.Summary { return nil })
+	pump(net, 0, 2, 100, 1)
+	net.Run(2 * time.Second)
+
+	found := false
+	for _, s := range log.All() {
+		if s.Kind == detector.KindExchangeTimeout && s.Segment.Contains(1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("silent participant not detected: %v", log.All())
+	}
+}
+
+func TestModificationLocalized(t *testing.T) {
+	log := detector.NewLog()
+	net := network.New(topology.Line(5), network.Options{Seed: 7})
+	Attach(net, testOpts(log))
+	net.Router(2).SetBehavior(&attack.Modifier{Select: attack.All})
+	pump(net, 0, 4, 400, 1)
+	net.Run(3 * time.Second)
+
+	gt := detector.NewGroundTruth([]packet.NodeID{2}, nil)
+	if v := detector.CheckAccuracy(log, gt, 2); len(v) != 0 {
+		t.Fatalf("accuracy violations: %v", v)
+	}
+	if missing := detector.CheckCompleteness(log, gt, 2, net.Graph().Nodes()); len(missing) != 0 {
+		t.Fatalf("incomplete, missing %v", missing)
+	}
+	if p := detector.Precision(log); p != 2 {
+		t.Fatalf("precision %d, want 2", p)
+	}
+}
+
+func TestBogusAlertWithoutEvidenceRejected(t *testing.T) {
+	// A faulty router floods a TV alert with garbage evidence framing a
+	// correct pair: nobody adopts it.
+	log := detector.NewLog()
+	net := network.New(topology.Line(4), network.Options{Seed: 8})
+	p := Attach(net, testOpts(log))
+	pump(net, 0, 3, 50, 1)
+	net.Run(600 * time.Millisecond)
+
+	ev := &AlertEvidence{
+		Seg:         topology.Segment{1, 2, 3},
+		Pair:        topology.Segment{2, 3},
+		Round:       0,
+		Kind:        detector.KindTrafficValidation,
+		Detail:      "framed",
+		Announce:    0,
+		HasEvidence: true,
+		Up:          consensus.Msg{Origin: 2, Topic: TopicInfo},
+		Dn:          consensus.Msg{Origin: 3, Topic: TopicInfo},
+	}
+	p.floodAlert(0, ev)
+	net.Run(2 * time.Second)
+
+	for _, s := range log.All() {
+		if s.Detail == "announced by r0: framed" {
+			t.Fatalf("bogus alert adopted: %v", s)
+		}
+	}
+}
+
+func TestNonMemberTimeoutAlertRejected(t *testing.T) {
+	log := detector.NewLog()
+	net := network.New(topology.Line(4), network.Options{Seed: 9})
+	p := Attach(net, testOpts(log))
+	net.Run(300 * time.Millisecond)
+
+	// Router 0 (not in ⟨1,2,3⟩) floods an evidence-free timeout alert.
+	ev := &AlertEvidence{
+		Seg:      topology.Segment{1, 2, 3},
+		Pair:     topology.Segment{1, 2},
+		Round:    0,
+		Kind:     detector.KindExchangeTimeout,
+		Detail:   "framed-timeout",
+		Announce: 0,
+	}
+	p.floodAlert(0, ev)
+	net.Run(2 * time.Second)
+	for _, s := range log.All() {
+		if s.Segment.Contains(1) && s.Segment.Contains(2) {
+			t.Fatalf("non-member alert adopted: %v", s)
+		}
+	}
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	seg := topology.Segment{3, 7, 11}
+	key := topology.Key(seg)
+	inst := infoInstance(key, 42)
+	gotKey, gotRound, ok := parseInstance(inst)
+	if !ok || gotKey != key || gotRound != 42 {
+		t.Fatalf("parseInstance(%q) = %x/%d/%v", inst, gotKey, gotRound, ok)
+	}
+	if _, _, ok := parseInstance("nonsense"); ok {
+		t.Fatal("malformed instance accepted")
+	}
+}

@@ -1,0 +1,408 @@
+package pik2
+
+import (
+	"fmt"
+	"time"
+
+	"routerwatch/internal/consensus"
+	"routerwatch/internal/detector"
+	"routerwatch/internal/detector/tvinfo"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/summary"
+	"routerwatch/internal/topology"
+	"routerwatch/internal/validate"
+)
+
+// segRole is this router's end of a monitored segment.
+type segRole int
+
+const (
+	roleSource segRole = iota + 1 // seg[0]: records traffic sent into π
+	roleSink                      // seg[len-1]: records traffic received from π
+)
+
+// segState is per-(router, monitored segment) state.
+type segState struct {
+	seg  topology.Segment
+	key  topology.SegmentKey
+	role segRole
+	peer packet.NodeID
+	// links are the segment's directed links, used to predict the
+	// traversal time from the source end's dequeue to the sink end's
+	// receive; packets are binned into rounds by predicted arrival time at
+	// the sink so both ends agree on binning.
+	links  []topology.Link
+	sample summary.SampleRange
+
+	// cur accumulates per-round summaries keyed by round index.
+	cur map[int]*Summary
+	// peerMsgs holds validated summary messages received from the peer.
+	peerMsgs map[int]*SummaryMsg
+	// validated marks rounds already judged.
+	validated map[int]bool
+}
+
+// agent is the per-router protocol engine.
+type agent struct {
+	p      *Protocol
+	id     packet.NodeID
+	router *network.Router
+
+	segs     map[topology.SegmentKey]*segState
+	segOrder []*segState
+
+	corrupt Corruptor
+
+	// suspected dedupes this agent's suspicions per segment.
+	suspected map[topology.SegmentKey]bool
+
+	// bytesSent accumulates summary-exchange payload bytes (§5.2.1/§7
+	// overhead accounting).
+	bytesSent int64
+}
+
+func newAgent(p *Protocol, r *network.Router, monitored []topology.Segment) *agent {
+	a := &agent{
+		p:         p,
+		id:        r.ID(),
+		router:    r,
+		segs:      make(map[topology.SegmentKey]*segState),
+		suspected: make(map[topology.SegmentKey]bool),
+	}
+	g := p.net.Graph()
+	for _, seg := range monitored {
+		st := &segState{
+			seg:       seg,
+			key:       topology.Key(seg),
+			cur:       make(map[int]*Summary),
+			peerMsgs:  make(map[int]*SummaryMsg),
+			validated: make(map[int]bool),
+		}
+		if seg[0] == a.id {
+			st.role = roleSource
+			st.peer = seg[len(seg)-1]
+		} else {
+			st.role = roleSink
+			st.peer = seg[0]
+		}
+		for i := 0; i+1 < len(seg); i++ {
+			if l, ok := g.Link(seg[i], seg[i+1]); ok {
+				st.links = append(st.links, l)
+			}
+		}
+		if f := p.opts.Sampling; f > 0 && f < 1 {
+			k0, k1 := p.net.Auth().SamplingKeys(seg[0], seg[len(seg)-1])
+			st.sample = summary.SampleRange{K0: k0, K1: k1, Fraction: f}
+		} else {
+			st.sample = summary.SampleRange{Fraction: 1}
+		}
+		a.segs[st.key] = st
+		a.segOrder = append(a.segOrder, st)
+	}
+
+	r.AddTap(a.onEvent)
+	r.HandleControl(KindSummary, a.onSummary)
+	p.flood.Subscribe(a.id, TopicAlert, a.onAlert)
+
+	// Round ticks: snapshot/exchange at each boundary, judge at boundary+µ.
+	sched := p.net.Scheduler()
+	round := 0
+	sched.NewTicker(p.opts.Round, func() {
+		n := round
+		round++
+		a.exchangeRound(n)
+		sched.After(p.opts.Timeout, func() { a.judgeRound(n) })
+	})
+	return a
+}
+
+// roundOf bins a sink-side timestamp into a round index.
+func (a *agent) roundOf(ts time.Duration) int { return int(ts / a.p.opts.Round) }
+
+// transit predicts how long a size-byte packet takes from the source end's
+// dequeue to the sink end's receive: per-link transmission plus propagation
+// (queueing and processing jitter at interior routers are unpredictable and
+// absorbed by the loss threshold).
+func (st *segState) transit(size int) time.Duration {
+	var d time.Duration
+	for _, l := range st.links {
+		d += l.Delay + l.TransmissionTime(size)
+	}
+	return d
+}
+
+// onEvent observes the router's local packet events and updates segment
+// summaries.
+func (a *agent) onEvent(ev network.Event) {
+	switch ev.Kind {
+	case network.EvDequeue:
+		for _, st := range a.segOrder {
+			if st.role != roleSource || st.seg[1] != ev.Peer {
+				continue
+			}
+			if !a.p.oracle.OnSegment(ev.Packet.Src, ev.Packet.Dst, ev.Packet.Flow, st.seg, a.id, 0) {
+				continue
+			}
+			a.record(st, ev.Packet, ev.Time+st.transit(ev.Packet.Size))
+		}
+	case network.EvReceive:
+		for _, st := range a.segOrder {
+			if st.role != roleSink || st.seg[len(st.seg)-2] != ev.Peer {
+				continue
+			}
+			if !a.p.oracle.OnSegment(ev.Packet.Src, ev.Packet.Dst, ev.Packet.Flow, st.seg, a.id, len(st.seg)-1) {
+				continue
+			}
+			a.record(st, ev.Packet, ev.Time)
+		}
+	}
+}
+
+func (a *agent) record(st *segState, p *packet.Packet, sinkTS time.Duration) {
+	fp := a.p.net.Hasher().Fingerprint(p)
+	if !st.sample.Selects(fp) {
+		return
+	}
+	n := a.roundOf(sinkTS)
+	s := st.cur[n]
+	if s == nil {
+		s = NewSummary(a.p.opts.Policy)
+		st.cur[n] = s
+	}
+	s.RecordTimed(fp, p.Size, sinkTS)
+}
+
+// exchangeRound sends this router's summary for round n on every monitored
+// segment, through the segment itself.
+func (a *agent) exchangeRound(n int) {
+	for _, st := range a.segOrder {
+		s := st.cur[n]
+		if s == nil {
+			s = NewSummary(a.p.opts.Policy)
+			st.cur[n] = s
+		}
+		if a.corrupt != nil {
+			replaced := a.corrupt(st.seg, n, s)
+			if replaced == nil {
+				continue // protocol faulty: silently does not report
+			}
+			s = replaced
+		}
+		msg := &SummaryMsg{Seg: st.seg, Round: n, From: a.id}
+		if a.p.opts.Exchange == ExchangeReconcile {
+			fps := fpMultiset(s)
+			msg.Count = len(fps)
+			msg.Evals = summary.EvaluateCharPoly(fps, a.p.reconcilePoints())
+		} else {
+			msg.Summary = s
+		}
+		msg.Sig = a.p.net.Auth().Sign(a.id, signedBody(msg))
+		a.bytesSent += int64(msg.WireBytes())
+
+		// The exchange travels through π itself (§5.2.1): source→sink
+		// along the segment, sink→source along its reverse.
+		path := append(topology.Path(nil), st.seg...)
+		if st.role == roleSink {
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+		}
+		a.p.net.SendControl(&network.ControlMessage{
+			From: a.id, To: st.peer, Kind: KindSummary,
+			Payload: msg, Path: path,
+		})
+	}
+}
+
+// onSummary receives a peer's summary.
+func (a *agent) onSummary(cm *network.ControlMessage) {
+	msg, ok := cm.Payload.(*SummaryMsg)
+	if !ok {
+		return
+	}
+	if a.p.opts.Exchange == ExchangeReconcile {
+		if msg.Evals == nil {
+			return
+		}
+	} else if msg.Summary == nil {
+		return
+	}
+	st := a.segs[topology.Key(msg.Seg)]
+	if st == nil || msg.From != st.peer {
+		return
+	}
+	if !a.p.net.Auth().Verify(signedBody(msg), msg.Sig) || msg.Sig.Signer != msg.From {
+		return
+	}
+	st.peerMsgs[msg.Round] = msg
+	// If we already passed the judgement deadline for this round the
+	// timeout suspicion stands; late summaries are not re-judged.
+}
+
+// judgeRound runs at round boundary + µ: exchange failures and TV failures
+// become suspicions.
+func (a *agent) judgeRound(n int) {
+	for _, st := range a.segOrder {
+		if st.validated[n] {
+			continue
+		}
+		st.validated[n] = true
+		local := st.cur[n]
+		delete(st.cur, n)
+		peer := st.peerMsgs[n]
+		delete(st.peerMsgs, n)
+
+		if peer == nil {
+			// Exchange failed within µ: some router in π is protocol
+			// faulty (or the peer is), suspect π (Fig 5.3).
+			a.suspect(st, n, detector.KindExchangeTimeout, 1,
+				fmt.Sprintf("no summary from %v within %v", st.peer, a.p.opts.Timeout))
+			continue
+		}
+		if local == nil {
+			local = NewSummary(a.p.opts.Policy)
+		}
+		if a.p.opts.Exchange == ExchangeReconcile {
+			a.judgeReconcile(st, n, local, peer)
+			continue
+		}
+		var up, down *Summary
+		if st.role == roleSource {
+			up, down = local, peer.Summary
+		} else {
+			up, down = peer.Summary, local
+		}
+		if res := a.p.validateTV(up, down); !res.OK {
+			a.suspect(st, n, detector.KindTrafficValidation, 1, res.String())
+		}
+	}
+}
+
+// judgeReconcile validates via Appendix A's set reconciliation: the exact
+// multiset difference between the two ends' fingerprint sets is recovered
+// from the peer's characteristic-polynomial evaluations and the local set.
+func (a *agent) judgeReconcile(st *segState, n int, local *Summary, peer *SummaryMsg) {
+	points := a.p.reconcilePoints()
+	localFPs := fpMultiset(local)
+	localEvals := summary.EvaluateCharPoly(localFPs, points)
+
+	var upEvals, downEvals []uint64
+	var upCount, downCount int
+	if st.role == roleSource {
+		upEvals, upCount = localEvals, len(localFPs)
+		downEvals, downCount = peer.Evals, peer.Count
+	} else {
+		upEvals, upCount = peer.Evals, peer.Count
+		downEvals, downCount = localEvals, len(localFPs)
+	}
+	if len(peer.Evals) != len(points) {
+		a.suspect(st, n, detector.KindTrafficValidation, 1, "malformed reconciliation evaluations")
+		return
+	}
+	onlyUp, onlyDown, err := summary.Reconcile(upEvals, downEvals, points, upCount, downCount)
+	if err != nil {
+		// The set difference exceeds the budget, which itself exceeds the
+		// loss/fabrication thresholds: conclusive validation failure.
+		a.suspect(st, n, detector.KindTrafficValidation, 1,
+			fmt.Sprintf("set difference exceeds reconciliation budget %d: %v",
+				a.p.opts.ReconcileBudget, err))
+		return
+	}
+	lost, fabricated := len(onlyUp), len(onlyDown)
+	if lost > a.p.opts.LossThreshold || fabricated > a.p.opts.FabricationThreshold {
+		a.suspect(st, n, detector.KindTrafficValidation, 1,
+			fmt.Sprintf("reconciled difference: %d lost, %d fabricated", lost, fabricated))
+	}
+}
+
+// fpMultiset expands a summary's fingerprint multiset into field elements.
+func fpMultiset(s *Summary) []uint64 {
+	if s.FPs == nil {
+		return nil
+	}
+	out := make([]uint64, 0, s.FPs.Len())
+	for _, fp := range s.FPs.Fingerprints() {
+		for i := 0; i < s.FPs.Count(fp); i++ {
+			out = append(out, uint64(fp))
+		}
+	}
+	return out
+}
+
+// validateTV applies the configured conservation policy (§4.2.1's TV
+// predicate).
+func (p *Protocol) validateTV(up, down *Summary) validate.Result {
+	th := tvinfo.Thresholds{
+		Loss:        p.opts.LossThreshold,
+		Fabrication: p.opts.FabricationThreshold,
+		Reorder:     p.opts.ReorderThreshold,
+		MaxDelay:    p.opts.MaxDelay,
+		Late:        p.opts.LateThreshold,
+	}
+	return tvinfo.Validate(p.opts.Policy, th, up, down)
+}
+
+// suspect raises and floods a suspicion of st.seg.
+func (a *agent) suspect(st *segState, round int, kind detector.Kind, conf float64, detail string) {
+	if a.suspected[st.key] {
+		return
+	}
+	a.suspected[st.key] = true
+	s := detector.Suspicion{
+		By: a.id, Segment: st.seg, Round: round,
+		At: a.p.net.Now(), Kind: kind, Confidence: conf, Detail: detail,
+	}
+	a.p.opts.Sink(s)
+	if a.p.opts.Responder != nil {
+		a.p.opts.Responder(a.id, st.seg)
+	}
+	// Reliable broadcast of [π]r (Fig 5.3): strong completeness.
+	a.p.flood.Flood(a.id, TopicAlert, fmt.Sprintf("%d", round), AlertBody(a.id, round, st.seg))
+}
+
+// onAlert accepts another router's flooded suspicion: verify the flood
+// signature (done by the consensus layer), require the announcer to be a
+// member of the suspected segment, and adopt the suspicion.
+func (a *agent) onAlert(m consensus.Msg) {
+	by, round, seg, ok := decodeAlert(m.Payload)
+	if !ok || by != m.Origin {
+		return
+	}
+	if !seg.Contains(by) {
+		return // a non-member announcement could frame correct routers
+	}
+	if by == a.id {
+		return
+	}
+	key := topology.Key(seg)
+	if a.suspected[key] {
+		return
+	}
+	a.suspected[key] = true
+	a.p.opts.Sink(detector.Suspicion{
+		By: a.id, Segment: seg, Round: round, At: a.p.net.Now(),
+		Kind: detector.KindTrafficValidation, Confidence: 1,
+		Detail: fmt.Sprintf("announced by %v", by),
+	})
+	if a.p.opts.Responder != nil {
+		a.p.opts.Responder(a.id, seg)
+	}
+}
+
+func decodeAlert(b []byte) (by packet.NodeID, round int, seg topology.Segment, ok bool) {
+	if len(b) < 12 || (len(b)-12)%4 != 0 {
+		return 0, 0, nil, false
+	}
+	by = packet.NodeID(int32(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])))
+	var r uint64
+	for i := 4; i < 12; i++ {
+		r = r<<8 | uint64(b[i])
+	}
+	round = int(r)
+	seg = topology.DecodeKey(topology.SegmentKey(b[12:]))
+	if len(seg) == 0 {
+		return 0, 0, nil, false
+	}
+	return by, round, seg, true
+}

@@ -1,0 +1,342 @@
+// Package pik2 implements Protocol Πk+2 (§5.2): the complete, accurate
+// failure detector with precision k+2 that validates traffic per
+// path-segment *ends* — the protocol the paper argues is cheap enough for
+// practical deployment and the one its Fatih prototype runs.
+//
+// Under AdjacentFault(k), every router monitors each x-path-segment
+// (3 ≤ x ≤ k+2) of which it is an end. Per validation round τ, the two ends
+// of each monitored segment π collect traffic summaries for the traffic
+// that traverses π, exchange them — signed — through π itself within a
+// timeout µ, and evaluate a conservation-of-traffic predicate. A failed
+// exchange or failed validation makes the end suspect π and reliably
+// broadcast the signed suspicion, so every correct router eventually
+// suspects π: strong completeness with precision k+2.
+package pik2
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"routerwatch/internal/auth"
+	"routerwatch/internal/consensus"
+	"routerwatch/internal/detector"
+	"routerwatch/internal/detector/tvinfo"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/summary"
+	"routerwatch/internal/topology"
+)
+
+// Policy selects the conservation-of-traffic property to validate
+// (§2.4.1). See tvinfo.Policy.
+type Policy = tvinfo.Policy
+
+// Validation policies, re-exported from tvinfo.
+const (
+	PolicyFlow       = tvinfo.PolicyFlow
+	PolicyContent    = tvinfo.PolicyContent
+	PolicyOrder      = tvinfo.PolicyOrder
+	PolicyTimeliness = tvinfo.PolicyTimeliness
+)
+
+// Control-plane message kinds.
+const (
+	// KindSummary carries a signed per-segment traffic summary between
+	// segment ends, pinned through the segment itself.
+	KindSummary = "pik2/summary"
+	// TopicAlert floods signed suspicions.
+	TopicAlert = "pik2/alert"
+)
+
+// ExchangeMode selects how segment ends transfer their traffic summaries.
+type ExchangeMode int
+
+// Exchange modes.
+const (
+	// ExchangeFull sends the complete summary (counter + fingerprint
+	// multiset [+ order]): simple, bandwidth ∝ traffic.
+	ExchangeFull ExchangeMode = iota
+	// ExchangeReconcile sends only the counter and characteristic-
+	// polynomial evaluations of the fingerprint set (Appendix A): the
+	// peer reconciles the sets and recovers the exact difference,
+	// bandwidth ∝ the difference bound, independent of traffic volume
+	// ("optimal in bandwidth utilization", §2.4.1). PolicyContent only.
+	ExchangeReconcile
+)
+
+// Options configures the protocol.
+type Options struct {
+	// K is the AdjacentFault(k) bound; monitored segments have length up
+	// to K+2. Default 1.
+	K int
+	// Round is the validation interval τ. Default 5 s (the Fatih setting).
+	Round time.Duration
+	// Timeout is the exchange timeout µ after a round boundary. Default 1 s.
+	Timeout time.Duration
+	// Policy selects the TV predicate. Default PolicyContent.
+	Policy Policy
+	// LossThreshold tolerates this many missing packets per segment-round
+	// (boundary jitter); the static congestion allowance the paper
+	// criticizes in §6.1.1 also lives here for lossy topologies.
+	LossThreshold int
+	// FabricationThreshold tolerates unexpected packets per segment-round.
+	FabricationThreshold int
+	// ReorderThreshold tolerates this reordering amount (PolicyOrder).
+	ReorderThreshold int
+	// MaxDelay bounds acceptable extra transit delay beyond the predicted
+	// arrival (PolicyTimeliness).
+	MaxDelay time.Duration
+	// LateThreshold tolerates this many over-delayed packets per round
+	// (PolicyTimeliness).
+	LateThreshold int
+	// Sampling, in (0,1), monitors only a keyed hash-range subsample per
+	// segment (§5.2.1); 0 or ≥1 monitors everything.
+	Sampling float64
+	// Exchange selects the summary transfer encoding.
+	Exchange ExchangeMode
+	// ReconcileBudget bounds the recoverable set difference per
+	// segment-round under ExchangeReconcile; differences beyond it are
+	// themselves conclusive TV failures (they exceed any sane loss
+	// threshold). Default LossThreshold + FabricationThreshold + 8.
+	ReconcileBudget int
+	// Sink receives every suspicion raised or accepted by any router.
+	Sink detector.Sink
+	// Responder, if set, is invoked at the suspecting router for its own
+	// detections — wire routing.(*Daemon).AnnounceSuspicion here to close
+	// the response loop.
+	Responder func(by packet.NodeID, seg topology.Segment)
+}
+
+func (o *Options) fill() {
+	if o.K < 1 {
+		o.K = 1
+	}
+	if o.Round == 0 {
+		o.Round = 5 * time.Second
+	}
+	if o.Timeout == 0 {
+		o.Timeout = time.Second
+	}
+	if o.Policy == 0 {
+		o.Policy = PolicyContent
+	}
+	if o.Sink == nil {
+		o.Sink = func(detector.Suspicion) {}
+	}
+	if o.ReconcileBudget == 0 {
+		o.ReconcileBudget = o.LossThreshold + o.FabricationThreshold + 8
+	}
+	if o.Exchange == ExchangeReconcile && o.Policy != PolicyContent {
+		panic("pik2: ExchangeReconcile requires PolicyContent")
+	}
+}
+
+// Corruptor lets tests install protocol-faulty reporting at a router: it
+// may mutate the summary it is about to send for a segment, or return nil
+// to silently not send (§2.2.1 "announcing incorrect reports" / not
+// participating). Traffic-faulty behaviour is modeled in internal/attack;
+// this hook models protocol-faulty behaviour.
+type Corruptor func(seg topology.Segment, round int, s *Summary) *Summary
+
+// Protocol is a running Πk+2 deployment.
+type Protocol struct {
+	net    *network.Network
+	opts   Options
+	flood  *consensus.Service
+	oracle *PathOracle
+	agents map[packet.NodeID]*agent
+}
+
+// Attach deploys Πk+2 on every router of the network. Monitored segments
+// are derived from the deterministic routing paths of the current topology
+// (§4.1: paths are predictable in the stable state).
+func Attach(net *network.Network, opts Options) *Protocol {
+	opts.fill()
+	g := net.Graph()
+	paths := g.AllPairsPaths()
+	pr, _ := topology.MonitorSets(paths, opts.K, topology.ModeEnds)
+
+	p := &Protocol{
+		net:    net,
+		opts:   opts,
+		flood:  consensus.NewService(net),
+		oracle: NewPathOracle(g),
+		agents: make(map[packet.NodeID]*agent),
+	}
+	for _, r := range net.Routers() {
+		p.agents[r.ID()] = newAgent(p, r, pr[r.ID()])
+	}
+	return p
+}
+
+// AttachECMP deploys Πk+2 over an equal-cost multipath fabric (§7.4.1).
+// The monitoring set is derived from the deterministic per-flow paths of
+// the given active flows, and the path oracle resolves the same flow-hash
+// choices the routers make, so both segment ends classify every packet
+// identically.
+func AttachECMP(net *network.Network, e *topology.ECMP, flows []packet.FlowID, opts Options) *Protocol {
+	opts.fill()
+	g := net.Graph()
+	pathSet := make(map[string]topology.Path)
+	for _, src := range g.Nodes() {
+		for _, dst := range g.Nodes() {
+			if src == dst {
+				continue
+			}
+			for _, f := range flows {
+				if p := e.FlowPath(src, dst, f); p != nil {
+					pathSet[p.String()] = p
+				}
+			}
+		}
+	}
+	paths := make([]topology.Path, 0, len(pathSet))
+	keys := make([]string, 0, len(pathSet))
+	for k := range pathSet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		paths = append(paths, pathSet[k])
+	}
+	pr, _ := topology.MonitorSets(paths, opts.K, topology.ModeEnds)
+
+	p := &Protocol{
+		net:    net,
+		opts:   opts,
+		flood:  consensus.NewService(net),
+		oracle: tvinfo.NewECMPPathOracle(e),
+		agents: make(map[packet.NodeID]*agent),
+	}
+	for _, r := range net.Routers() {
+		p.agents[r.ID()] = newAgent(p, r, pr[r.ID()])
+	}
+	return p
+}
+
+// SetCorruptor installs protocol-faulty reporting at router r.
+func (p *Protocol) SetCorruptor(r packet.NodeID, c Corruptor) {
+	p.agents[r].corrupt = c
+}
+
+// RefreshOracle replaces the path-prediction oracle after a routing change
+// (the Fatih coordinator is "kept abreast of routing changes so that it
+// always knows which path-segments should be monitored", §5.3.1).
+// Monitored segments whose paths no longer carry traffic validate trivially
+// (both ends see nothing); newly used paths are monitored again once their
+// segments coincide with the refreshed predictions.
+func (p *Protocol) RefreshOracle(g *topology.Graph) {
+	p.oracle = NewPathOracle(g)
+}
+
+// RefreshPaths replaces the oracle with explicit routing paths traced from
+// the live forwarding tables (which include path-segment exclusions).
+func (p *Protocol) RefreshPaths(paths []topology.Path) {
+	p.oracle = tvinfo.NewPathOracleFromPaths(paths)
+}
+
+// reconcilePoints returns the shared evaluation points (public; secrecy is
+// not required, only agreement). One extra point verifies the rational fit.
+func (p *Protocol) reconcilePoints() []uint64 {
+	return summary.ReconcilePoints(p.opts.ReconcileBudget + 2)
+}
+
+// BandwidthBytes returns the total summary-exchange payload bytes sent by
+// all routers so far (§5.2.1/§7 overhead accounting).
+func (p *Protocol) BandwidthBytes() int64 {
+	var total int64
+	for _, a := range p.agents {
+		total += a.bytesSent
+	}
+	return total
+}
+
+// Agent returns router r's protocol agent (tests).
+func (p *Protocol) Agent(r packet.NodeID) *Agent { return (*Agent)(p.agents[r]) }
+
+// Agent is the exported read-only view of a router's protocol state.
+type Agent agent
+
+// MonitoredSegments returns the segments the router monitors (its Pr).
+func (a *Agent) MonitoredSegments() []topology.Segment {
+	out := make([]topology.Segment, 0, len(a.segs))
+	for _, st := range a.segOrder {
+		out = append(out, st.seg)
+	}
+	return out
+}
+
+// PathOracle predicts deterministic routing paths; see tvinfo.PathOracle.
+type PathOracle = tvinfo.PathOracle
+
+// NewPathOracle precomputes all-pairs deterministic paths.
+func NewPathOracle(g *topology.Graph) *PathOracle { return tvinfo.NewPathOracle(g) }
+
+// Summary is one end's traffic information for a segment-round; see
+// tvinfo.Summary.
+type Summary = tvinfo.Summary
+
+// NewSummary allocates the structures the policy needs.
+func NewSummary(policy Policy) *Summary { return tvinfo.NewSummary(policy) }
+
+// SummaryMsg is the exchanged control payload. Under ExchangeFull, Summary
+// is set; under ExchangeReconcile, Count and Evals carry the fingerprint
+// multiset's size and characteristic-polynomial evaluations instead.
+type SummaryMsg struct {
+	Seg   topology.Segment
+	Round int
+	From  packet.NodeID
+
+	Summary *Summary
+
+	Count int
+	Evals []uint64
+
+	Sig auth.Signature
+}
+
+// WireBytes estimates the message's serialized size, for the §5.2.1/§7
+// overhead comparison.
+func (m *SummaryMsg) WireBytes() int {
+	n := 4*len(m.Seg) + 8 /*round*/ + 4 /*from*/ + 32 /*sig*/
+	if m.Summary != nil {
+		n += len(m.Summary.Encode())
+	}
+	n += 8 + 8*len(m.Evals)
+	return n
+}
+
+// signedBody binds the summary (or its reconciliation evaluations) to its
+// segment, round and sender.
+func signedBody(m *SummaryMsg) []byte {
+	b := make([]byte, 0, 64)
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], uint32(m.From))
+	b = append(b, tmp[:4]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(m.Round))
+	b = append(b, tmp[:]...)
+	b = append(b, []byte(topology.Key(m.Seg))...)
+	if m.Summary != nil {
+		b = append(b, m.Summary.Encode()...)
+	}
+	binary.BigEndian.PutUint64(tmp[:], uint64(m.Count))
+	b = append(b, tmp[:]...)
+	for _, e := range m.Evals {
+		binary.BigEndian.PutUint64(tmp[:], e)
+		b = append(b, tmp[:]...)
+	}
+	return b
+}
+
+// AlertBody encodes a flooded suspicion for signing.
+func AlertBody(by packet.NodeID, round int, seg topology.Segment) []byte {
+	b := make([]byte, 0, 16+4*len(seg))
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], uint32(by))
+	b = append(b, tmp[:4]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(round))
+	b = append(b, tmp[:]...)
+	b = append(b, []byte(topology.Key(seg))...)
+	return b
+}

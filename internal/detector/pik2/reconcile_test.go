@@ -1,0 +1,132 @@
+package pik2
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"routerwatch/internal/attack"
+	"routerwatch/internal/detector"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/topology"
+)
+
+func reconcileOpts(log *detector.Log) Options {
+	o := testOpts(log)
+	o.Exchange = ExchangeReconcile
+	return o
+}
+
+func TestReconcileNoAttackNoSuspicions(t *testing.T) {
+	log := detector.NewLog()
+	net := network.New(topology.Line(4), network.Options{Seed: 61, ProcessingJitter: 100 * time.Microsecond})
+	Attach(net, reconcileOpts(log))
+	pump(net, 0, 3, 2000, 1)
+	pump(net, 3, 0, 2000, 2)
+	net.Run(4 * time.Second)
+	if log.Len() != 0 {
+		t.Fatalf("false positives under reconciliation exchange: %v", log.All())
+	}
+}
+
+func TestReconcileDetectsSmallDrop(t *testing.T) {
+	// A subtle attack: drop a handful of packets per round — above the
+	// loss threshold but within the reconciliation budget, so the exact
+	// missing fingerprints are recovered.
+	log := detector.NewLog()
+	net := network.New(topology.Line(3), network.Options{Seed: 62})
+	Attach(net, reconcileOpts(log))
+	net.Router(1).SetBehavior(&attack.Dropper{
+		Select: attack.All, P: 0.01, Rng: rand.New(rand.NewSource(3)),
+	})
+	pump(net, 0, 2, 2000, 1)
+	net.Run(4 * time.Second)
+	if log.Len() == 0 {
+		t.Fatal("1% drop not detected under reconciliation exchange")
+	}
+	gt := detector.NewGroundTruth([]packet.NodeID{1}, nil)
+	if v := detector.CheckAccuracy(log, gt, 3); len(v) != 0 {
+		t.Fatalf("accuracy violations: %v", v)
+	}
+}
+
+func TestReconcileBudgetOverflowStillDetects(t *testing.T) {
+	// A massive drop overflows the reconciliation budget; the overflow is
+	// itself conclusive evidence.
+	log := detector.NewLog()
+	net := network.New(topology.Line(3), network.Options{Seed: 63})
+	Attach(net, reconcileOpts(log))
+	net.Router(1).SetBehavior(&attack.Dropper{Select: attack.All, P: 1})
+	pump(net, 0, 2, 500, 1)
+	net.Run(3 * time.Second)
+	if log.Len() == 0 {
+		t.Fatal("total drop not detected under reconciliation exchange")
+	}
+}
+
+func TestReconcileBandwidthMuchSmaller(t *testing.T) {
+	// The point of Appendix A: exchange bandwidth proportional to the
+	// difference, not the traffic. Same workload, both modes.
+	run := func(mode ExchangeMode) int64 {
+		log := detector.NewLog()
+		net := network.New(topology.Line(3), network.Options{Seed: 64})
+		opts := testOpts(log)
+		opts.Exchange = mode
+		p := Attach(net, opts)
+		pump(net, 0, 2, 3000, 1)
+		net.Run(4 * time.Second)
+		if log.Len() != 0 {
+			t.Fatalf("mode %v: unexpected suspicions %v", mode, log.All())
+		}
+		return p.BandwidthBytes()
+	}
+	full := run(ExchangeFull)
+	recon := run(ExchangeReconcile)
+	if recon*5 >= full {
+		t.Fatalf("reconciliation bandwidth %d not ≪ full %d", recon, full)
+	}
+}
+
+func TestReconcileRequiresContentPolicy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExchangeReconcile with PolicyOrder did not panic")
+		}
+	}()
+	log := detector.NewLog()
+	net := network.New(topology.Line(3), network.Options{Seed: 65})
+	opts := reconcileOpts(log)
+	opts.Policy = PolicyOrder
+	Attach(net, opts)
+}
+
+func TestReconcileModificationDetected(t *testing.T) {
+	// Modification = one missing + one extra fingerprint: reconciliation
+	// recovers both sides of the difference.
+	log := detector.NewLog()
+	net := network.New(topology.Line(3), network.Options{Seed: 66})
+	opts := reconcileOpts(log)
+	opts.LossThreshold = 0
+	opts.FabricationThreshold = 0
+	Attach(net, opts)
+	net.Router(1).SetBehavior(&attack.Modifier{Select: attack.ByFlow(1), Start: 600 * time.Millisecond})
+	// Sparse traffic well inside round interiors to avoid boundary noise
+	// with zero thresholds.
+	for i := 0; i < 40; i++ {
+		i := i
+		net.Scheduler().At(time.Duration(100+i*20)*time.Millisecond, func() {
+			net.Inject(0, &packet.Packet{Dst: 2, Size: 500, Flow: 1, Seq: uint32(i), Payload: uint64(i)})
+		})
+	}
+	net.Run(3 * time.Second)
+	found := false
+	for _, s := range log.All() {
+		if s.Kind == detector.KindTrafficValidation && s.Segment.Contains(1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("modification not detected: %v", log.All())
+	}
+}

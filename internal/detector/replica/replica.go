@@ -1,0 +1,191 @@
+// Package replica implements the centralized failure detector of §2.3
+// (Fig 2.1): an identical replica r′ of a monitored router r receives the
+// same input traffic (observed promiscuously) and the detector compares the
+// two output streams. Any discrepancy means either the monitored router or
+// the detector itself is faulty.
+//
+// This is the "ideal" detector the distributed protocols approximate. The
+// paper rejects it for deployment — it needs duplicate hardware per router
+// and bit-exact determinism (routing-table updates, queue randomization must
+// be synchronized) — but it is the semantic reference: a traffic-validation
+// detector is correct insofar as it flags exactly what the replica would.
+// The implementation doubles as the test oracle for the other protocols.
+package replica
+
+import (
+	"fmt"
+	"time"
+
+	"routerwatch/internal/detector"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/queue"
+	"routerwatch/internal/summary"
+	"routerwatch/internal/topology"
+)
+
+// Options configures a replica detector.
+type Options struct {
+	// Round is how often the output streams are compared.
+	Round time.Duration
+	// Tolerance absorbs boundary effects: packets in flight inside r (or
+	// serialized differently) at a comparison instant. In a bit-exact
+	// replica this can be a handful of packets.
+	Tolerance int
+	// Sink receives suspicions.
+	Sink detector.Sink
+}
+
+// Detector shadows one router with a deterministic replica.
+type Detector struct {
+	net    *network.Network
+	target packet.NodeID
+	opts   Options
+
+	// replica state: one queue model + forwarding per output interface,
+	// fed by the tapped inputs of the monitored router.
+	queues map[packet.NodeID]*replicaIface
+
+	// outReal collects r's actual per-interface output fingerprints.
+	outReal map[packet.NodeID]*summary.FPSet
+	// outReplica collects the replica's predicted outputs.
+	outReplica map[packet.NodeID]*summary.FPSet
+
+	round int
+	// Discrepancies counts rounds with detected divergence.
+	Discrepancies int
+}
+
+// replicaIface models one output interface of the replica: a queue plus a
+// busy/serialization clock identical to the real router's.
+type replicaIface struct {
+	link topology.Link
+	q    queue.Discipline
+	busy bool
+}
+
+// Attach deploys a replica detector shadowing target. The replica observes
+// target's inputs in promiscuous mode (modeled as taps on the EvReceive
+// events) and recomputes forwarding with the same deterministic tables.
+func Attach(net *network.Network, target packet.NodeID, opts Options) *Detector {
+	if opts.Round == 0 {
+		opts.Round = time.Second
+	}
+	if opts.Sink == nil {
+		opts.Sink = func(detector.Suspicion) {}
+	}
+	d := &Detector{
+		net:        net,
+		target:     target,
+		opts:       opts,
+		queues:     make(map[packet.NodeID]*replicaIface),
+		outReal:    make(map[packet.NodeID]*summary.FPSet),
+		outReplica: make(map[packet.NodeID]*summary.FPSet),
+	}
+	g := net.Graph()
+	for _, nb := range g.Neighbors(target) {
+		link, _ := g.Link(target, nb)
+		d.queues[nb] = &replicaIface{link: link, q: queue.NewDropTail(link.QueueLimit)}
+		d.outReal[nb] = summary.NewFPSet()
+		d.outReplica[nb] = summary.NewFPSet()
+	}
+
+	// The replica's forwarding mirrors the deterministic next-hop table of
+	// the monitored router's position (§2.3: "the behavior of a router is
+	// deterministic").
+	oracle := make(map[packet.NodeID]packet.NodeID) // dst → next hop
+	parent, _ := g.ShortestPathTree(target)
+	for _, dst := range g.Nodes() {
+		if dst == target {
+			continue
+		}
+		if path := topology.PathBetween(parent, target, dst); len(path) >= 2 {
+			oracle[dst] = path[1]
+		}
+	}
+
+	r := net.Router(target)
+	r.AddTap(func(ev network.Event) {
+		switch ev.Kind {
+		case network.EvReceive:
+			// The replica sees the same input and forwards it itself.
+			d.replicaForward(ev.Packet, oracle)
+		case network.EvDequeue:
+			// r's observed output.
+			d.outReal[ev.Peer].Add(net.Hasher().Fingerprint(ev.Packet))
+		}
+	})
+
+	net.Scheduler().NewTicker(opts.Round, func() { d.compare() })
+	return d
+}
+
+// replicaForward runs the replica's forwarding path for one input packet:
+// TTL, next-hop lookup, enqueue (with identical drop-tail semantics) and
+// serialized dequeue.
+func (d *Detector) replicaForward(p *packet.Packet, oracle map[packet.NodeID]packet.NodeID) {
+	if p.Dst == d.target {
+		return // consumed locally; not part of the output streams
+	}
+	if p.TTL <= 1 {
+		return
+	}
+	next, ok := oracle[p.Dst]
+	if !ok {
+		return
+	}
+	ifc := d.queues[next]
+	if ifc == nil {
+		return
+	}
+	q := p.Clone()
+	q.TTL--
+	now := d.net.Now()
+	if ifc.q.Enqueue(q, now) != queue.DropNone {
+		return // the replica predicts a congestive drop here too
+	}
+	if !ifc.busy {
+		d.drainReplica(ifc, next)
+	}
+}
+
+func (d *Detector) drainReplica(ifc *replicaIface, nb packet.NodeID) {
+	now := d.net.Now()
+	p := ifc.q.Dequeue(now)
+	if p == nil {
+		ifc.busy = false
+		return
+	}
+	ifc.busy = true
+	d.outReplica[nb].Add(d.net.Hasher().Fingerprint(p))
+	tx := ifc.link.TransmissionTime(p.Size)
+	d.net.Scheduler().After(tx, func() { d.drainReplica(ifc, nb) })
+}
+
+// compare validates r's outputs against the replica's for the last round.
+func (d *Detector) compare() {
+	n := d.round
+	d.round++
+	now := d.net.Now()
+	for _, nb := range d.net.Graph().Neighbors(d.target) {
+		real, pred := d.outReal[nb], d.outReplica[nb]
+		d.outReal[nb], d.outReplica[nb] = summary.NewFPSet(), summary.NewFPSet()
+		onlyPred, onlyReal := pred.Diff(real)
+		// onlyPred: the replica forwarded it, r did not (drop/divert).
+		// onlyReal: r emitted something the replica did not (fabrication
+		// or modification).
+		if len(onlyPred) > d.opts.Tolerance || len(onlyReal) > d.opts.Tolerance {
+			d.Discrepancies++
+			d.opts.Sink(detector.Suspicion{
+				By:         d.target, // the detector is co-located with r
+				Segment:    topology.Segment{d.target},
+				Round:      n,
+				At:         now,
+				Kind:       detector.KindTrafficValidation,
+				Confidence: 1,
+				Detail: fmt.Sprintf("replica divergence on interface →%v: %d missing, %d unexpected",
+					nb, len(onlyPred), len(onlyReal)),
+			})
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package replica
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"routerwatch/internal/attack"
+	"routerwatch/internal/detector"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/topology"
+)
+
+func rig(seed int64) (*network.Network, *Detector, *detector.Log) {
+	net := network.New(topology.Line(3), network.Options{Seed: seed, ProcessingJitter: 50 * time.Microsecond})
+	log := detector.NewLog()
+	d := Attach(net, 1, Options{
+		Round:     500 * time.Millisecond,
+		Tolerance: 3,
+		Sink:      detector.LogSink(log),
+	})
+	return net, d, log
+}
+
+func pump(net *network.Network, n int) {
+	for i := 0; i < n; i++ {
+		i := i
+		net.Scheduler().At(time.Duration(i)*time.Millisecond+time.Microsecond, func() {
+			net.Inject(0, &packet.Packet{Dst: 2, Size: 500, Flow: 1, Seq: uint32(i), Payload: uint64(i)})
+		})
+	}
+}
+
+func TestReplicaNoAttackSilent(t *testing.T) {
+	net, d, log := rig(1)
+	pump(net, 1500)
+	net.Run(3 * time.Second)
+	if d.Discrepancies != 0 || log.Len() != 0 {
+		t.Fatalf("replica diverged without attack: %d rounds, %v", d.Discrepancies, log.All())
+	}
+}
+
+func TestReplicaDetectsDrop(t *testing.T) {
+	net, d, log := rig(2)
+	net.Router(1).SetBehavior(&attack.Dropper{
+		Select: attack.All, P: 0.1, Rng: rand.New(rand.NewSource(4)), Start: time.Second,
+	})
+	pump(net, 2000)
+	net.Run(4 * time.Second)
+	if d.Discrepancies == 0 {
+		t.Fatal("replica missed the drop attack")
+	}
+	// Suspicions localize to the shadowed router itself: precision 1 —
+	// the ideal detector the distributed protocols trade away.
+	for _, s := range log.All() {
+		if len(s.Segment) != 1 || s.Segment[0] != 1 {
+			t.Fatalf("unexpected suspicion %v", s)
+		}
+	}
+	if first := log.FirstAt(); first < time.Second {
+		t.Fatalf("detected before the attack: %v", first)
+	}
+}
+
+func TestReplicaDetectsModification(t *testing.T) {
+	net, d, _ := rig(3)
+	net.Router(1).SetBehavior(&attack.Modifier{Select: attack.All, Start: time.Second})
+	pump(net, 2000)
+	net.Run(4 * time.Second)
+	if d.Discrepancies == 0 {
+		t.Fatal("replica missed the modification attack")
+	}
+}
+
+func TestReplicaDetectsFabrication(t *testing.T) {
+	net, d, _ := rig(4)
+	attack.NewFabricator(net, 1, 0, 2, 700, 10*time.Millisecond)
+	pump(net, 500)
+	net.Run(3 * time.Second)
+	if d.Discrepancies == 0 {
+		t.Fatal("replica missed fabrication")
+	}
+}
+
+func TestReplicaDetectsMisrouting(t *testing.T) {
+	// Diamond: router 1 diverts traffic for 3 via 2's detour; the replica
+	// would have sent it straight to 3.
+	g := topology.NewGraph()
+	a, b, c, dd := g.AddNode("a"), g.AddNode("b"), g.AddNode("c"), g.AddNode("d")
+	attrs := topology.DefaultLinkAttrs()
+	g.AddDuplex(a, b, attrs)
+	g.AddDuplex(b, dd, attrs)
+	g.AddDuplex(b, c, attrs)
+	g.AddDuplex(c, dd, attrs)
+	net := network.New(g, network.Options{Seed: 5})
+	log := detector.NewLog()
+	det := Attach(net, b, Options{Round: 500 * time.Millisecond, Tolerance: 3, Sink: detector.LogSink(log)})
+	net.Router(b).SetBehavior(&attack.Misrouter{Select: attack.All, To: c})
+	for i := 0; i < 500; i++ {
+		i := i
+		net.Scheduler().At(time.Duration(i)*time.Millisecond+time.Microsecond, func() {
+			net.Inject(a, &packet.Packet{Dst: dd, Size: 500, Flow: 1, Seq: uint32(i)})
+		})
+	}
+	net.Run(3 * time.Second)
+	if det.Discrepancies == 0 {
+		t.Fatal("replica missed misrouting")
+	}
+}

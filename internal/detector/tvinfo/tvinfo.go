@@ -1,0 +1,321 @@
+// Package tvinfo holds the traffic-information machinery shared by the
+// path-segment detection protocols (Π2 and Πk+2): conservation policies,
+// per-round traffic summaries info(r, π, τ), and the path oracle that
+// predicts which segments a packet traverses (§4.1, §4.2.1).
+package tvinfo
+
+import (
+	"encoding/binary"
+	"time"
+
+	"routerwatch/internal/packet"
+	"routerwatch/internal/summary"
+	"routerwatch/internal/topology"
+	"routerwatch/internal/validate"
+)
+
+// Policy selects the conservation-of-traffic property to validate (§2.4.1).
+type Policy int
+
+// Validation policies.
+const (
+	// PolicyFlow validates packet counts only (cheapest; WATCHERS-class
+	// threat model).
+	PolicyFlow Policy = iota + 1
+	// PolicyContent validates fingerprint multisets (loss, modification,
+	// fabrication, misrouting).
+	PolicyContent
+	// PolicyOrder additionally validates packet order.
+	PolicyOrder
+	// PolicyTimeliness additionally validates per-packet transit delay
+	// (conservation of timeliness, §2.4.1: "maintaining ordered list of
+	// packet fingerprints associated with timestamps").
+	PolicyTimeliness
+)
+
+// Thresholds are the benign-anomaly allowances of a TV predicate.
+type Thresholds struct {
+	Loss        int
+	Fabrication int
+	Reorder     int
+	// MaxDelay bounds acceptable transit delay beyond the predicted
+	// arrival (PolicyTimeliness).
+	MaxDelay time.Duration
+	// Late tolerates this many over-delayed packets per round.
+	Late int
+}
+
+// Summary is one router's traffic information for a segment-round
+// (info(r, π, τ) of §4.2.1).
+type Summary struct {
+	Counter summary.Counter
+	FPs     *summary.FPSet
+	Ordered *summary.OrderedFP
+	Timed   *summary.TimedFP
+}
+
+// NewSummary allocates the structures the policy needs.
+func NewSummary(policy Policy) *Summary {
+	s := &Summary{}
+	if policy >= PolicyContent {
+		s.FPs = summary.NewFPSet()
+	}
+	if policy >= PolicyOrder {
+		s.Ordered = summary.NewOrderedFP()
+	}
+	if policy >= PolicyTimeliness {
+		s.Timed = summary.NewTimedFP()
+	}
+	return s
+}
+
+// Record adds one observed packet.
+func (s *Summary) Record(fp packet.Fingerprint, size int) {
+	s.RecordTimed(fp, size, 0)
+}
+
+// RecordTimed adds one observed packet with its (predicted or actual)
+// sink-side timestamp, for PolicyTimeliness.
+func (s *Summary) RecordTimed(fp packet.Fingerprint, size int, ts time.Duration) {
+	s.Counter.Add(size)
+	if s.FPs != nil {
+		s.FPs.Add(fp)
+	}
+	if s.Ordered != nil {
+		s.Ordered.Add(fp)
+	}
+	if s.Timed != nil {
+		s.Timed.Add(fp, size, ts)
+	}
+}
+
+// Encode serializes the summary for signing and for evidence transfer.
+// Layout: counter (16 B) · uint32 FP-section length · FP bytes · uint32
+// order-section length · order bytes. Absent sections encode length
+// 0xFFFFFFFF so decoding can distinguish "empty" from "not collected".
+func (s *Summary) Encode() []byte {
+	const absent = ^uint32(0)
+	b := s.Counter.Encode()
+	var lenBuf [4]byte
+	if s.FPs != nil {
+		sec := s.FPs.Encode()
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(sec)))
+		b = append(b, lenBuf[:]...)
+		b = append(b, sec...)
+	} else {
+		binary.BigEndian.PutUint32(lenBuf[:], absent)
+		b = append(b, lenBuf[:]...)
+	}
+	if s.Ordered != nil {
+		sec := s.Ordered.Encode()
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(sec)))
+		b = append(b, lenBuf[:]...)
+		b = append(b, sec...)
+	} else {
+		binary.BigEndian.PutUint32(lenBuf[:], absent)
+		b = append(b, lenBuf[:]...)
+	}
+	if s.Timed != nil {
+		sec := s.Timed.Encode()
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(sec)))
+		b = append(b, lenBuf[:]...)
+		b = append(b, sec...)
+	} else {
+		binary.BigEndian.PutUint32(lenBuf[:], absent)
+		b = append(b, lenBuf[:]...)
+	}
+	return b
+}
+
+// DecodeSummary parses an encoded summary. It returns false on malformed
+// input (which protocols treat as a missing report).
+func DecodeSummary(b []byte) (*Summary, bool) {
+	const absent = ^uint32(0)
+	if len(b) < 24 {
+		return nil, false
+	}
+	s := &Summary{}
+	s.Counter.Packets = int64(binary.BigEndian.Uint64(b[0:]))
+	s.Counter.Bytes = int64(binary.BigEndian.Uint64(b[8:]))
+	rest := b[16:]
+
+	readSection := func() ([]byte, bool, bool) { // data, present, ok
+		if len(rest) < 4 {
+			return nil, false, false
+		}
+		n := binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+		if n == absent {
+			return nil, false, true
+		}
+		if uint32(len(rest)) < n {
+			return nil, false, false
+		}
+		data := rest[:n]
+		rest = rest[n:]
+		return data, true, true
+	}
+
+	fpSec, fpPresent, ok := readSection()
+	if !ok {
+		return nil, false
+	}
+	if fpPresent {
+		if len(fpSec)%12 != 0 {
+			return nil, false
+		}
+		s.FPs = summary.NewFPSet()
+		for i := 0; i+12 <= len(fpSec); i += 12 {
+			fp := packet.Fingerprint(binary.BigEndian.Uint64(fpSec[i:]))
+			count := int(binary.BigEndian.Uint32(fpSec[i+8:]))
+			for j := 0; j < count; j++ {
+				s.FPs.Add(fp)
+			}
+		}
+	}
+	ordSec, ordPresent, ok := readSection()
+	if !ok {
+		return nil, false
+	}
+	if ordPresent {
+		if len(ordSec)%8 != 0 {
+			return nil, false
+		}
+		s.Ordered = summary.NewOrderedFP()
+		for i := 0; i+8 <= len(ordSec); i += 8 {
+			s.Ordered.Add(packet.Fingerprint(binary.BigEndian.Uint64(ordSec[i:])))
+		}
+	}
+	timedSec, timedPresent, ok := readSection()
+	if !ok || len(rest) != 0 {
+		return nil, false
+	}
+	if timedPresent {
+		if len(timedSec)%28 != 0 {
+			return nil, false
+		}
+		s.Timed = summary.NewTimedFP()
+		for i := 0; i+28 <= len(timedSec); i += 28 {
+			s.Timed.AddFlow(
+				packet.Fingerprint(binary.BigEndian.Uint64(timedSec[i:])),
+				int(binary.BigEndian.Uint32(timedSec[i+8:])),
+				time.Duration(binary.BigEndian.Uint64(timedSec[i+12:])),
+				packet.FlowID(binary.BigEndian.Uint64(timedSec[i+20:])),
+			)
+		}
+	}
+	return s, true
+}
+
+// Validate applies the policy's TV predicate between an upstream and a
+// downstream summary.
+func Validate(policy Policy, th Thresholds, up, down *Summary) validate.Result {
+	switch policy {
+	case PolicyFlow:
+		tv := validate.FlowTV{LossThreshold: int64(th.Loss)}
+		return tv.Validate(up.Counter, down.Counter)
+	case PolicyTimeliness:
+		tv := validate.TimelinessTV{
+			LossThreshold: th.Loss,
+			MaxDelay:      th.MaxDelay,
+			LateThreshold: th.Late,
+		}
+		return tv.Validate(up.Timed, down.Timed)
+	case PolicyOrder:
+		tv := validate.OrderTV{
+			LossThreshold:        th.Loss,
+			FabricationThreshold: th.Fabrication,
+			ReorderThreshold:     th.Reorder,
+		}
+		return tv.Validate(up.Ordered, down.Ordered)
+	default:
+		tv := validate.ContentTV{
+			LossThreshold:        th.Loss,
+			FabricationThreshold: th.Fabrication,
+		}
+		return tv.Validate(up.FPs, down.FPs)
+	}
+}
+
+// PathOracle predicts the routing path of any (src, dst) pair in the stable
+// state (§4.1: deterministic forwarding lets a router predict packet
+// paths). With an ECMP topology it additionally resolves the flow-hash
+// next-hop choices (§7.4.1).
+type PathOracle struct {
+	paths map[uint64]topology.Path
+	ecmp  *topology.ECMP
+}
+
+// NewECMPPathOracle predicts per-flow paths over an equal-cost multipath
+// forwarding fabric.
+func NewECMPPathOracle(e *topology.ECMP) *PathOracle {
+	return &PathOracle{ecmp: e}
+}
+
+// NewPathOracleFromPaths builds an oracle from explicit per-pair paths
+// (e.g. traced from live forwarding tables after a routing change).
+func NewPathOracleFromPaths(paths []topology.Path) *PathOracle {
+	o := &PathOracle{paths: make(map[uint64]topology.Path)}
+	for _, p := range paths {
+		if len(p) < 2 {
+			continue
+		}
+		o.paths[pairKey(p[0], p[len(p)-1])] = p
+	}
+	return o
+}
+
+// NewPathOracle precomputes all-pairs deterministic paths.
+func NewPathOracle(g *topology.Graph) *PathOracle {
+	o := &PathOracle{paths: make(map[uint64]topology.Path)}
+	for _, src := range g.Nodes() {
+		parent, _ := g.ShortestPathTree(src)
+		for _, dst := range g.Nodes() {
+			if src == dst {
+				continue
+			}
+			if p := topology.PathBetween(parent, src, dst); p != nil {
+				o.paths[pairKey(src, dst)] = p
+			}
+		}
+	}
+	return o
+}
+
+func pairKey(a, b packet.NodeID) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// Path returns the predicted path src→dst for a flow (nil if unknown).
+func (o *PathOracle) Path(src, dst packet.NodeID, flow packet.FlowID) topology.Path {
+	if o.ecmp != nil {
+		return o.ecmp.FlowPath(src, dst, flow)
+	}
+	return o.paths[pairKey(src, dst)]
+}
+
+// OnSegment reports whether a packet routed src→dst traverses seg with the
+// segment aligned so that seg[segPos] sits at the packet's position of
+// router at.
+func (o *PathOracle) OnSegment(src, dst packet.NodeID, flow packet.FlowID, seg topology.Segment, at packet.NodeID, segPos int) bool {
+	path := o.Path(src, dst, flow)
+	if path == nil {
+		return false
+	}
+	for i, v := range path {
+		if v != at {
+			continue
+		}
+		start := i - segPos
+		if start < 0 || start+len(seg) > len(path) {
+			return false
+		}
+		for j, s := range seg {
+			if path[start+j] != s {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

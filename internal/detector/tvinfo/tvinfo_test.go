@@ -1,0 +1,123 @@
+package tvinfo
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"routerwatch/internal/packet"
+)
+
+func TestSummaryEncodeDecodeRoundTrip(t *testing.T) {
+	for _, policy := range []Policy{PolicyFlow, PolicyContent, PolicyOrder, PolicyTimeliness} {
+		s := NewSummary(policy)
+		for i := 0; i < 20; i++ {
+			s.RecordTimed(packet.Fingerprint(i%7), 100+i, time.Duration(i)*time.Millisecond)
+		}
+		got, ok := DecodeSummary(s.Encode())
+		if !ok {
+			t.Fatalf("policy %v: decode failed", policy)
+		}
+		if got.Counter != s.Counter {
+			t.Fatalf("policy %v: counter %+v != %+v", policy, got.Counter, s.Counter)
+		}
+		if (got.FPs == nil) != (s.FPs == nil) || (got.Ordered == nil) != (s.Ordered == nil) ||
+			(got.Timed == nil) != (s.Timed == nil) {
+			t.Fatalf("policy %v: section presence mismatch", policy)
+		}
+		if s.FPs != nil && got.FPs.Len() != s.FPs.Len() {
+			t.Fatalf("policy %v: fp count %d != %d", policy, got.FPs.Len(), s.FPs.Len())
+		}
+		if s.Ordered != nil {
+			a, b := got.Ordered.Seq(), s.Ordered.Seq()
+			if len(a) != len(b) {
+				t.Fatalf("ordered length mismatch")
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("ordered content mismatch at %d", i)
+				}
+			}
+		}
+		if s.Timed != nil {
+			a, b := got.Timed.Entries(), s.Timed.Entries()
+			if len(a) != len(b) {
+				t.Fatalf("timed length mismatch")
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("timed entry mismatch at %d: %+v vs %+v", i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestValidateTimeliness(t *testing.T) {
+	up := NewSummary(PolicyTimeliness)
+	down := NewSummary(PolicyTimeliness)
+	for i := 0; i < 10; i++ {
+		fp := packet.Fingerprint(i)
+		sent := time.Duration(i) * time.Millisecond
+		up.RecordTimed(fp, 100, sent)
+		delay := time.Millisecond
+		if i >= 7 {
+			delay = 100 * time.Millisecond
+		}
+		down.RecordTimed(fp, 100, sent+delay)
+	}
+	th := Thresholds{MaxDelay: 10 * time.Millisecond, Late: 1}
+	if res := Validate(PolicyTimeliness, th, up, down); res.OK || res.LateCount != 3 {
+		t.Fatalf("late packets not flagged: %v", res)
+	}
+	th.Late = 5
+	if res := Validate(PolicyTimeliness, th, up, down); !res.OK {
+		t.Fatalf("within late threshold: %v", res)
+	}
+}
+
+func TestDecodeSummaryMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 10),
+		make([]byte, 23),
+		append(NewSummary(PolicyContent).Encode(), 0xFF), // trailing junk
+	}
+	for i, b := range cases {
+		if _, ok := DecodeSummary(b); ok {
+			t.Errorf("case %d: malformed input decoded", i)
+		}
+	}
+}
+
+func TestDecodeSummaryFuzz(t *testing.T) {
+	f := func(b []byte) bool {
+		// Must never panic; validity is incidental.
+		DecodeSummary(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidatePolicies(t *testing.T) {
+	up := NewSummary(PolicyOrder)
+	down := NewSummary(PolicyOrder)
+	for i := 0; i < 10; i++ {
+		up.Record(packet.Fingerprint(i), 100)
+	}
+	// Down is missing 5 packets.
+	for i := 0; i < 5; i++ {
+		down.Record(packet.Fingerprint(i), 100)
+	}
+	th := Thresholds{Loss: 2}
+	for _, policy := range []Policy{PolicyFlow, PolicyContent, PolicyOrder} {
+		if res := Validate(policy, th, up, down); res.OK {
+			t.Errorf("policy %v: 5 losses passed with threshold 2", policy)
+		}
+	}
+	if res := Validate(PolicyContent, Thresholds{Loss: 5}, up, down); !res.OK {
+		t.Error("losses within threshold failed")
+	}
+}

@@ -1,0 +1,77 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the per-experiment index in DESIGN.md): the monitoring-state
+// figures of Chapter 5, the Fatih timeline of Fig 5.7, and the Protocol χ
+// experiments of Chapter 6 — each as a function returning the same rows or
+// series the paper plots, runnable from cmd/figures and from the root
+// benchmark suite.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a printable result: a header plus rows, mirroring how the paper
+// reports each experiment.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries the shape claims being reproduced and how the
+	// measured run compares.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.3fs", v.Seconds())
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

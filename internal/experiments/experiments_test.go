@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"routerwatch/internal/topology"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "b"}}
+	tb.AddRow(1, 2.5)
+	tb.Notes = append(tb.Notes, "n")
+	out := tb.String()
+	for _, want := range []string{"== T ==", "a", "2.50", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5PrShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Use the EBONE-scale topology for test speed; the claims are
+	// scale-free.
+	spec := topology.EBONESpec()
+	nodes := RunPrFigure(spec, topology.ModeNodes, 4)
+	ends := RunPrFigure(spec, topology.ModeEnds, 4)
+
+	for i := range nodes.Stats {
+		n, e := nodes.Stats[i], ends.Stats[i]
+		// Fig 5.2 vs Fig 5.4: Πk+2 monitors far fewer segments per router
+		// than Π2 at every k.
+		if e.Mean >= n.Mean {
+			t.Errorf("k=%d: ends mean %.1f >= nodes mean %.1f", n.K, e.Mean, n.Mean)
+		}
+		// Both are far below WATCHERS' counter state.
+		if float64(nodes.WatchersMean) < 3*n.Mean {
+			t.Errorf("k=%d: WATCHERS %d not ≫ Π2 %.1f", n.K, nodes.WatchersMean, n.Mean)
+		}
+	}
+	// Πk+2's |Pr| is monotone in k (more segment lengths to monitor).
+	for i := 1; i < len(ends.Stats); i++ {
+		if ends.Stats[i].Mean < ends.Stats[i-1].Mean {
+			t.Errorf("ends mean decreased at k=%d", ends.Stats[i].K)
+		}
+	}
+	// Rendering works.
+	if !strings.Contains(nodes.Table().String(), "WATCHERS") {
+		t.Error("table missing WATCHERS note")
+	}
+}
+
+func TestFig6_2Shape(t *testing.T) {
+	tb := Fig6_2(50_000, 1000, 0, 300)
+	if len(tb.Rows) != 21 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	first, last := tb.Rows[0][1], tb.Rows[len(tb.Rows)-1][1]
+	if !strings.HasPrefix(first, "1.0") && !strings.HasPrefix(first, "0.99") {
+		t.Fatalf("confidence at empty queue %s, want ≈1", first)
+	}
+	if !strings.HasPrefix(last, "0.0") {
+		t.Fatalf("confidence at full queue %s, want ≈0", last)
+	}
+}
+
+func TestFig6_3Normality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, tb := Fig6_3(77)
+	if rep.N < 1000 {
+		t.Fatalf("samples %d", rep.N)
+	}
+	if rep.Skewness > 2 || rep.Skewness < -2 {
+		t.Fatalf("skew %v", rep.Skewness)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("table rows %d", len(tb.Rows))
+	}
+}
+
+func TestChiFigureShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	noAttack := Fig6_5(2001)
+	if noAttack.Detected() {
+		t.Fatalf("Fig 6.5: false detections: %v", noAttack.Suspicions)
+	}
+	congestive := 0
+	for _, rr := range noAttack.Rounds {
+		congestive += rr.Congestive
+	}
+	if congestive == 0 {
+		t.Fatal("Fig 6.5: no congestion; run vacuous")
+	}
+
+	attacks := map[string]*ChiResult{
+		"Fig6.6 20% selective": Fig6_6(2002),
+		"Fig6.7 90% masked":    Fig6_7(2003),
+		"Fig6.8 95% masked":    Fig6_8(2004),
+		"Fig6.9 SYN drop":      Fig6_9(2005),
+	}
+	for name, res := range attacks {
+		if !res.Detected() {
+			t.Errorf("%s: not detected (dropped %d)", name, res.AttackerDropped)
+		}
+		if res.AttackerDropped == 0 {
+			t.Errorf("%s: attack never fired", name)
+		}
+	}
+	if v := attacks["Fig6.9 SYN drop"].Victim; v == nil || v.Stats.SynRetries == 0 {
+		t.Error("Fig 6.9: victim unharmed")
+	}
+}
+
+func TestChiVsThresholdDilemma(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := RunChiVsThreshold(2101)
+	if !res.Chi.Detected() {
+		t.Fatal("χ missed the masked attack")
+	}
+	// Find the dilemma: every threshold either false-positives or misses.
+	for _, row := range res.Thresholds {
+		if row.FalsePositives == 0 && row.Detections > 0 {
+			t.Fatalf("threshold %d both clean and detecting — dilemma not reproduced: %+v",
+				row.Threshold, res.Thresholds)
+		}
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "protocol χ") {
+		t.Fatal("table missing χ row")
+	}
+}
+
+func TestStateSizeOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb := StateSizeTable(topology.EBONESpec(), 2)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	// Rows: WATCHERS, Π2, Πk+2 — means strictly decreasing.
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	w, p2, pk2 := parse(tb.Rows[0][1]), parse(tb.Rows[1][1]), parse(tb.Rows[2][1])
+	if !(pk2 < p2 && p2 < w) {
+		t.Fatalf("state ordering violated: watchers=%v pi2=%v pik2=%v", w, p2, pk2)
+	}
+}
+
+func TestWatchersFlawTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb := WatchersFlawTable(31)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	if tb.Rows[0][1] != "false" {
+		t.Fatalf("original WATCHERS detected the consorting attack: %v", tb.Rows[0])
+	}
+	if tb.Rows[1][1] != "true" {
+		t.Fatalf("fixed WATCHERS missed the consorting attack: %v", tb.Rows[1])
+	}
+}
+
+func TestPerlmanFlawTable(t *testing.T) {
+	tb := PerlmanFlawTable()
+	rowsByName := map[string][]string{}
+	for _, r := range tb.Rows {
+		rowsByName[r[0]] = r
+	}
+	coll := rowsByName["PERLMANd, colluding 1 and 4"]
+	if coll == nil || coll[3] != "false" {
+		t.Fatalf("colluding scenario should be inaccurate: %v", coll)
+	}
+	sec := rowsByName["SecTrace, timed attacker at 1 (Fig 3.7)"]
+	if sec == nil || sec[3] != "false" {
+		t.Fatalf("SecTrace timed attack should be inaccurate: %v", sec)
+	}
+}
+
+func TestSummarySizeTable(t *testing.T) {
+	tb := SummarySizeTable([]int{100, 1000, 10000}, 10)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	// Reconciliation size is constant; fingerprint sets grow linearly.
+	parse := func(r, c int) float64 {
+		v, err := strconv.ParseFloat(tb.Rows[r][c], 64)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return v
+	}
+	if parse(0, 4) != parse(2, 4) {
+		t.Fatal("reconciliation size not constant in traffic")
+	}
+	if parse(2, 2) < 50*parse(0, 2) {
+		t.Fatal("fingerprint set did not grow ~linearly")
+	}
+	if parse(2, 3) >= parse(2, 2) {
+		t.Fatal("bloom not smaller than explicit set")
+	}
+}
+
+func TestExchangeBandwidthTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb := ExchangeBandwidthTable(91)
+	full, err1 := strconv.ParseFloat(tb.Rows[0][1], 64)
+	recon, err2 := strconv.ParseFloat(tb.Rows[1][1], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("parse: %v %v", err1, err2)
+	}
+	if recon*5 >= full {
+		t.Fatalf("reconciliation %v not ≪ full %v", recon, full)
+	}
+}
+
+func TestArchitecturesMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := RunArchitectures(71)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	prec := map[string]int{}
+	for _, row := range res.Rows {
+		if !row.Detected {
+			t.Errorf("%s (%s): attack not detected", row.Architecture, row.Protocol)
+		}
+		if !row.Accurate {
+			t.Errorf("%s (%s): inaccurate", row.Architecture, row.Protocol)
+		}
+		prec[row.Protocol] = row.Precision
+	}
+	if prec["active replication"] != 1 {
+		t.Errorf("replica precision %d, want 1", prec["active replication"])
+	}
+	if prec["Protocol Π2"] != 2 {
+		t.Errorf("Π2 precision %d, want 2", prec["Protocol Π2"])
+	}
+	if prec["Protocol Πk+2"] < prec["Protocol Π2"] {
+		t.Errorf("Πk+2 precision %d below Π2 %d", prec["Protocol Πk+2"], prec["Protocol Π2"])
+	}
+}

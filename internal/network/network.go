@@ -1,0 +1,206 @@
+// Package network is the discrete-event network simulator the detection
+// protocols run on: routers interconnected by directional point-to-point
+// links (§4.1), each link fronted by an output-interface queue at its
+// sending router, hop-by-hop forwarding driven by per-router forwarding
+// functions, per-router processing jitter, and pluggable adversarial
+// behaviours on compromised routers.
+//
+// The simulator stands in for the paper's PC-router/Emulab testbeds (see
+// DESIGN.md): the detection protocols observe only per-router packet events
+// (receive, enqueue, dequeue, drop, deliver) and exchange control messages,
+// and this package produces exactly that observable surface.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"routerwatch/internal/auth"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/queue"
+	"routerwatch/internal/sim"
+	"routerwatch/internal/topology"
+)
+
+// QueueFactory builds the queue discipline for one directed link's output
+// interface.
+type QueueFactory func(link topology.Link, rng *rand.Rand) queue.Discipline
+
+// DropTailFactory builds drop-tail queues sized by the link's QueueLimit.
+func DropTailFactory(link topology.Link, _ *rand.Rand) queue.Discipline {
+	return queue.NewDropTail(link.QueueLimit)
+}
+
+// REDFactory returns a QueueFactory building RED queues with the given
+// configuration template (Limit/Bandwidth are taken from each link).
+func REDFactory(tmpl queue.REDConfig) QueueFactory {
+	return func(link topology.Link, rng *rand.Rand) queue.Discipline {
+		cfg := tmpl
+		if cfg.Limit == 0 {
+			cfg.Limit = link.QueueLimit
+		}
+		cfg.Bandwidth = link.Bandwidth
+		return queue.NewRED(cfg, rng)
+	}
+}
+
+// Options configures a Network.
+type Options struct {
+	// Seed drives all simulator randomness (jitter, RED coin flips).
+	Seed int64
+
+	// ProcessingJitter is the maximum per-packet processing delay inserted
+	// between a packet's arrival at a router and its enqueue on the output
+	// interface. Uniform in [0, ProcessingJitter]. This is the §6.2.1
+	// "short-term scheduling delays and internal processing delays" that
+	// make qact − qpred a random variable.
+	ProcessingJitter time.Duration
+
+	// ControlDelay is the per-hop latency of control-plane messages on top
+	// of link propagation delay.
+	ControlDelay time.Duration
+
+	// QueueFactory builds output queues; nil means drop-tail.
+	QueueFactory QueueFactory
+
+	// DefaultTTL is the initial TTL of injected packets; 0 means 64.
+	DefaultTTL uint8
+}
+
+func (o *Options) fill() {
+	if o.QueueFactory == nil {
+		o.QueueFactory = DropTailFactory
+	}
+	if o.DefaultTTL == 0 {
+		o.DefaultTTL = 64
+	}
+	if o.ControlDelay == 0 {
+		o.ControlDelay = 100 * time.Microsecond
+	}
+}
+
+// Network simulates the routers and links of a topology.
+type Network struct {
+	sched  *sim.Scheduler
+	graph  *topology.Graph
+	auth   *auth.Authority
+	hasher packet.Hasher
+	opts   Options
+
+	routers []*Router
+
+	nextPacketID  uint64
+	nextControlID uint64
+}
+
+// New builds a simulator over the topology.
+func New(g *topology.Graph, opts Options) *Network {
+	opts.fill()
+	n := &Network{
+		sched: sim.New(),
+		graph: g,
+		auth:  auth.NewAuthority(uint64(opts.Seed) + 1),
+		opts:  opts,
+	}
+	k0, k1 := n.auth.FingerprintKeys()
+	n.hasher = packet.NewHasher(k0, k1)
+
+	n.routers = make([]*Router, g.NumNodes())
+	for _, id := range g.Nodes() {
+		n.routers[id] = newRouter(n, id)
+	}
+	// Default forwarding: static shortest paths over the initial topology.
+	n.InstallShortestPaths()
+	return n
+}
+
+// Scheduler exposes the event scheduler.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.sched.Now() }
+
+// Graph returns the topology.
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// Auth returns the key-distribution authority shared by all routers.
+func (n *Network) Auth() *auth.Authority { return n.auth }
+
+// Hasher returns the network-wide packet fingerprint function.
+func (n *Network) Hasher() packet.Hasher { return n.hasher }
+
+// Router returns the router with the given ID.
+func (n *Network) Router(id packet.NodeID) *Router {
+	if int(id) < 0 || int(id) >= len(n.routers) {
+		panic(fmt.Sprintf("network: unknown router %v", id))
+	}
+	return n.routers[id]
+}
+
+// Routers returns all routers in ID order.
+func (n *Network) Routers() []*Router { return n.routers }
+
+// NextPacketID allocates a unique packet ID.
+func (n *Network) NextPacketID() uint64 {
+	n.nextPacketID++
+	return n.nextPacketID
+}
+
+// InstallShortestPaths sets every router's forwarding function to static
+// shortest-path next hops over the current topology (ignoring inbound
+// interface). Dynamic routing (internal/routing) replaces these.
+func (n *Network) InstallShortestPaths() {
+	for _, src := range n.graph.Nodes() {
+		parent, _ := n.graph.ShortestPathTree(src)
+		next := make([]packet.NodeID, n.graph.NumNodes())
+		for _, dst := range n.graph.Nodes() {
+			next[dst] = -1
+			if dst == src {
+				continue
+			}
+			p := topology.PathBetween(parent, src, dst)
+			if len(p) >= 2 {
+				next[dst] = p[1]
+			}
+		}
+		r := n.routers[src]
+		table := next
+		r.SetForwarder(func(p *packet.Packet, _ packet.NodeID) (packet.NodeID, bool) {
+			nh := table[p.Dst]
+			return nh, nh >= 0
+		})
+	}
+}
+
+// InstallECMP sets every router's forwarding to deterministic hash-based
+// equal-cost multipath (§7.4.1).
+func (n *Network) InstallECMP(e *topology.ECMP) {
+	for _, r := range n.routers {
+		self := r.ID()
+		r.SetForwarder(func(p *packet.Packet, _ packet.NodeID) (packet.NodeID, bool) {
+			nh := e.FlowNextHop(self, p.Dst, p.Flow)
+			return nh, nh >= 0
+		})
+	}
+}
+
+// Inject originates a packet at router src toward p.Dst. The packet gets an
+// ID, TTL and send timestamp if unset. Injection models traffic from a host
+// behind the (good, per §2.1.4) terminal router.
+func (n *Network) Inject(src packet.NodeID, p *packet.Packet) {
+	if p.ID == 0 {
+		p.ID = n.NextPacketID()
+	}
+	if p.TTL == 0 {
+		p.TTL = n.opts.DefaultTTL
+	}
+	p.Src = src
+	p.SentAt = n.sched.Now()
+	r := n.Router(src)
+	r.emit(Event{Kind: EvInject, Packet: p})
+	r.forward(p, src)
+}
+
+// Run advances the simulation until the given virtual time.
+func (n *Network) Run(until time.Duration) { n.sched.RunUntil(until) }

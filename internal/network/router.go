@@ -1,0 +1,335 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"routerwatch/internal/packet"
+	"routerwatch/internal/queue"
+	"routerwatch/internal/sim"
+	"routerwatch/internal/topology"
+)
+
+// Forwarder decides the next hop for a packet arriving at a router. from is
+// the upstream neighbor the packet arrived from (equal to the router's own
+// ID for locally originated traffic), which enables the policy-based
+// routing of §5.3.1 where forwarding depends on the inbound path-segment.
+type Forwarder func(p *packet.Packet, from packet.NodeID) (next packet.NodeID, ok bool)
+
+// Action is an adversarial verdict on a transiting packet.
+type Action int
+
+// Behaviour actions.
+const (
+	// ActForward forwards the packet normally.
+	ActForward Action = iota
+	// ActDrop silently drops the packet (traffic faulty, §2.2.1).
+	ActDrop
+	// ActModify forwards the packet after the behaviour mutated it.
+	ActModify
+	// ActDivert forwards to Verdict.NewNext instead of the routed next hop
+	// (misrouting).
+	ActDivert
+	// ActDelay holds the packet for Verdict.Delay before forwarding.
+	ActDelay
+)
+
+// Verdict is a Behavior's decision about one packet.
+type Verdict struct {
+	Action  Action
+	NewNext packet.NodeID
+	Delay   time.Duration
+}
+
+// ControlVerdict is a Behavior's decision about a transiting control
+// message.
+type ControlVerdict int
+
+// Control verdicts.
+const (
+	// CtrlForward relays the message.
+	CtrlForward ControlVerdict = iota
+	// CtrlDrop drops it (protocol faulty, §2.2.1).
+	CtrlDrop
+)
+
+// Behavior is the adversarial hook on a compromised router. Correct routers
+// have a nil Behavior.
+type Behavior interface {
+	// OnForward is consulted for every data packet the router is about to
+	// enqueue toward next.
+	OnForward(rv *RouterView, p *packet.Packet, next packet.NodeID) Verdict
+	// OnControl is consulted for every transiting control message.
+	OnControl(rv *RouterView, m *ControlMessage) ControlVerdict
+}
+
+// RouterView is the attacker's (and instrumentation's) window onto a
+// router's local state.
+type RouterView struct {
+	r *Router
+}
+
+// ID returns the router's ID.
+func (v *RouterView) ID() packet.NodeID { return v.r.id }
+
+// Now returns the current virtual time.
+func (v *RouterView) Now() time.Duration { return v.r.net.sched.Now() }
+
+// QueueBytes returns the occupancy of the output queue toward next, or -1
+// if there is no such interface.
+func (v *RouterView) QueueBytes(next packet.NodeID) int {
+	if ifc := v.r.ifaces[next]; ifc != nil {
+		return ifc.q.Bytes()
+	}
+	return -1
+}
+
+// QueueLimit returns the capacity of the output queue toward next, or -1.
+func (v *RouterView) QueueLimit(next packet.NodeID) int {
+	if ifc := v.r.ifaces[next]; ifc != nil {
+		return ifc.q.Limit()
+	}
+	return -1
+}
+
+// REDAvg returns the RED average queue size toward next, or -1 if the
+// interface is not RED.
+func (v *RouterView) REDAvg(next packet.NodeID) float64 {
+	if ifc := v.r.ifaces[next]; ifc != nil {
+		if red, ok := ifc.q.(*queue.RED); ok {
+			return red.State().Avg()
+		}
+	}
+	return -1
+}
+
+// Router is one simulated router.
+type Router struct {
+	id  packet.NodeID
+	net *Network
+	rng *rand.Rand
+
+	ifaces map[packet.NodeID]*iface
+
+	forwarder Forwarder
+	behavior  Behavior
+	view      RouterView
+
+	taps []func(Event)
+
+	// lastProcess tracks, per inbound neighbor, the latest scheduled
+	// processing time so jitter never reorders a single input stream.
+	lastProcess map[packet.NodeID]time.Duration
+
+	localHandler    func(*packet.Packet)
+	controlHandlers map[string]func(*ControlMessage)
+}
+
+func newRouter(n *Network, id packet.NodeID) *Router {
+	r := &Router{
+		id:          id,
+		net:         n,
+		rng:         sim.NewRNG(n.opts.Seed*1_000_003 + int64(id)),
+		ifaces:      make(map[packet.NodeID]*iface),
+		lastProcess: make(map[packet.NodeID]time.Duration),
+	}
+	r.view = RouterView{r: r}
+	for _, nb := range n.graph.Neighbors(id) {
+		link, _ := n.graph.Link(id, nb)
+		r.ifaces[nb] = &iface{
+			r:    r,
+			link: link,
+			q:    n.opts.QueueFactory(link, r.rng),
+		}
+	}
+	return r
+}
+
+// ID returns the router's node ID.
+func (r *Router) ID() packet.NodeID { return r.id }
+
+// View returns the instrumentation view of the router.
+func (r *Router) View() *RouterView { return &r.view }
+
+// SetForwarder installs the forwarding function.
+func (r *Router) SetForwarder(f Forwarder) { r.forwarder = f }
+
+// SetBehavior installs (or clears, with nil) the adversarial behaviour.
+func (r *Router) SetBehavior(b Behavior) { r.behavior = b }
+
+// Behavior returns the installed behaviour, nil for correct routers.
+func (r *Router) Behavior() Behavior { return r.behavior }
+
+// SetLocalHandler registers the host stack invoked for packets destined to
+// this router.
+func (r *Router) SetLocalHandler(h func(*packet.Packet)) { r.localHandler = h }
+
+// HandleControl registers the handler for control messages of the given
+// kind addressed to this router. Each kind has at most one handler;
+// re-registering replaces it. Messages with no handler are dropped.
+func (r *Router) HandleControl(kind string, h func(*ControlMessage)) {
+	if r.controlHandlers == nil {
+		r.controlHandlers = make(map[string]func(*ControlMessage))
+	}
+	r.controlHandlers[kind] = h
+}
+
+// AddTap registers an observer of this router's local packet events.
+// Detectors attach here; each router only ever observes its own events.
+func (r *Router) AddTap(tap func(Event)) { r.taps = append(r.taps, tap) }
+
+// Queue returns the output queue toward next (nil if no such neighbor);
+// exposed for tests and experiment instrumentation.
+func (r *Router) Queue(next packet.NodeID) queue.Discipline {
+	if ifc := r.ifaces[next]; ifc != nil {
+		return ifc.q
+	}
+	return nil
+}
+
+// Link returns the outgoing link toward next.
+func (r *Router) Link(next packet.NodeID) (topology.Link, bool) {
+	ifc := r.ifaces[next]
+	if ifc == nil {
+		return topology.Link{}, false
+	}
+	return ifc.link, true
+}
+
+// InjectTransit hands a packet directly to the router's forwarding path as
+// if it had arrived from neighbor from. It models a compromised router
+// fabricating traffic (§2.2.1): no receive event is emitted, because the
+// claimed upstream never actually sent the packet.
+func (r *Router) InjectTransit(p *packet.Packet, from packet.NodeID) {
+	r.forward(p, from)
+}
+
+func (r *Router) emit(ev Event) {
+	ev.Time = r.net.sched.Now()
+	ev.Router = r.id
+	for _, tap := range r.taps {
+		tap(ev)
+	}
+}
+
+// receive is invoked when a packet finishes arriving over the link from
+// upstream neighbor from. Processing jitter models variable scheduling and
+// internal-multiplexing delay (§6.2.1) but is order-preserving per inbound
+// neighbor: a real router pipeline delays a stream without reordering it,
+// and same-flow reordering would spuriously trigger TCP fast retransmit.
+func (r *Router) receive(p *packet.Packet, from packet.NodeID) {
+	r.emit(Event{Kind: EvReceive, Packet: p, Peer: from})
+	now := r.net.sched.Now()
+	t := now
+	if j := r.net.opts.ProcessingJitter; j > 0 {
+		t += time.Duration(r.rng.Int63n(int64(j) + 1))
+	}
+	if last := r.lastProcess[from]; t < last {
+		t = last
+	}
+	r.lastProcess[from] = t
+	r.net.sched.After(t-now, func() { r.forward(p, from) })
+}
+
+// forward routes and transmits a packet. from is the upstream neighbor (or
+// the router's own ID for local traffic).
+func (r *Router) forward(p *packet.Packet, from packet.NodeID) {
+	if p.Dst == r.id {
+		r.emit(Event{Kind: EvDeliver, Packet: p, Peer: from})
+		if r.localHandler != nil {
+			r.localHandler(p)
+		}
+		return
+	}
+	if from != r.id { // transit traffic decrements TTL
+		if p.TTL <= 1 {
+			r.emit(Event{Kind: EvDrop, Packet: p, Reason: queue.DropTTL, Peer: from})
+			return
+		}
+		p.TTL--
+	}
+	if r.forwarder == nil {
+		panic(fmt.Sprintf("network: router %v has no forwarder", r.id))
+	}
+	next, ok := r.forwarder(p, from)
+	if !ok {
+		r.emit(Event{Kind: EvDrop, Packet: p, Reason: queue.DropNoRoute, Peer: from})
+		return
+	}
+
+	if r.behavior != nil {
+		v := r.behavior.OnForward(&r.view, p, next)
+		switch v.Action {
+		case ActDrop:
+			// Malicious drops are silent: no tap event. The compromised
+			// router does not advertise its crime; detection must come
+			// from other routers' observations.
+			return
+		case ActDivert:
+			if v.NewNext >= 0 {
+				next = v.NewNext
+			}
+		case ActDelay:
+			d := v.Delay
+			r.net.sched.After(d, func() { r.transmit(p, next) })
+			return
+		case ActModify, ActForward:
+			// Packet already mutated in place for ActModify.
+		}
+	}
+	r.transmit(p, next)
+}
+
+// transmit enqueues the packet on the output interface toward next.
+func (r *Router) transmit(p *packet.Packet, next packet.NodeID) {
+	ifc := r.ifaces[next]
+	if ifc == nil {
+		r.emit(Event{Kind: EvDrop, Packet: p, Reason: queue.DropNoRoute, Peer: next})
+		return
+	}
+	ifc.enqueue(p)
+}
+
+// iface is one output interface: a queue draining onto a link.
+type iface struct {
+	r    *Router
+	link topology.Link
+	q    queue.Discipline
+	busy bool
+}
+
+func (i *iface) enqueue(p *packet.Packet) {
+	now := i.r.net.sched.Now()
+	reason := i.q.Enqueue(p, now)
+	if reason != queue.DropNone {
+		i.r.emit(Event{Kind: EvDrop, Packet: p, Reason: reason, Peer: i.link.To, QueueBytes: i.q.Bytes()})
+		return
+	}
+	i.r.emit(Event{Kind: EvEnqueue, Packet: p, Peer: i.link.To, QueueBytes: i.q.Bytes()})
+	if !i.busy {
+		i.drain()
+	}
+}
+
+func (i *iface) drain() {
+	now := i.r.net.sched.Now()
+	p := i.q.Dequeue(now)
+	if p == nil {
+		i.busy = false
+		return
+	}
+	i.busy = true
+	// Dequeue marks the packet's exit from Q: transmission starts now.
+	i.r.emit(Event{Kind: EvDequeue, Packet: p, Peer: i.link.To, QueueBytes: i.q.Bytes()})
+	tx := i.link.TransmissionTime(p.Size)
+	sched := i.r.net.sched
+	sched.After(tx, func() {
+		// Serialization complete: the line is free for the next packet,
+		// and this packet begins propagating.
+		dst := i.r.net.Router(i.link.To)
+		from := i.r.id
+		sched.After(i.link.Delay, func() { dst.receive(p, from) })
+		i.drain()
+	})
+}

@@ -1,0 +1,331 @@
+// Package queue implements the output-interface queue disciplines the paper
+// validates: drop-tail FIFO (§6.2) and Random Early Detection (§6.5).
+//
+// The same state machines serve two roles. The live network simulator uses
+// them to decide which packets are enqueued, transmitted, or dropped; and
+// Protocol χ's traffic validator *replays* them from reported traffic
+// information to predict exactly which losses were congestive. Keeping both
+// sides on one implementation is what makes the replay faithful.
+package queue
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"routerwatch/internal/packet"
+)
+
+// DropReason classifies why a packet was not forwarded.
+type DropReason int
+
+// Drop reasons.
+const (
+	DropNone DropReason = iota
+	// DropCongestion is a tail drop: the buffer had no room.
+	DropCongestion
+	// DropREDEarly is a probabilistic RED drop.
+	DropREDEarly
+	// DropREDForced is a RED drop with average queue above maxth (or a
+	// physical buffer overflow under RED).
+	DropREDForced
+	// DropMalicious is an attacker-induced drop (assigned by attack hooks,
+	// never by a queue discipline).
+	DropMalicious
+	// DropTTL is a TTL-expiry drop.
+	DropTTL
+	// DropNoRoute means the router had no forwarding entry.
+	DropNoRoute
+)
+
+// String names the drop reason.
+func (d DropReason) String() string {
+	switch d {
+	case DropNone:
+		return "none"
+	case DropCongestion:
+		return "congestion"
+	case DropREDEarly:
+		return "red-early"
+	case DropREDForced:
+		return "red-forced"
+	case DropMalicious:
+		return "malicious"
+	case DropTTL:
+		return "ttl"
+	case DropNoRoute:
+		return "no-route"
+	default:
+		return "unknown"
+	}
+}
+
+// Discipline is an output-interface queue.
+type Discipline interface {
+	// Enqueue offers a packet to the queue at virtual time now. It returns
+	// DropNone if the packet was accepted, or the drop reason.
+	Enqueue(p *packet.Packet, now time.Duration) DropReason
+	// Dequeue removes the head-of-line packet, or nil if empty.
+	Dequeue(now time.Duration) *packet.Packet
+	// Bytes returns the bytes currently buffered.
+	Bytes() int
+	// Len returns the packets currently buffered.
+	Len() int
+	// Limit returns the buffer capacity in bytes.
+	Limit() int
+}
+
+// fifo is the shared buffered-packet storage.
+type fifo struct {
+	pkts  []*packet.Packet
+	bytes int
+	limit int
+}
+
+func (f *fifo) push(p *packet.Packet) {
+	f.pkts = append(f.pkts, p)
+	f.bytes += p.Size
+}
+
+func (f *fifo) pop() *packet.Packet {
+	if len(f.pkts) == 0 {
+		return nil
+	}
+	p := f.pkts[0]
+	f.pkts[0] = nil
+	f.pkts = f.pkts[1:]
+	f.bytes -= p.Size
+	return p
+}
+
+// DropTail is a FIFO queue with a byte limit: a packet is tail-dropped iff
+// it does not fit, which is the deterministic behaviour Protocol χ's
+// conservation check exploits (§6.2.1: "Given the buffer size and the rate
+// at which traffic enters and exits a queue, the behavior of the queue is
+// deterministic").
+type DropTail struct {
+	f fifo
+}
+
+var _ Discipline = (*DropTail)(nil)
+
+// NewDropTail returns a drop-tail queue holding at most limit bytes.
+func NewDropTail(limit int) *DropTail {
+	if limit <= 0 {
+		panic("queue: non-positive limit")
+	}
+	return &DropTail{f: fifo{limit: limit}}
+}
+
+// Enqueue implements Discipline.
+func (q *DropTail) Enqueue(p *packet.Packet, _ time.Duration) DropReason {
+	if q.f.bytes+p.Size > q.f.limit {
+		return DropCongestion
+	}
+	q.f.push(p)
+	return DropNone
+}
+
+// Dequeue implements Discipline.
+func (q *DropTail) Dequeue(_ time.Duration) *packet.Packet { return q.f.pop() }
+
+// Bytes implements Discipline.
+func (q *DropTail) Bytes() int { return q.f.bytes }
+
+// Len implements Discipline.
+func (q *DropTail) Len() int { return len(q.f.pkts) }
+
+// Limit implements Discipline.
+func (q *DropTail) Limit() int { return q.f.limit }
+
+// REDConfig parameterizes Random Early Detection (Floyd & Jacobson 1993),
+// with thresholds in bytes to match the paper's byte-denominated attack
+// thresholds (§6.5.3: "drop the selected flows when the average queue size
+// is above 45,000 bytes").
+type REDConfig struct {
+	// Limit is the physical buffer size in bytes.
+	Limit int
+	// MinTh and MaxTh bound the early-drop region of the average queue.
+	MinTh, MaxTh int
+	// MaxP is the drop probability as the average reaches MaxTh.
+	MaxP float64
+	// Weight is the EWMA weight w for the average queue size.
+	Weight float64
+	// MeanPacketSize calibrates the idle-time decay of the average.
+	MeanPacketSize int
+	// Bandwidth (bits/s) of the outgoing link, used with MeanPacketSize to
+	// convert idle time into virtual departures for the decay.
+	Bandwidth int64
+}
+
+// DefaultREDConfig returns the configuration used by the §6.5.3
+// experiments: 90 kB buffer, min/max thresholds at 30 kB/60 kB, maxp 0.1.
+func DefaultREDConfig(bandwidth int64) REDConfig {
+	return REDConfig{
+		Limit:          90_000,
+		MinTh:          30_000,
+		MaxTh:          60_000,
+		MaxP:           0.1,
+		Weight:         0.002,
+		MeanPacketSize: 1000,
+		Bandwidth:      bandwidth,
+	}
+}
+
+// REDState is the deterministic part of RED: the EWMA average queue and the
+// count of packets since the last drop. Both the live queue and the χ
+// validator's replay advance it with identical inputs, so the replayed
+// per-packet drop probabilities equal the live ones.
+type REDState struct {
+	cfg REDConfig
+
+	avg float64
+	// count is packets since the last drop while in the early-drop region;
+	// -1 encodes "just left the below-minth region", per the RED paper.
+	count int
+	// idleSince is the time the queue went empty, or -1 if occupied.
+	idleSince time.Duration
+	idle      bool
+}
+
+// NewREDState returns RED averaging state for the configuration.
+func NewREDState(cfg REDConfig) *REDState {
+	if cfg.Limit <= 0 || cfg.MinTh <= 0 || cfg.MaxTh <= cfg.MinTh {
+		panic("queue: invalid RED config")
+	}
+	return &REDState{cfg: cfg, count: -1, idle: true, idleSince: 0}
+}
+
+// Avg returns the current average queue estimate in bytes.
+func (s *REDState) Avg() float64 { return s.avg }
+
+// Arrive advances the average for a packet arriving at now with the given
+// instantaneous queue occupancy, and returns the probability with which RED
+// drops this packet (0 below minth, 1 at or above maxth, the count-adjusted
+// early-drop probability between).
+func (s *REDState) Arrive(qBytes int, now time.Duration) float64 {
+	if s.idle && qBytes == 0 {
+		// Decay the average across the idle period as if m small packets
+		// had departed: avg ← (1-w)^m · avg.
+		m := s.virtualDepartures(now - s.idleSince)
+		if m > 0 {
+			s.avg *= math.Pow(1-s.cfg.Weight, float64(m))
+		}
+	}
+	s.avg += s.cfg.Weight * (float64(qBytes) - s.avg)
+
+	switch {
+	case s.avg < float64(s.cfg.MinTh):
+		s.count = -1
+		return 0
+	case s.avg >= float64(s.cfg.MaxTh):
+		s.count = 0
+		return 1
+	default:
+		s.count++
+		pb := s.cfg.MaxP * (s.avg - float64(s.cfg.MinTh)) / float64(s.cfg.MaxTh-s.cfg.MinTh)
+		pa := pb / (1 - float64(s.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		return pa
+	}
+}
+
+// RecordOutcome tells the state whether the arriving packet was dropped
+// (resetting the inter-drop count) and whether the queue is now empty.
+func (s *REDState) RecordOutcome(dropped bool, qBytesAfter int, now time.Duration) {
+	if dropped {
+		s.count = 0
+	}
+	s.noteOccupancy(qBytesAfter, now)
+}
+
+// NoteDeparture informs the state of queue occupancy after a dequeue, so
+// idle periods are tracked.
+func (s *REDState) NoteDeparture(qBytesAfter int, now time.Duration) {
+	s.noteOccupancy(qBytesAfter, now)
+}
+
+func (s *REDState) noteOccupancy(qBytes int, now time.Duration) {
+	if qBytes == 0 {
+		if !s.idle {
+			s.idle = true
+			s.idleSince = now
+		}
+	} else {
+		s.idle = false
+	}
+}
+
+func (s *REDState) virtualDepartures(idle time.Duration) int {
+	if idle <= 0 || s.cfg.Bandwidth <= 0 || s.cfg.MeanPacketSize <= 0 {
+		return 0
+	}
+	perPacket := time.Duration(int64(s.cfg.MeanPacketSize) * 8 * int64(time.Second) / s.cfg.Bandwidth)
+	if perPacket <= 0 {
+		return 0
+	}
+	return int(idle / perPacket)
+}
+
+// RED is a live RED queue: REDState plus buffered packets plus a seeded
+// random source for the drop coin flips.
+type RED struct {
+	f     fifo
+	state *REDState
+	rng   *rand.Rand
+
+	// LastProb is the drop probability computed for the most recent
+	// arrival; exported for tests and instrumentation.
+	LastProb float64
+}
+
+var _ Discipline = (*RED)(nil)
+
+// NewRED returns a RED queue.
+func NewRED(cfg REDConfig, rng *rand.Rand) *RED {
+	return &RED{f: fifo{limit: cfg.Limit}, state: NewREDState(cfg), rng: rng}
+}
+
+// State exposes the averaging state (read-mostly; used by attacks that
+// condition on the average queue size).
+func (q *RED) State() *REDState { return q.state }
+
+// Enqueue implements Discipline.
+func (q *RED) Enqueue(p *packet.Packet, now time.Duration) DropReason {
+	prob := q.state.Arrive(q.f.bytes, now)
+	q.LastProb = prob
+
+	reason := DropNone
+	switch {
+	case prob >= 1:
+		reason = DropREDForced
+	case prob > 0 && q.rng.Float64() < prob:
+		reason = DropREDEarly
+	case q.f.bytes+p.Size > q.f.limit:
+		// Physical overflow; RED counts it as a forced drop.
+		reason = DropREDForced
+	}
+	if reason == DropNone {
+		q.f.push(p)
+	}
+	q.state.RecordOutcome(reason != DropNone, q.f.bytes, now)
+	return reason
+}
+
+// Dequeue implements Discipline.
+func (q *RED) Dequeue(now time.Duration) *packet.Packet {
+	p := q.f.pop()
+	q.state.NoteDeparture(q.f.bytes, now)
+	return p
+}
+
+// Bytes implements Discipline.
+func (q *RED) Bytes() int { return q.f.bytes }
+
+// Len implements Discipline.
+func (q *RED) Len() int { return len(q.f.pkts) }
+
+// Limit implements Discipline.
+func (q *RED) Limit() int { return q.f.limit }

@@ -1,0 +1,226 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"routerwatch/internal/packet"
+)
+
+func pkt(id uint64, size int) *packet.Packet {
+	return &packet.Packet{ID: id, Size: size}
+}
+
+func TestDropTailFIFO(t *testing.T) {
+	q := NewDropTail(10_000)
+	for i := uint64(1); i <= 5; i++ {
+		if r := q.Enqueue(pkt(i, 1000), 0); r != DropNone {
+			t.Fatalf("packet %d dropped: %v", i, r)
+		}
+	}
+	if q.Len() != 5 || q.Bytes() != 5000 {
+		t.Fatalf("len=%d bytes=%d", q.Len(), q.Bytes())
+	}
+	for i := uint64(1); i <= 5; i++ {
+		p := q.Dequeue(0)
+		if p == nil || p.ID != i {
+			t.Fatalf("dequeue %d: got %v", i, p)
+		}
+	}
+	if q.Dequeue(0) != nil {
+		t.Fatal("dequeue from empty returned packet")
+	}
+}
+
+func TestDropTailOverflow(t *testing.T) {
+	q := NewDropTail(2500)
+	if q.Enqueue(pkt(1, 1000), 0) != DropNone {
+		t.Fatal("first packet dropped")
+	}
+	if q.Enqueue(pkt(2, 1000), 0) != DropNone {
+		t.Fatal("second packet dropped")
+	}
+	if r := q.Enqueue(pkt(3, 1000), 0); r != DropCongestion {
+		t.Fatalf("overflow packet: %v, want congestion drop", r)
+	}
+	// A smaller packet that fits must still be accepted.
+	if q.Enqueue(pkt(4, 400), 0) != DropNone {
+		t.Fatal("fitting packet dropped after overflow")
+	}
+}
+
+func TestDropTailInvalidLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDropTail(0) did not panic")
+		}
+	}()
+	NewDropTail(0)
+}
+
+// Property: drop-tail conserves traffic exactly — everything enqueued is
+// either dequeued or was reported dropped, and occupancy never exceeds the
+// limit. This is the conservation invariant the χ validator relies on.
+func TestDropTailConservationProperty(t *testing.T) {
+	f := func(sizes []uint16, deqEvery uint8) bool {
+		q := NewDropTail(8000)
+		in, dropped, out := 0, 0, 0
+		step := int(deqEvery%5) + 1
+		for i, s := range sizes {
+			size := int(s%2000) + 1
+			in++
+			if q.Enqueue(pkt(uint64(i), size), 0) != DropNone {
+				dropped++
+			}
+			if q.Bytes() > q.Limit() {
+				return false
+			}
+			if i%step == 0 {
+				if p := q.Dequeue(0); p != nil {
+					out++
+				}
+			}
+		}
+		for q.Dequeue(0) != nil {
+			out++
+		}
+		return in == dropped+out
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func redCfg() REDConfig {
+	return REDConfig{
+		Limit: 90_000, MinTh: 30_000, MaxTh: 60_000,
+		MaxP: 0.1, Weight: 0.002, MeanPacketSize: 1000, Bandwidth: 10e6,
+	}
+}
+
+func TestREDBelowMinThNeverDrops(t *testing.T) {
+	q := NewRED(redCfg(), rand.New(rand.NewSource(1)))
+	// Keep the instantaneous queue tiny: enqueue+dequeue pairs.
+	for i := 0; i < 1000; i++ {
+		if r := q.Enqueue(pkt(uint64(i), 1000), time.Duration(i)*time.Millisecond); r != DropNone {
+			t.Fatalf("drop %v with near-empty queue (avg %.0f)", r, q.State().Avg())
+		}
+		q.Dequeue(time.Duration(i)*time.Millisecond + 500*time.Microsecond)
+	}
+}
+
+func TestREDForcedDropAboveMaxTh(t *testing.T) {
+	q := NewRED(redCfg(), rand.New(rand.NewSource(1)))
+	// Flood without draining: once the average exceeds maxth every arrival
+	// is force-dropped.
+	var lastReason DropReason
+	for i := 0; i < 5000; i++ {
+		lastReason = q.Enqueue(pkt(uint64(i), 1000), 0)
+	}
+	if q.State().Avg() < float64(redCfg().MaxTh) {
+		t.Fatalf("average %.0f never exceeded maxth", q.State().Avg())
+	}
+	if lastReason != DropREDForced {
+		t.Fatalf("final arrival reason %v, want forced drop", lastReason)
+	}
+}
+
+func TestREDEarlyDropsInBand(t *testing.T) {
+	// Hold the instantaneous queue inside (minth, maxth) and verify drops
+	// occur at roughly the configured probability.
+	cfg := redCfg()
+	q := NewRED(cfg, rand.New(rand.NewSource(7)))
+	drops, arrivals := 0, 0
+	now := time.Duration(0)
+	for q.Bytes() < 45_000 {
+		q.Enqueue(pkt(uint64(arrivals), 1000), now)
+		arrivals++
+		now += time.Microsecond
+	}
+	// Hold occupancy at exactly 45 kB: dequeue only when the arrival was
+	// accepted, so the instantaneous queue stays midband.
+	for i := 0; i < 20_000; i++ {
+		now += 800 * time.Microsecond
+		if q.Enqueue(pkt(uint64(arrivals), 1000), now) != DropNone {
+			drops++
+		} else {
+			q.Dequeue(now)
+		}
+		arrivals++
+	}
+	rate := float64(drops) / 20_000
+	// Midband pb = maxp/2 = 0.05; the count adjustment roughly doubles the
+	// effective rate (uniform inter-drop spacing in [1, 1/pb]).
+	if rate < 0.03 || rate > 0.2 {
+		t.Fatalf("in-band drop rate %.3f outside [0.03, 0.2] (avg %.0f)", rate, q.State().Avg())
+	}
+}
+
+func TestREDIdleDecay(t *testing.T) {
+	cfg := redCfg()
+	q := NewRED(cfg, rand.New(rand.NewSource(3)))
+	for i := 0; i < 60; i++ {
+		q.Enqueue(pkt(uint64(i), 1000), 0)
+	}
+	avgBusy := q.State().Avg()
+	for q.Dequeue(time.Millisecond) != nil {
+	}
+	// One arrival after a long idle period: the average must have decayed.
+	q.Enqueue(pkt(1000, 1000), 10*time.Second)
+	if got := q.State().Avg(); got >= avgBusy {
+		t.Fatalf("average did not decay over idle: %.1f -> %.1f", avgBusy, got)
+	}
+}
+
+func TestREDStateReplayMatchesLive(t *testing.T) {
+	// The validator's replay sees the same arrival occupancy sequence and
+	// outcomes; its probabilities must match the live queue's exactly.
+	cfg := redCfg()
+	rng := rand.New(rand.NewSource(11))
+	live := NewRED(cfg, rng)
+	replay := NewREDState(cfg)
+
+	now := time.Duration(0)
+	for i := 0; i < 5000; i++ {
+		now += 500 * time.Microsecond
+		qBytes := live.Bytes()
+		wantProb := replay.Arrive(qBytes, now)
+		reason := live.Enqueue(pkt(uint64(i), 1000), now)
+		if live.LastProb != wantProb {
+			t.Fatalf("arrival %d: live prob %.6f, replay prob %.6f", i, live.LastProb, wantProb)
+		}
+		replay.RecordOutcome(reason != DropNone, live.Bytes(), now)
+		if i%2 == 0 {
+			live.Dequeue(now)
+			replay.NoteDeparture(live.Bytes(), now)
+		}
+		if replay.Avg() != live.State().Avg() {
+			t.Fatalf("arrival %d: avg diverged %.3f vs %.3f", i, replay.Avg(), live.State().Avg())
+		}
+	}
+}
+
+func TestREDInvalidConfigPanics(t *testing.T) {
+	bad := redCfg()
+	bad.MaxTh = bad.MinTh
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid RED config did not panic")
+		}
+	}()
+	NewREDState(bad)
+}
+
+func TestDropReasonString(t *testing.T) {
+	for r, want := range map[DropReason]string{
+		DropNone: "none", DropCongestion: "congestion", DropREDEarly: "red-early",
+		DropREDForced: "red-forced", DropMalicious: "malicious", DropTTL: "ttl",
+		DropNoRoute: "no-route", DropReason(99): "unknown",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("DropReason(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}

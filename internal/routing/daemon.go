@@ -1,0 +1,320 @@
+package routing
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"routerwatch/internal/auth"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/sim"
+	"routerwatch/internal/topology"
+)
+
+// Control message kinds used by the routing protocol.
+const (
+	// KindLSA floods link-state advertisements.
+	KindLSA = "routing/lsa"
+	// KindAlert floods signed path-segment suspicions.
+	KindAlert = "routing/alert"
+)
+
+// LSA is a link-state advertisement: a router's view of its own adjacency.
+type LSA struct {
+	Origin    packet.NodeID
+	Seq       uint64
+	Neighbors []NeighborEntry
+}
+
+// NeighborEntry is one adjacency in an LSA.
+type NeighborEntry struct {
+	ID   packet.NodeID
+	Cost int
+}
+
+// Alert is a flooded suspicion: the announcer suspects the path-segment.
+// Correct routers honor it only if the signature verifies and the announcer
+// is a member of the segment (§4.2.2: a faulty router announcing bogus
+// suspicions can only break links adjacent to itself, which "adds no
+// further disadvantage").
+type Alert struct {
+	Announcer packet.NodeID
+	Seq       uint64
+	Segment   topology.Segment
+	Sig       auth.Signature
+}
+
+// EncodeAlertBody serializes the signed portion of an alert.
+func EncodeAlertBody(announcer packet.NodeID, seq uint64, seg topology.Segment) []byte {
+	b := make([]byte, 12+4*len(seg))
+	binary.BigEndian.PutUint32(b, uint32(announcer))
+	binary.BigEndian.PutUint64(b[4:], seq)
+	for i, id := range seg {
+		binary.BigEndian.PutUint32(b[12+4*i:], uint32(id))
+	}
+	return b
+}
+
+// Daemon is the per-router routing process.
+type Daemon struct {
+	proto  *Protocol
+	router *network.Router
+	id     packet.NodeID
+
+	lsdb      map[packet.NodeID]*LSA
+	seenAlert map[packet.NodeID]uint64
+	excl      *Exclusions
+	seq       uint64
+	alertSeq  uint64
+
+	timers        Timers
+	lastCompute   time.Duration
+	computeQueued bool
+	everComputed  bool
+
+	table *Table
+
+	// onRecompute, if set, observes each table installation (tests,
+	// experiment timelines).
+	onRecompute func(at time.Duration)
+}
+
+// Protocol wires a routing daemon onto every router of a network.
+type Protocol struct {
+	net     *network.Network
+	timers  Timers
+	daemons []*Daemon
+}
+
+// Attach creates and starts a daemon on every router. Initial LSAs flood at
+// staggered start times; tables converge after the delay/hold timers.
+func Attach(net *network.Network, timers Timers) *Protocol {
+	if timers.Delay == 0 && timers.Hold == 0 {
+		timers = DefaultTimers()
+	}
+	p := &Protocol{net: net, timers: timers}
+	for _, r := range net.Routers() {
+		d := &Daemon{
+			proto:     p,
+			router:    r,
+			id:        r.ID(),
+			lsdb:      make(map[packet.NodeID]*LSA),
+			seenAlert: make(map[packet.NodeID]uint64),
+			excl:      NewExclusions(),
+			timers:    timers,
+			// Allow the very first computation to run immediately after
+			// the delay timer regardless of hold.
+			lastCompute: -timers.Hold,
+		}
+		r.HandleControl(KindLSA, d.handleLSA)
+		r.HandleControl(KindAlert, d.handleAlert)
+		p.daemons = append(p.daemons, d)
+	}
+	// Origin LSAs, staggered per router to avoid a synchronized burst.
+	for i, d := range p.daemons {
+		d := d
+		net.Scheduler().At(time.Duration(i)*time.Millisecond, d.originateLSA)
+	}
+	return p
+}
+
+// Daemon returns the daemon at router id.
+func (p *Protocol) Daemon(id packet.NodeID) *Daemon { return p.daemons[id] }
+
+// Daemons returns all daemons in router-ID order.
+func (p *Protocol) Daemons() []*Daemon { return p.daemons }
+
+// ID returns the daemon's router ID.
+func (d *Daemon) ID() packet.NodeID { return d.id }
+
+// Exclusions returns the daemon's current excluded segments.
+func (d *Daemon) Exclusions() *Exclusions { return d.excl }
+
+// Table returns the most recently installed forwarding table (nil before
+// first convergence).
+func (d *Daemon) Table() *Table { return d.table }
+
+// OnRecompute registers an observer of table installations.
+func (d *Daemon) OnRecompute(fn func(at time.Duration)) { d.onRecompute = fn }
+
+func (d *Daemon) originateLSA() {
+	d.seq++
+	g := d.proto.net.Graph()
+	var nbs []NeighborEntry
+	for _, nb := range g.Neighbors(d.id) {
+		link, _ := g.Link(d.id, nb)
+		nbs = append(nbs, NeighborEntry{ID: nb, Cost: link.Cost})
+	}
+	lsa := &LSA{Origin: d.id, Seq: d.seq, Neighbors: nbs}
+	d.acceptLSA(lsa, -1)
+}
+
+// handleLSA processes a flooded LSA arriving from a neighbor.
+func (d *Daemon) handleLSA(m *network.ControlMessage) {
+	lsa, ok := m.Payload.(*LSA)
+	if !ok {
+		return
+	}
+	d.acceptLSA(lsa, m.From)
+}
+
+// acceptLSA installs a new LSA and re-floods it. from is the neighbor it
+// arrived from, or -1 if originated locally.
+func (d *Daemon) acceptLSA(lsa *LSA, from packet.NodeID) {
+	if cur := d.lsdb[lsa.Origin]; cur != nil && cur.Seq >= lsa.Seq {
+		return
+	}
+	d.lsdb[lsa.Origin] = lsa
+	d.flood(KindLSA, lsa, from)
+	d.scheduleRecompute()
+}
+
+// handleAlert processes a flooded suspicion.
+func (d *Daemon) handleAlert(m *network.ControlMessage) {
+	alert, ok := m.Payload.(*Alert)
+	if !ok {
+		return
+	}
+	d.acceptAlert(alert, m.From)
+}
+
+func (d *Daemon) acceptAlert(alert *Alert, from packet.NodeID) {
+	if d.seenAlert[alert.Announcer] >= alert.Seq {
+		return
+	}
+	// Verify the announcer signed this exact suspicion.
+	body := EncodeAlertBody(alert.Announcer, alert.Seq, alert.Segment)
+	if !d.proto.net.Auth().Verify(body, alert.Sig) || alert.Sig.Signer != alert.Announcer {
+		return
+	}
+	// Only segments containing the announcer are honored.
+	if !alert.Segment.Contains(alert.Announcer) {
+		return
+	}
+	d.seenAlert[alert.Announcer] = alert.Seq
+	d.flood(KindAlert, alert, from)
+	if d.excl.Add(alert.Segment) {
+		d.scheduleRecompute()
+	}
+}
+
+// AnnounceSuspicion floods a signed suspicion of the path-segment from this
+// router (detectors call this; §2.4.3 response). The announcement is also
+// applied locally.
+func (d *Daemon) AnnounceSuspicion(seg topology.Segment) {
+	d.alertSeq++
+	body := EncodeAlertBody(d.id, d.alertSeq, seg)
+	alert := &Alert{
+		Announcer: d.id,
+		Seq:       d.alertSeq,
+		Segment:   append(topology.Segment(nil), seg...),
+		Sig:       d.proto.net.Auth().Sign(d.id, body),
+	}
+	d.acceptAlert(alert, -1)
+}
+
+// flood relays a message to all neighbors except the one it came from
+// (Perlman-style robust flooding over direct links; a protocol-faulty
+// neighbor can refuse to relay, but with the good-path assumption every
+// correct router is still reached).
+func (d *Daemon) flood(kind string, payload any, except packet.NodeID) {
+	for _, nb := range d.proto.net.Graph().Neighbors(d.id) {
+		if nb == except {
+			continue
+		}
+		d.proto.net.SendControlDirect(d.id, nb, kind, payload, auth.Signature{})
+	}
+}
+
+// scheduleRecompute applies the OSPF delay/hold timers: compute Delay after
+// the trigger, but never within Hold of the previous computation.
+func (d *Daemon) scheduleRecompute() {
+	if d.computeQueued {
+		return
+	}
+	d.computeQueued = true
+	sched := d.proto.net.Scheduler()
+	at := sched.Now() + d.timers.Delay
+	if earliest := d.lastCompute + d.timers.Hold; d.everComputed && at < earliest {
+		at = earliest
+	}
+	delay := at - sched.Now()
+	sched.After(delay, d.recompute)
+}
+
+// recompute rebuilds the graph from the LSDB, applies exclusions, computes
+// the table, and installs it as the router's forwarder.
+func (d *Daemon) recompute() {
+	d.computeQueued = false
+	d.lastCompute = d.proto.net.Scheduler().Now()
+	d.everComputed = true
+
+	g := d.graphFromLSDB()
+	d.table = ComputeTable(g, d.id, d.excl)
+	tbl := d.table
+	self := d.id
+	d.router.SetForwarder(func(p *packet.Packet, from packet.NodeID) (packet.NodeID, bool) {
+		if from == self {
+			return tbl.NextHop(self, p.Dst)
+		}
+		return tbl.NextHop(from, p.Dst)
+	})
+	if d.onRecompute != nil {
+		d.onRecompute(d.lastCompute)
+	}
+}
+
+// graphFromLSDB reconstructs the topology as advertised. A link u→v is
+// installed iff u advertises v (LSAs are trusted here; securing the control
+// plane is §1.1.1's problem, explicitly out of scope for the detectors).
+// Physical attributes are copied from the simulator's ground-truth graph.
+func (d *Daemon) graphFromLSDB() *topology.Graph {
+	truth := d.proto.net.Graph()
+	g := topology.NewGraph()
+	for _, id := range truth.Nodes() {
+		g.AddNode(truth.Name(id))
+	}
+	origins := make([]packet.NodeID, 0, len(d.lsdb))
+	for o := range d.lsdb {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, o := range origins {
+		for _, nb := range d.lsdb[o].Neighbors {
+			if l, ok := truth.Link(o, nb.ID); ok {
+				l.Cost = nb.Cost
+				g.AddLink(l)
+			}
+		}
+	}
+	return g
+}
+
+// Converged reports whether every daemon has computed at least one table
+// and no recomputation is pending.
+func (p *Protocol) Converged() bool {
+	for _, d := range p.daemons {
+		if d.table == nil || d.computeQueued {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilConverged advances the simulation until all daemons converge or
+// the deadline passes; it reports success.
+func (p *Protocol) RunUntilConverged(deadline time.Duration) bool {
+	sched := p.net.Scheduler()
+	for sched.Now() < deadline {
+		if p.Converged() {
+			return true
+		}
+		if !stepOne(sched) {
+			break
+		}
+	}
+	return p.Converged()
+}
+
+func stepOne(s *sim.Scheduler) bool { return s.Step() }

@@ -1,0 +1,345 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/topology"
+)
+
+func TestComputeTablePlain(t *testing.T) {
+	g := topology.Line(4)
+	tables := make(map[packet.NodeID]*Table)
+	excl := NewExclusions()
+	for _, id := range g.Nodes() {
+		tables[id] = ComputeTable(g, id, excl)
+	}
+	p := PathFromTables(tables, 0, 3, 10)
+	if len(p) != 4 {
+		t.Fatalf("path %v, want the 4-node line", p)
+	}
+}
+
+func TestExclusionLinkRemoval(t *testing.T) {
+	// Square: a-b-d and a-c-d. Exclude ⟨a,b⟩: traffic must go a-c-d.
+	g := topology.NewGraph()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	c, dd := g.AddNode("c"), g.AddNode("d")
+	attrs := topology.DefaultLinkAttrs()
+	g.AddDuplex(a, b, attrs)
+	g.AddDuplex(b, dd, attrs)
+	g.AddDuplex(a, c, attrs)
+	g.AddDuplex(c, dd, attrs)
+
+	excl := NewExclusions()
+	if !excl.Add(topology.Segment{a, b}) {
+		t.Fatal("Add returned false for fresh segment")
+	}
+	if excl.Add(topology.Segment{a, b}) {
+		t.Fatal("duplicate Add returned true")
+	}
+
+	tables := make(map[packet.NodeID]*Table)
+	for _, id := range g.Nodes() {
+		tables[id] = ComputeTable(g, id, excl)
+	}
+	p := PathFromTables(tables, a, dd, 10)
+	want := topology.Path{a, c, dd}
+	if p.String() != want.String() {
+		t.Fatalf("path %v, want %v", p, want)
+	}
+	// Reverse direction b→a is NOT excluded (directed exclusion).
+	if p := PathFromTables(tables, b, a, 10); p == nil || len(p) != 2 {
+		t.Fatalf("reverse path %v, want direct", p)
+	}
+}
+
+func TestExclusionTransitionForbidden(t *testing.T) {
+	// Line 0-1-2-3 plus detour 1-4-2. Excluding ⟨0,1,2⟩ forbids the
+	// transition at 1, so 0's traffic goes 0-1-4-2-3, while 1's own
+	// locally originated traffic may still use 1-2 directly.
+	g := topology.Line(4)
+	four := g.AddNode("n4")
+	attrs := topology.DefaultLinkAttrs()
+	g.AddDuplex(1, four, attrs)
+	g.AddDuplex(four, 2, attrs)
+
+	excl := NewExclusions()
+	excl.Add(topology.Segment{0, 1, 2})
+
+	tables := make(map[packet.NodeID]*Table)
+	for _, id := range g.Nodes() {
+		tables[id] = ComputeTable(g, id, excl)
+	}
+	p := PathFromTables(tables, 0, 3, 10)
+	want := topology.Path{0, 1, four, 2, 3}
+	if p.String() != want.String() {
+		t.Fatalf("path %v, want %v", p, want)
+	}
+	// Locally originated traffic at 1 is unaffected by the transition.
+	p1 := PathFromTables(tables, 1, 3, 10)
+	want1 := topology.Path{1, 2, 3}
+	if p1.String() != want1.String() {
+		t.Fatalf("local path %v, want %v", p1, want1)
+	}
+}
+
+func TestExclusionDisconnects(t *testing.T) {
+	g := topology.Line(3)
+	excl := NewExclusions()
+	excl.Add(topology.Segment{0, 1})
+	tbl := ComputeTable(g, 0, excl)
+	if _, ok := tbl.NextHop(0, 2); ok {
+		t.Fatal("excluded-only route still returned a next hop")
+	}
+}
+
+func TestLongSegmentExclusion(t *testing.T) {
+	e := NewExclusions()
+	e.Add(topology.Segment{1, 2, 3, 4})
+	if !e.TransitionForbidden(1, 2, 3) || !e.TransitionForbidden(2, 3, 4) {
+		t.Fatal("interior transitions not forbidden")
+	}
+	if e.LinkExcluded(1, 2) {
+		t.Fatal("4-segment should not remove links")
+	}
+	if e.Len() != 1 || !e.Has(topology.Segment{1, 2, 3, 4}) {
+		t.Fatal("segment bookkeeping wrong")
+	}
+}
+
+func newAbileneNet(t *testing.T) (*network.Network, *Protocol) {
+	t.Helper()
+	g := topology.Abilene()
+	net := network.New(g, network.Options{Seed: 5})
+	proto := Attach(net, Timers{Delay: time.Second, Hold: 2 * time.Second})
+	if !proto.RunUntilConverged(time.Minute) {
+		t.Fatal("routing did not converge")
+	}
+	return net, proto
+}
+
+func TestDaemonConvergence(t *testing.T) {
+	net, proto := newAbileneNet(t)
+	g := net.Graph()
+	sunny, _ := g.Lookup("Sunnyvale")
+	ny, _ := g.Lookup("NewYork")
+
+	// After convergence, data-plane delivery works along the primary path.
+	var deliveredAt time.Duration
+	net.Router(ny).SetLocalHandler(func(p *packet.Packet) { deliveredAt = net.Now() })
+	start := net.Now()
+	net.Inject(sunny, &packet.Packet{Dst: ny, Size: 1000})
+	net.Run(start + time.Second)
+	if deliveredAt == 0 {
+		t.Fatal("packet not delivered after convergence")
+	}
+	oneWay := deliveredAt - start
+	// 25 ms propagation plus transmission times (1000B @ 100Mb/s = 80 µs/hop).
+	if oneWay < 25*time.Millisecond || oneWay > 27*time.Millisecond {
+		t.Fatalf("one-way latency %v, want ≈25ms", oneWay)
+	}
+	_ = proto
+}
+
+func TestAlertTriggersReroute(t *testing.T) {
+	net, proto := newAbileneNet(t)
+	g := net.Graph()
+	sunny, _ := g.Lookup("Sunnyvale")
+	ny, _ := g.Lookup("NewYork")
+	den, _ := g.Lookup("Denver")
+	kc, _ := g.Lookup("KansasCity")
+	ind, _ := g.Lookup("Indianapolis")
+
+	// Denver suspects ⟨Denver, KansasCity, Indianapolis⟩ and floods it.
+	proto.Daemon(den).AnnounceSuspicion(topology.Segment{den, kc, ind})
+	// Delay (1s) + margin for flooding.
+	net.Run(net.Now() + 5*time.Second)
+
+	var deliveredAt time.Duration
+	var hops []packet.NodeID
+	for _, r := range net.Routers() {
+		r := r
+		r.AddTap(func(ev network.Event) {
+			if ev.Kind == network.EvReceive {
+				hops = append(hops, ev.Router)
+			}
+		})
+	}
+	net.Router(ny).SetLocalHandler(func(p *packet.Packet) { deliveredAt = net.Now() })
+	start := net.Now()
+	net.Inject(sunny, &packet.Packet{Dst: ny, Size: 1000})
+	net.Run(start + time.Second)
+
+	if deliveredAt == 0 {
+		t.Fatal("packet not delivered after reroute")
+	}
+	for _, h := range hops {
+		if h == kc {
+			t.Fatalf("packet still traversed Kansas City: hops %v", hops)
+		}
+	}
+	oneWay := deliveredAt - start
+	if oneWay < 27*time.Millisecond || oneWay > 30*time.Millisecond {
+		t.Fatalf("post-reroute latency %v, want ≈28ms", oneWay)
+	}
+}
+
+func TestBogusAlertRejected(t *testing.T) {
+	net, proto := newAbileneNet(t)
+	g := net.Graph()
+	kc, _ := g.Lookup("KansasCity")
+	ind, _ := g.Lookup("Indianapolis")
+	chi, _ := g.Lookup("Chicago")
+	sea, _ := g.Lookup("Seattle")
+
+	// Seattle (not a member of the segment) announces a suspicion framing
+	// Kansas City–Indianapolis–Chicago. Correct routers must ignore it.
+	proto.Daemon(sea).AnnounceSuspicion(topology.Segment{kc, ind, chi})
+	net.Run(net.Now() + 5*time.Second)
+	for _, d := range proto.Daemons() {
+		if d.ID() == sea {
+			continue
+		}
+		if d.Exclusions().Len() != 0 {
+			t.Fatalf("router %v accepted a non-member suspicion", d.ID())
+		}
+	}
+}
+
+func TestForgedAlertSignatureRejected(t *testing.T) {
+	net, proto := newAbileneNet(t)
+	g := net.Graph()
+	den, _ := g.Lookup("Denver")
+	kc, _ := g.Lookup("KansasCity")
+	ind, _ := g.Lookup("Indianapolis")
+	sea, _ := g.Lookup("Seattle")
+
+	// Seattle forges an alert claiming to be from Denver without Denver's
+	// key: signature verification must reject it.
+	seg := topology.Segment{den, kc, ind}
+	forged := &Alert{
+		Announcer: den,
+		Seq:       99,
+		Segment:   seg,
+		Sig:       net.Auth().Sign(sea, EncodeAlertBody(den, 99, seg)),
+	}
+	forged.Sig.Signer = den // lie about the signer
+	for _, nb := range g.Neighbors(sea) {
+		net.SendControlDirect(sea, nb, KindAlert, forged, forged.Sig)
+	}
+	net.Run(net.Now() + 5*time.Second)
+	for _, d := range proto.Daemons() {
+		if d.Exclusions().Len() != 0 {
+			t.Fatalf("router %v accepted a forged alert", d.ID())
+		}
+	}
+}
+
+func TestHoldTimerBatchesRecomputations(t *testing.T) {
+	g := topology.Abilene()
+	net := network.New(g, network.Options{Seed: 5})
+	proto := Attach(net, Timers{Delay: time.Second, Hold: 10 * time.Second})
+	if !proto.RunUntilConverged(2 * time.Minute) {
+		t.Fatal("no convergence")
+	}
+	den, _ := g.Lookup("Denver")
+	kc, _ := g.Lookup("KansasCity")
+	ind, _ := g.Lookup("Indianapolis")
+	hou, _ := g.Lookup("Houston")
+
+	d := proto.Daemon(den)
+	var recomputes []time.Duration
+	d.OnRecompute(func(at time.Duration) { recomputes = append(recomputes, at) })
+
+	base := net.Now()
+	d.AnnounceSuspicion(topology.Segment{den, kc, ind})
+	net.Run(base + 100*time.Millisecond)
+	d.AnnounceSuspicion(topology.Segment{den, kc, hou})
+	net.Run(base + time.Minute)
+
+	if len(recomputes) == 0 {
+		t.Fatal("no recomputation happened")
+	}
+	for i := 1; i < len(recomputes); i++ {
+		if gap := recomputes[i] - recomputes[i-1]; gap < 10*time.Second {
+			t.Fatalf("recomputations %v apart, hold is 10s", gap)
+		}
+	}
+	// First recompute at least Delay after the trigger.
+	if recomputes[0] < base+time.Second {
+		t.Fatalf("recompute at %v, before delay elapsed (base %v)", recomputes[0], base)
+	}
+}
+
+func TestTableNextHopFallback(t *testing.T) {
+	g := topology.Line(3)
+	tbl := ComputeTable(g, 1, NewExclusions())
+	// Unknown inbound neighbor falls back to the local row.
+	nh, ok := tbl.NextHop(99, 2)
+	if !ok || nh != 2 {
+		t.Fatalf("fallback next hop = %v/%v", nh, ok)
+	}
+}
+
+// Property: under random segment exclusions on random connected graphs,
+// forwarding never loops — every (src, dst) either reaches its destination
+// or is cleanly unroutable.
+func TestNoLoopsUnderRandomExclusions(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		spec := topology.GeneratorSpec{
+			Name: "p", Nodes: 14, Links: 22, MaxDegree: 6, Seed: int64(trial + 1),
+		}
+		g := topology.Generate(spec)
+		rng := rand.New(rand.NewSource(int64(trial) + 99))
+		excl := NewExclusions()
+		// Random link and transition exclusions.
+		links := g.Links()
+		for i := 0; i < 4; i++ {
+			l := links[rng.Intn(len(links))]
+			excl.Add(topology.Segment{l.From, l.To})
+		}
+		for i := 0; i < 4; i++ {
+			l := links[rng.Intn(len(links))]
+			for _, w := range g.Neighbors(l.To) {
+				if w != l.From {
+					excl.Add(topology.Segment{l.From, l.To, w})
+					break
+				}
+			}
+		}
+		tables := make(map[packet.NodeID]*Table)
+		for _, id := range g.Nodes() {
+			tables[id] = ComputeTable(g, id, excl)
+		}
+		for _, src := range g.Nodes() {
+			for _, dst := range g.Nodes() {
+				if src == dst {
+					continue
+				}
+				p := PathFromTables(tables, src, dst, 3*g.NumNodes())
+				if p == nil {
+					continue // unroutable under exclusions: acceptable
+				}
+				if p[len(p)-1] != dst {
+					t.Fatalf("trial %d: path %v does not end at %v", trial, p, dst)
+				}
+				// The delivered path must not traverse an excluded link or
+				// forbidden transition.
+				for i := 0; i+1 < len(p); i++ {
+					if excl.LinkExcluded(p[i], p[i+1]) {
+						t.Fatalf("trial %d: path %v uses excluded link", trial, p)
+					}
+				}
+				for i := 0; i+2 < len(p); i++ {
+					if excl.TransitionForbidden(p[i], p[i+1], p[i+2]) {
+						t.Fatalf("trial %d: path %v uses forbidden transition", trial, p)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package routing implements the link-state routing substrate the detection
+// protocols assume (§2.1.6, §4.1): LSA flooding, deterministic shortest-path
+// computation, and — the response mechanism of §2.4.3/§5.3.1 — policy-based
+// forwarding that excises suspected path-segments from the routing fabric.
+//
+// Exclusions are realized by routing on the line graph (states are directed
+// links) with forbidden transitions: a suspected 2-segment ⟨a,b⟩ removes the
+// directed link a→b, and a suspected x-segment forbids each of its interior
+// transitions ⟨u,v,w⟩, so no traffic traverses the segment while the
+// adjacent routers remain usable on other paths — exactly the "less
+// aggressive countermeasure" the paper selects.
+package routing
+
+import (
+	"container/heap"
+	"time"
+
+	"routerwatch/internal/packet"
+	"routerwatch/internal/topology"
+)
+
+// Exclusions is the set of suspected path-segments removed from the routing
+// fabric.
+type Exclusions struct {
+	segments map[topology.SegmentKey]topology.Segment
+	links    map[[2]packet.NodeID]bool
+	trans    map[[3]packet.NodeID]bool
+}
+
+// NewExclusions returns an empty exclusion set.
+func NewExclusions() *Exclusions {
+	return &Exclusions{
+		segments: make(map[topology.SegmentKey]topology.Segment),
+		links:    make(map[[2]packet.NodeID]bool),
+		trans:    make(map[[3]packet.NodeID]bool),
+	}
+}
+
+// Add excises a path-segment: a 2-segment removes its directed link; longer
+// segments forbid each interior transition. Adding a segment of length < 2
+// is a no-op. It reports whether the segment was new.
+func (e *Exclusions) Add(seg topology.Segment) bool {
+	if len(seg) < 2 {
+		return false
+	}
+	key := topology.Key(seg)
+	if _, ok := e.segments[key]; ok {
+		return false
+	}
+	e.segments[key] = append(topology.Segment(nil), seg...)
+	if len(seg) == 2 {
+		e.links[[2]packet.NodeID{seg[0], seg[1]}] = true
+		return true
+	}
+	for i := 0; i+2 < len(seg); i++ {
+		e.trans[[3]packet.NodeID{seg[i], seg[i+1], seg[i+2]}] = true
+	}
+	return true
+}
+
+// Has reports whether the exact segment was excluded.
+func (e *Exclusions) Has(seg topology.Segment) bool {
+	_, ok := e.segments[topology.Key(seg)]
+	return ok
+}
+
+// Segments returns all excluded segments.
+func (e *Exclusions) Segments() []topology.Segment {
+	ss := make(topology.SegmentSet)
+	for _, seg := range e.segments {
+		ss.Add(seg)
+	}
+	return ss.Slice()
+}
+
+// Len returns the number of excluded segments.
+func (e *Exclusions) Len() int { return len(e.segments) }
+
+// LinkExcluded reports whether the directed link u→v is excised.
+func (e *Exclusions) LinkExcluded(u, v packet.NodeID) bool {
+	return e.links[[2]packet.NodeID{u, v}]
+}
+
+// TransitionForbidden reports whether forwarding u→v→w is excised.
+func (e *Exclusions) TransitionForbidden(u, v, w packet.NodeID) bool {
+	return e.trans[[3]packet.NodeID{u, v, w}]
+}
+
+// Table is a computed forwarding table for one router: next hop keyed by
+// (inbound neighbor, destination). The inbound dimension implements the
+// paper's policy-based routing (§5.3.1): traffic that arrived along the
+// prefix of a suspected segment must not continue along its suffix.
+type Table struct {
+	router packet.NodeID
+	// next[from][dst] = next hop, -1 if unreachable.
+	next map[packet.NodeID][]packet.NodeID
+}
+
+// NextHop returns the next hop for a packet from inbound neighbor from
+// (equal to the table's router for locally originated traffic) toward dst.
+func (t *Table) NextHop(from, dst packet.NodeID) (packet.NodeID, bool) {
+	row, ok := t.next[from]
+	if !ok {
+		// Unknown inbound neighbor (e.g. mis-delivered traffic): fall back
+		// to the locally-originated row, which has no transition
+		// constraint.
+		row, ok = t.next[t.router]
+		if !ok {
+			return -1, false
+		}
+	}
+	if int(dst) >= len(row) {
+		return -1, false
+	}
+	nh := row[dst]
+	return nh, nh >= 0
+}
+
+// ComputeTable builds router r's forwarding table over graph g with the
+// given exclusions, by Dijkstra on the line graph from each entry context.
+func ComputeTable(g *topology.Graph, r packet.NodeID, excl *Exclusions) *Table {
+	t := &Table{router: r, next: make(map[packet.NodeID][]packet.NodeID)}
+	contexts := append([]packet.NodeID{r}, g.Neighbors(r)...)
+	for _, from := range contexts {
+		t.next[from] = computeRow(g, r, from, excl)
+	}
+	return t
+}
+
+// edgeState indexes a directed link for line-graph Dijkstra.
+type edgeState struct {
+	u, v packet.NodeID
+}
+
+type lgItem struct {
+	st   edgeState
+	dist int64
+	// firstHop is the next hop out of the computing router for the path
+	// this state lies on; carried through so the row can be filled.
+	firstHop packet.NodeID
+}
+
+type lgHeap []lgItem
+
+func (h lgHeap) Len() int { return len(h) }
+func (h lgHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	if h[i].firstHop != h[j].firstHop {
+		return h[i].firstHop < h[j].firstHop
+	}
+	if h[i].st.u != h[j].st.u {
+		return h[i].st.u < h[j].st.u
+	}
+	return h[i].st.v < h[j].st.v
+}
+func (h lgHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *lgHeap) Push(x any)     { *h = append(*h, x.(lgItem)) }
+func (h *lgHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+
+// computeRow computes next hops at router r for traffic entering from
+// neighbor from (or originated locally when from == r).
+func computeRow(g *topology.Graph, r, from packet.NodeID, excl *Exclusions) []packet.NodeID {
+	n := g.NumNodes()
+	row := make([]packet.NodeID, n)
+	bestDist := make([]int64, n)
+	const inf = int64(1) << 62
+	for i := range row {
+		row[i] = -1
+		bestDist[i] = inf
+	}
+
+	type seenKey = edgeState
+	seen := make(map[seenKey]bool)
+	h := &lgHeap{}
+
+	for _, nb := range g.Neighbors(r) {
+		if excl.LinkExcluded(r, nb) {
+			continue
+		}
+		if from != r && excl.TransitionForbidden(from, r, nb) {
+			continue
+		}
+		if from != r && nb == from {
+			continue // no immediate U-turn back over the arrival link
+		}
+		link, _ := g.Link(r, nb)
+		heap.Push(h, lgItem{st: edgeState{r, nb}, dist: int64(link.Cost), firstHop: nb})
+	}
+
+	for h.Len() > 0 {
+		it := heap.Pop(h).(lgItem)
+		if seen[it.st] {
+			continue
+		}
+		seen[it.st] = true
+		v := it.st.v
+		if it.dist < bestDist[v] {
+			bestDist[v] = it.dist
+			row[v] = it.firstHop
+		}
+		for _, w := range g.Neighbors(v) {
+			next := edgeState{v, w}
+			if seen[next] {
+				continue
+			}
+			if excl.LinkExcluded(v, w) {
+				continue
+			}
+			if excl.TransitionForbidden(it.st.u, v, w) {
+				continue
+			}
+			link, _ := g.Link(v, w)
+			heap.Push(h, lgItem{st: next, dist: it.dist + int64(link.Cost), firstHop: it.firstHop})
+		}
+	}
+	return row
+}
+
+// PathFromTables traces the path a packet from src to dst takes under the
+// given per-router tables, for tests and experiments. It returns nil if the
+// packet would be dropped (no route) and caps at maxHops to catch loops.
+func PathFromTables(tables map[packet.NodeID]*Table, src, dst packet.NodeID, maxHops int) topology.Path {
+	path := topology.Path{src}
+	from := src
+	cur := src
+	for cur != dst {
+		if len(path) > maxHops {
+			return nil
+		}
+		tbl := tables[cur]
+		if tbl == nil {
+			return nil
+		}
+		nh, ok := tbl.NextHop(from, dst)
+		if !ok {
+			return nil
+		}
+		from = cur
+		cur = nh
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Timers are the OSPF-style route computation timers the Fatih evaluation
+// depends on (§5.3.2): Delay before recomputing after a triggering event,
+// Hold between consecutive computations.
+type Timers struct {
+	Delay time.Duration
+	Hold  time.Duration
+}
+
+// DefaultTimers returns the Zebra defaults used in the paper: 5 s delay,
+// 10 s hold.
+func DefaultTimers() Timers {
+	return Timers{Delay: 5 * time.Second, Hold: 10 * time.Second}
+}

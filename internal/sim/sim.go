@@ -1,0 +1,210 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All of routerwatch's network experiments run on top of this scheduler:
+// virtual time is a time.Duration measured from the start of the run, events
+// are closures ordered by (time, insertion sequence), and all randomness is
+// drawn from explicitly seeded sources so that every run is reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+
+	// index is the heap index, maintained by eventHeap; -1 once removed.
+	index int
+
+	canceled bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a discrete-event scheduler. The zero value is ready to use.
+//
+// Scheduler is not safe for concurrent use; simulations are single-threaded
+// by design so that runs are deterministic.
+type Scheduler struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// New returns a new Scheduler starting at virtual time zero.
+func New() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events scheduled but not yet fired.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a logic error in a deterministic simulation.
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the single earliest pending event, advancing virtual time.
+// It returns false if no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with firing time <= deadline and then advances the
+// clock to deadline. Events scheduled after deadline remain pending.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	for len(s.events) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// peek returns the earliest non-canceled event without firing it.
+func (s *Scheduler) peek() *Event {
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}
+
+// NewRNG returns a deterministic random source for the given seed. All
+// simulation components must obtain randomness through explicitly seeded
+// sources; package-global randomness is forbidden by design.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Ticker repeatedly schedules fn every interval until Stop is called.
+type Ticker struct {
+	s        *Scheduler
+	interval time.Duration
+	fn       func()
+	next     *Event
+	stopped  bool
+}
+
+// NewTicker starts a ticker whose first firing is at now+interval.
+func (s *Scheduler) NewTicker(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{s: s, interval: interval, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.next = t.s.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}

@@ -1,0 +1,281 @@
+// Package stats provides the statistical machinery of Protocol χ (§6.2.1):
+// the normal-distribution confidence tests that decide whether packet
+// losses are congestive or malicious, plus the analytic traffic models of
+// §6.1.2 that the paper evaluates and rejects as too imprecise.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// StdNormalCDF is Φ(x), the standard normal cumulative distribution.
+func StdNormalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// NormalCDF is the CDF of N(mu, sigma²) at x. A zero sigma degenerates to a
+// step function.
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return StdNormalCDF((x - mu) / sigma)
+}
+
+// Estimator accumulates a running mean and variance (Welford's algorithm).
+// The zero value is ready to use.
+type Estimator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates an observation.
+func (e *Estimator) Add(x float64) {
+	e.n++
+	d := x - e.mean
+	e.mean += d / float64(e.n)
+	e.m2 += d * (x - e.mean)
+}
+
+// N returns the number of observations.
+func (e *Estimator) N() int { return e.n }
+
+// Mean returns the sample mean.
+func (e *Estimator) Mean() float64 { return e.mean }
+
+// Variance returns the sample variance (n-1 denominator).
+func (e *Estimator) Variance() float64 {
+	if e.n < 2 {
+		return 0
+	}
+	return e.m2 / float64(e.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (e *Estimator) StdDev() float64 { return math.Sqrt(e.Variance()) }
+
+// SingleLossConfidence computes c_single from Fig 6.2: the confidence that
+// a packet of size ps, dropped when the predicted queue length was qpred,
+// was dropped maliciously.
+//
+// The derivation (§6.2.1) models the error X = qact − qpred as N(mu, sigma²)
+// estimated during a learning period. The drop is malicious iff there was
+// room in the buffer, i.e. qact + ps ≤ qlimit, so
+//
+//	c_single = P(Y ≤ (qlimit − qpred − ps − mu)/sigma) = (1 + erf(y1/√2))/2.
+func SingleLossConfidence(qlimit, qpred, ps, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if qpred+ps+mu <= qlimit {
+			return 1
+		}
+		return 0
+	}
+	y1 := (qlimit - qpred - ps - mu) / sigma
+	return 0.5 * (1 + math.Erf(y1/math.Sqrt2))
+}
+
+// CombinedLossConfidence computes c_combined from §6.2.1's combined packet
+// losses test: a Z-test over the n > 1 packets dropped in a round, with
+// psMean the mean dropped-packet size and qpredMean the mean predicted
+// queue length at the drop times.
+//
+// The hypothesis "the packets were lost due to malicious action" is that
+// the mean error exceeds qlimit − qpredMean − psMean; its Z-score is
+//
+//	z1 = (qlimit − qpredMean − psMean − mu) / (sigma/√n)
+//
+// and the confidence is P(Z < z1).
+func CombinedLossConfidence(qlimit, qpredMean, psMean, mu, sigma float64, n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	if sigma <= 0 {
+		if qpredMean+psMean+mu <= qlimit {
+			return 1
+		}
+		return 0
+	}
+	z1 := (qlimit - qpredMean - psMean - mu) / (sigma / math.Sqrt(float64(n)))
+	return StdNormalCDF(z1)
+}
+
+// PoissonBinomialZ computes the Z-score for observing k successes among
+// independent Bernoulli trials with probabilities probs, via the normal
+// approximation to the Poisson-binomial distribution (mean Σp, variance
+// Σp(1−p)). Protocol χ's RED validator uses it to test whether the observed
+// drop count is consistent with the replayed RED drop probabilities
+// (§6.5.2).
+func PoissonBinomialZ(probs []float64, k int) float64 {
+	var mean, variance float64
+	for _, p := range probs {
+		mean += p
+		variance += p * (1 - p)
+	}
+	if variance <= 0 {
+		if float64(k) == mean {
+			return 0
+		}
+		return math.Inf(sign(float64(k) - mean))
+	}
+	return (float64(k) - mean) / math.Sqrt(variance)
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// PoissonBinomialExcessConfidence returns P(observed ≤ k) under the
+// replayed drop probabilities: values near 1 mean the router dropped more
+// than RED plausibly would, i.e. maliciously.
+func PoissonBinomialExcessConfidence(probs []float64, k int) float64 {
+	return StdNormalCDF(PoissonBinomialZ(probs, k))
+}
+
+// --------------------------------------------------------------------------
+// Normality diagnostics (Fig 6.3: "Based on the central limit theorem ...
+// the error qerror = qact − qpred can be approximated with a normal
+// distribution. Indeed, this turns out to be the case.")
+
+// NormalityReport summarizes how close a sample is to N(mean, sd²).
+type NormalityReport struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	Skewness float64
+	// ExcessKurtosis is kurtosis − 3 (0 for a normal distribution).
+	ExcessKurtosis float64
+	// KSStatistic is the Kolmogorov–Smirnov D against the fitted normal.
+	KSStatistic float64
+}
+
+// String renders the report compactly.
+func (r NormalityReport) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f skew=%.3f exkurt=%.3f KS=%.4f",
+		r.N, r.Mean, r.StdDev, r.Skewness, r.ExcessKurtosis, r.KSStatistic)
+}
+
+// CheckNormality computes moment and Kolmogorov–Smirnov diagnostics of the
+// sample against a normal fit.
+func CheckNormality(sample []float64) NormalityReport {
+	n := len(sample)
+	rep := NormalityReport{N: n}
+	if n < 2 {
+		return rep
+	}
+	var est Estimator
+	for _, x := range sample {
+		est.Add(x)
+	}
+	rep.Mean = est.Mean()
+	rep.StdDev = est.StdDev()
+	if rep.StdDev == 0 {
+		return rep
+	}
+	var s3, s4 float64
+	for _, x := range sample {
+		z := (x - rep.Mean) / rep.StdDev
+		s3 += z * z * z
+		s4 += z * z * z * z
+	}
+	rep.Skewness = s3 / float64(n)
+	rep.ExcessKurtosis = s4/float64(n) - 3
+
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	maxD := 0.0
+	for i, x := range sorted {
+		f := NormalCDF(x, rep.Mean, rep.StdDev)
+		emp1 := float64(i+1) / float64(n)
+		emp0 := float64(i) / float64(n)
+		if d := math.Abs(f - emp1); d > maxD {
+			maxD = d
+		}
+		if d := math.Abs(f - emp0); d > maxD {
+			maxD = d
+		}
+	}
+	rep.KSStatistic = maxD
+	return rep
+}
+
+// --------------------------------------------------------------------------
+// Analytic traffic models (§6.1.2) — implemented as comparison baselines.
+
+// TCPSquareRootThroughput is the "famous square root formula":
+// B = (1/RTT) · sqrt(3/(2bp)) packets per second, for round-trip time rtt
+// (seconds), b packets acknowledged per ACK, and loss probability p.
+func TCPSquareRootThroughput(rtt float64, b float64, p float64) float64 {
+	if rtt <= 0 || b <= 0 || p <= 0 {
+		return math.Inf(1)
+	}
+	return (1 / rtt) * math.Sqrt(3/(2*b*p))
+}
+
+// TCPLossFromThroughput inverts the square-root formula: the loss rate a
+// long-lived flow of throughput B (packets/s) implies.
+func TCPLossFromThroughput(rtt, b, throughput float64) float64 {
+	if throughput <= 0 {
+		return 1
+	}
+	return 3 / (2 * b * math.Pow(throughput*rtt, 2))
+}
+
+// AppenzellerSigmaQ is Eq 6.1: the standard deviation of the bottleneck
+// queue occupancy for n desynchronized TCP flows, with tp the average
+// propagation delay (seconds), c the bottleneck capacity (bytes/s), and b
+// the maximum queue size (bytes):
+//
+//	σQ = (1/√3) · (√3/2 · 2·Tp·C + B) / √n  — simplified per the paper to
+//	σQ ≈ (1/√3) · ((3/2)·(2TpC + B)) / √n.
+//
+// The dissertation states the model is "a very rough approximation"; the
+// experiments use it only to show model-based congestion prediction is too
+// imprecise (§6.1.2).
+func AppenzellerSigmaQ(tp, c, b float64, n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return (1 / math.Sqrt(3)) * (1.5 * (2*tp*c + b)) / math.Sqrt(float64(n))
+}
+
+// AppenzellerLossProb is Eq 6.2: the congestive-drop probability estimate
+// p = (1 − erf(B/2 / (√2·σQ)))/2 for queue size b and occupancy deviation
+// sigmaQ.
+func AppenzellerLossProb(b, sigmaQ float64) float64 {
+	if sigmaQ <= 0 {
+		return 0
+	}
+	return (1 - math.Erf((b/2)/(math.Sqrt2*sigmaQ))) / 2
+}
+
+// Quantile returns the q-th sample quantile (0 ≤ q ≤ 1) by linear
+// interpolation over the sorted sample.
+func Quantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

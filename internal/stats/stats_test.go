@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStdNormalCDFLandmarks(t *testing.T) {
+	cases := []struct{ x, want, tol float64 }{
+		{0, 0.5, 1e-12},
+		{1.96, 0.975, 1e-3},
+		{-1.96, 0.025, 1e-3},
+		{3, 0.99865, 1e-4},
+		{-8, 0, 1e-9},
+		{8, 1, 1e-9},
+	}
+	for _, c := range cases {
+		if got := StdNormalCDF(c.x); math.Abs(got-c.want) > c.tol {
+			t.Errorf("Φ(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEstimator(t *testing.T) {
+	var e Estimator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		e.Add(x)
+	}
+	if e.N() != 8 {
+		t.Fatalf("N = %d", e.N())
+	}
+	if math.Abs(e.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", e.Mean())
+	}
+	// Sample variance with n-1: Σ(x-5)² = 32, 32/7.
+	if want := 32.0 / 7; math.Abs(e.Variance()-want) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", e.Variance(), want)
+	}
+}
+
+func TestEstimatorEmptyAndSingle(t *testing.T) {
+	var e Estimator
+	if e.Variance() != 0 || e.StdDev() != 0 {
+		t.Fatal("empty estimator variance not 0")
+	}
+	e.Add(5)
+	if e.Mean() != 5 || e.Variance() != 0 {
+		t.Fatal("single-sample estimator wrong")
+	}
+}
+
+func TestSingleLossConfidenceMonotone(t *testing.T) {
+	// The fuller the predicted queue, the lower the confidence the drop
+	// was malicious (it could have been congestive).
+	qlimit, ps, mu, sigma := 50_000.0, 1000.0, 0.0, 2000.0
+	prev := 2.0
+	for qpred := 0.0; qpred <= qlimit; qpred += 1000 {
+		c := SingleLossConfidence(qlimit, qpred, ps, mu, sigma)
+		if c > prev {
+			t.Fatalf("confidence increased with fuller queue at qpred=%v", qpred)
+		}
+		prev = c
+	}
+	if c := SingleLossConfidence(qlimit, 0, ps, mu, sigma); c < 0.999 {
+		t.Fatalf("empty-queue drop confidence %v, want ≈1", c)
+	}
+	if c := SingleLossConfidence(qlimit, qlimit, ps, mu, sigma); c > 0.5 {
+		t.Fatalf("full-queue drop confidence %v, want small", c)
+	}
+}
+
+func TestSingleLossConfidenceZeroSigma(t *testing.T) {
+	if c := SingleLossConfidence(50_000, 10_000, 1000, 0, 0); c != 1 {
+		t.Fatalf("deterministic room: confidence %v, want 1", c)
+	}
+	if c := SingleLossConfidence(50_000, 49_500, 1000, 0, 0); c != 0 {
+		t.Fatalf("deterministic overflow: confidence %v, want 0", c)
+	}
+}
+
+func TestCombinedLossConfidenceSharpensWithN(t *testing.T) {
+	// A borderline single drop is ambiguous, but many drops with the same
+	// margin are collectively damning.
+	qlimit, qpred, ps, mu, sigma := 50_000.0, 46_000.0, 1000.0, 0.0, 3000.0
+	c1 := CombinedLossConfidence(qlimit, qpred, ps, mu, sigma, 1)
+	c25 := CombinedLossConfidence(qlimit, qpred, ps, mu, sigma, 25)
+	if c25 <= c1 {
+		t.Fatalf("confidence did not sharpen: n=1 %v, n=25 %v", c1, c25)
+	}
+	if c25 < 0.99 {
+		t.Fatalf("25 borderline drops confidence %v, want > 0.99", c25)
+	}
+	if CombinedLossConfidence(qlimit, qpred, ps, mu, sigma, 0) != 0 {
+		t.Fatal("n=0 should give zero confidence")
+	}
+}
+
+func TestPoissonBinomialZ(t *testing.T) {
+	probs := make([]float64, 100)
+	for i := range probs {
+		probs[i] = 0.1
+	}
+	// Expected 10 drops, sd = sqrt(100*0.1*0.9) = 3.
+	if z := PoissonBinomialZ(probs, 10); math.Abs(z) > 1e-9 {
+		t.Fatalf("z at expectation = %v", z)
+	}
+	if z := PoissonBinomialZ(probs, 19); math.Abs(z-3) > 1e-9 {
+		t.Fatalf("z at +3σ = %v", z)
+	}
+	if c := PoissonBinomialExcessConfidence(probs, 25); c < 0.999 {
+		t.Fatalf("gross excess confidence %v", c)
+	}
+	if c := PoissonBinomialExcessConfidence(probs, 10); c < 0.45 || c > 0.55 {
+		t.Fatalf("at-expectation confidence %v, want ≈0.5", c)
+	}
+}
+
+func TestPoissonBinomialZeroVariance(t *testing.T) {
+	if z := PoissonBinomialZ(nil, 0); z != 0 {
+		t.Fatalf("empty trials z = %v", z)
+	}
+	if z := PoissonBinomialZ([]float64{0, 0}, 1); !math.IsInf(z, 1) {
+		t.Fatalf("impossible drop z = %v, want +Inf", z)
+	}
+}
+
+func TestCheckNormalityOnNormalSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sample := make([]float64, 20_000)
+	for i := range sample {
+		sample[i] = 5 + 3*rng.NormFloat64()
+	}
+	rep := CheckNormality(sample)
+	if math.Abs(rep.Mean-5) > 0.1 || math.Abs(rep.StdDev-3) > 0.1 {
+		t.Fatalf("fit off: %v", rep)
+	}
+	if math.Abs(rep.Skewness) > 0.05 || math.Abs(rep.ExcessKurtosis) > 0.1 {
+		t.Fatalf("moments off: %v", rep)
+	}
+	if rep.KSStatistic > 0.015 {
+		t.Fatalf("KS too large for normal data: %v", rep)
+	}
+}
+
+func TestCheckNormalityOnUniformSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sample := make([]float64, 20_000)
+	for i := range sample {
+		sample[i] = rng.Float64()
+	}
+	rep := CheckNormality(sample)
+	// Uniform has excess kurtosis -1.2; KS against normal fit is visibly
+	// larger than for normal data.
+	if rep.ExcessKurtosis > -1.0 {
+		t.Fatalf("uniform sample kurtosis %v, want ≈ -1.2", rep.ExcessKurtosis)
+	}
+	if rep.KSStatistic < 0.02 {
+		t.Fatalf("KS %v too small to distinguish uniform", rep.KSStatistic)
+	}
+}
+
+func TestCheckNormalityDegenerate(t *testing.T) {
+	if rep := CheckNormality(nil); rep.N != 0 {
+		t.Fatal("empty sample")
+	}
+	rep := CheckNormality([]float64{3, 3, 3})
+	if rep.StdDev != 0 || rep.KSStatistic != 0 {
+		t.Fatalf("constant sample: %v", rep)
+	}
+}
+
+func TestTCPSquareRootFormulaRoundTrip(t *testing.T) {
+	rtt, b := 0.1, 1.0
+	for _, p := range []float64{0.0001, 0.001, 0.01, 0.1} {
+		bw := TCPSquareRootThroughput(rtt, b, p)
+		back := TCPLossFromThroughput(rtt, b, bw)
+		if math.Abs(back-p)/p > 1e-9 {
+			t.Fatalf("round trip p=%v -> %v", p, back)
+		}
+	}
+	// Throughput decreases with loss.
+	if TCPSquareRootThroughput(rtt, b, 0.01) <= TCPSquareRootThroughput(rtt, b, 0.1) {
+		t.Fatal("throughput not decreasing in loss")
+	}
+}
+
+func TestAppenzellerModel(t *testing.T) {
+	// More flows → smaller σQ → lower loss estimate.
+	s10 := AppenzellerSigmaQ(0.05, 1.25e6, 50_000, 10)
+	s100 := AppenzellerSigmaQ(0.05, 1.25e6, 50_000, 100)
+	if s100 >= s10 {
+		t.Fatalf("σQ did not shrink with flows: %v vs %v", s10, s100)
+	}
+	p10 := AppenzellerLossProb(50_000, s10)
+	p100 := AppenzellerLossProb(50_000, s100)
+	if p100 >= p10 {
+		t.Fatalf("loss prob did not shrink with flows: %v vs %v", p10, p100)
+	}
+	if p := AppenzellerLossProb(50_000, 0); p != 0 {
+		t.Fatalf("zero sigma loss prob %v", p)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(s, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+}
+
+// Property: confidences are probabilities.
+func TestConfidencesAreProbabilities(t *testing.T) {
+	f := func(qpred, ps, mu uint16, sigma uint8, n uint8) bool {
+		c1 := SingleLossConfidence(50_000, float64(qpred), float64(ps), float64(mu), float64(sigma))
+		c2 := CombinedLossConfidence(50_000, float64(qpred), float64(ps), float64(mu), float64(sigma), int(n))
+		return c1 >= 0 && c1 <= 1 && c2 >= 0 && c2 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+package summary
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"routerwatch/internal/packet"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(100)
+	c.Add(200)
+	if c.Packets != 2 || c.Bytes != 300 {
+		t.Fatalf("counter = %+v", c)
+	}
+	var d Counter
+	d.Add(50)
+	c.Merge(d)
+	if c.Packets != 3 || c.Bytes != 350 {
+		t.Fatalf("merged = %+v", c)
+	}
+	if len(c.Encode()) != 16 {
+		t.Fatal("encode size")
+	}
+}
+
+func TestFPSetDiff(t *testing.T) {
+	a, b := NewFPSet(), NewFPSet()
+	for _, fp := range []packet.Fingerprint{1, 2, 3, 3} {
+		a.Add(fp)
+	}
+	for _, fp := range []packet.Fingerprint{2, 3, 4} {
+		b.Add(fp)
+	}
+	onlyA, onlyB := a.Diff(b)
+	if len(onlyA) != 2 || onlyA[0] != 1 || onlyA[1] != 3 {
+		t.Fatalf("onlyA = %v", onlyA)
+	}
+	if len(onlyB) != 1 || onlyB[0] != 4 {
+		t.Fatalf("onlyB = %v", onlyB)
+	}
+	if a.Len() != 4 || a.Count(3) != 2 {
+		t.Fatalf("len/count wrong: %d %d", a.Len(), a.Count(3))
+	}
+}
+
+func TestFPSetEncodeDeterministic(t *testing.T) {
+	a, b := NewFPSet(), NewFPSet()
+	fps := []packet.Fingerprint{9, 1, 5, 5, 2}
+	for _, fp := range fps {
+		a.Add(fp)
+	}
+	for i := len(fps) - 1; i >= 0; i-- {
+		b.Add(fps[i])
+	}
+	if string(a.Encode()) != string(b.Encode()) {
+		t.Fatal("encoding depends on insertion order")
+	}
+}
+
+func TestReorderAmountIdentity(t *testing.T) {
+	s, r := NewOrderedFP(), NewOrderedFP()
+	for i := packet.Fingerprint(0); i < 100; i++ {
+		s.Add(i)
+		r.Add(i)
+	}
+	if got := ReorderAmount(s, r); got != 0 {
+		t.Fatalf("in-order streams reorder amount %d", got)
+	}
+}
+
+func TestReorderAmountSwap(t *testing.T) {
+	s, r := NewOrderedFP(), NewOrderedFP()
+	for _, fp := range []packet.Fingerprint{1, 2, 3, 4, 5} {
+		s.Add(fp)
+	}
+	for _, fp := range []packet.Fingerprint{1, 3, 2, 4, 5} {
+		r.Add(fp)
+	}
+	// LCS of 12345 and 13245 is 4 (e.g. 1345) → amount 1.
+	if got := ReorderAmount(s, r); got != 1 {
+		t.Fatalf("single swap reorder amount %d, want 1", got)
+	}
+}
+
+func TestReorderAmountReversal(t *testing.T) {
+	s, r := NewOrderedFP(), NewOrderedFP()
+	n := 50
+	for i := 0; i < n; i++ {
+		s.Add(packet.Fingerprint(i))
+	}
+	for i := n - 1; i >= 0; i-- {
+		r.Add(packet.Fingerprint(i))
+	}
+	if got := ReorderAmount(s, r); got != n-1 {
+		t.Fatalf("full reversal reorder amount %d, want %d", got, n-1)
+	}
+}
+
+func TestReorderAmountIgnoresLosses(t *testing.T) {
+	// Lost and fabricated packets are filtered before the LCS (§2.2.1).
+	s, r := NewOrderedFP(), NewOrderedFP()
+	for _, fp := range []packet.Fingerprint{1, 2, 3, 4, 5, 6} {
+		s.Add(fp)
+	}
+	// 2 and 5 lost, 99 fabricated, order of survivors preserved.
+	for _, fp := range []packet.Fingerprint{1, 99, 3, 4, 6} {
+		r.Add(fp)
+	}
+	if got := ReorderAmount(s, r); got != 0 {
+		t.Fatalf("losses counted as reordering: %d", got)
+	}
+}
+
+func TestReorderAmountProperty(t *testing.T) {
+	// Permuting a stream never yields a negative amount and is zero iff
+	// the permutation is the identity on the common part.
+	f := func(perm []uint8) bool {
+		s, r := NewOrderedFP(), NewOrderedFP()
+		for i := range perm {
+			s.Add(packet.Fingerprint(i))
+		}
+		rng := rand.New(rand.NewSource(int64(len(perm))))
+		order := rng.Perm(len(perm))
+		for _, i := range order {
+			r.Add(packet.Fingerprint(i))
+		}
+		amt := ReorderAmount(s, r)
+		return amt >= 0 && amt < max(len(perm), 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimedFP(t *testing.T) {
+	tf := NewTimedFP()
+	tf.Add(7, 1000, 5000)
+	tf.Add(8, 500, 6000)
+	if tf.Len() != 2 {
+		t.Fatalf("len %d", tf.Len())
+	}
+	e := tf.Entries()[1]
+	if e.FP != 8 || e.Size != 500 || e.TS != 6000 {
+		t.Fatalf("entry %+v", e)
+	}
+	if len(tf.Encode()) != 56 {
+		t.Fatalf("encode size %d", len(tf.Encode()))
+	}
+	tf.AddFlow(9, 100, 7000, 42)
+	if got := tf.Entries()[2]; got.Flow != 42 {
+		t.Fatalf("flow not recorded: %+v", got)
+	}
+}
+
+func TestSampleRangeFraction(t *testing.T) {
+	s := SampleRange{K0: 1, K1: 2, Fraction: 0.25}
+	hits := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if s.Selects(packet.Fingerprint(i * 2654435761)) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("sampled fraction %.3f, want ≈0.25", got)
+	}
+}
+
+func TestSampleRangeAgreement(t *testing.T) {
+	// Two routers with the same keys sample identical subsets; different
+	// keys sample different subsets.
+	a := SampleRange{K0: 1, K1: 2, Fraction: 0.5}
+	b := SampleRange{K0: 1, K1: 2, Fraction: 0.5}
+	c := SampleRange{K0: 3, K1: 4, Fraction: 0.5}
+	differs := false
+	for i := 0; i < 1000; i++ {
+		fp := packet.Fingerprint(i * 888888877)
+		if a.Selects(fp) != b.Selects(fp) {
+			t.Fatal("same-key samplers disagree")
+		}
+		if a.Selects(fp) != c.Selects(fp) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different-key samplers never disagree")
+	}
+}
+
+func TestSampleRangeEdges(t *testing.T) {
+	all := SampleRange{Fraction: 1}
+	none := SampleRange{Fraction: 0}
+	if !all.Selects(42) || none.Selects(42) {
+		t.Fatal("edge fractions wrong")
+	}
+}
+
+func TestBloomBasic(t *testing.T) {
+	b := NewBloom(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		b.Add(packet.Fingerprint(i * 7919))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.Contains(packet.Fingerprint(i * 7919)) {
+			t.Fatal("false negative")
+		}
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if b.Contains(packet.Fingerprint(1<<40 + i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 10000; rate > 0.03 {
+		t.Fatalf("false positive rate %.3f", rate)
+	}
+}
+
+func TestBloomDiffEstimate(t *testing.T) {
+	a := NewBloom(2000, 0.01)
+	b := NewBloom(2000, 0.01)
+	for i := 0; i < 1000; i++ {
+		fp := packet.Fingerprint(i * 2654435761)
+		a.Add(fp)
+		b.Add(fp)
+	}
+	for i := 0; i < 50; i++ {
+		a.Add(packet.Fingerprint(1<<50 + i))
+	}
+	est := a.EstimateDiff(b)
+	if est < 25 || est > 100 {
+		t.Fatalf("diff estimate %.1f for true diff 50", est)
+	}
+	if d := a.EstimateDiff(a); d != 0 {
+		t.Fatalf("self diff %.1f", d)
+	}
+	// Bloom summaries are much smaller than explicit fingerprint lists.
+	if a.SizeBytes() >= 1050*8 {
+		t.Fatalf("bloom size %dB not smaller than explicit %dB", a.SizeBytes(), 1050*8)
+	}
+}
+
+func TestBloomIncompatible(t *testing.T) {
+	a := NewBloom(100, 0.01)
+	b := NewBloom(100000, 0.01)
+	if a.Compatible(b) {
+		t.Fatal("differently sized filters reported compatible")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,201 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/queue"
+	"routerwatch/internal/topology"
+)
+
+func simpleNet(seed int64) (*network.Network, *topology.SimpleChiTopology) {
+	st := topology.SimpleChi(3, 2)
+	net := network.New(st.Graph, network.Options{Seed: seed, ProcessingJitter: 50 * time.Microsecond})
+	return net, st
+}
+
+func TestSingleFlowDelivery(t *testing.T) {
+	net, st := simpleNet(1)
+	m := NewManager(net)
+	f := m.StartFlow(FlowConfig{Src: st.Sources[0], Dst: st.Sinks[0], MaxPackets: 200})
+	net.Run(30 * time.Second)
+
+	if f.State() != StateDone {
+		t.Fatalf("flow not done: %v", f)
+	}
+	if f.Stats.Delivered != 200 {
+		t.Fatalf("delivered %d, want 200", f.Stats.Delivered)
+	}
+	if f.Stats.EstablishedAt == 0 || f.Stats.SynRetries != 0 {
+		t.Fatalf("handshake stats: %+v", f.Stats)
+	}
+}
+
+func TestHandshakeLatency(t *testing.T) {
+	net, st := simpleNet(2)
+	m := NewManager(net)
+	f := m.StartFlow(FlowConfig{Src: st.Sources[0], Dst: st.Sinks[0], MaxPackets: 1})
+	net.Run(5 * time.Second)
+	// RTT over s->r->rd->t: ≈ 2×(1+5+1) ms plus transmission ≈ 14 ms.
+	lat := f.Stats.ConnectLatency()
+	if lat < 10*time.Millisecond || lat > 30*time.Millisecond {
+		t.Fatalf("connect latency %v, want ≈14ms", lat)
+	}
+}
+
+func TestCongestionSharing(t *testing.T) {
+	// Three greedy flows over the 10 Mbit/s bottleneck: aggregate goodput
+	// must approach link capacity and congestion must cause drops and
+	// retransmissions.
+	net, st := simpleNet(3)
+	m := NewManager(net)
+	drops := 0
+	net.Router(st.R).AddTap(func(ev network.Event) {
+		if ev.Kind == network.EvDrop && ev.Reason == queue.DropCongestion {
+			drops++
+		}
+	})
+	var flows []*Flow
+	for i := 0; i < 3; i++ {
+		flows = append(flows, m.StartFlow(FlowConfig{
+			Src: st.Sources[i], Dst: st.Sinks[i%2],
+			Start: time.Duration(i) * 100 * time.Millisecond,
+		}))
+	}
+	dur := 30 * time.Second
+	net.Run(dur)
+
+	totalDelivered := 0
+	retx := 0
+	for _, f := range flows {
+		totalDelivered += f.Stats.Delivered
+		retx += f.Stats.Retransmits
+		if f.Stats.Delivered == 0 {
+			t.Fatalf("flow %v starved", f)
+		}
+	}
+	goodput := float64(totalDelivered*1000*8) / dur.Seconds()
+	if goodput < 6e6 || goodput > 10.5e6 {
+		t.Fatalf("aggregate goodput %.2f Mbit/s, want ≈10", goodput/1e6)
+	}
+	if drops == 0 {
+		t.Fatal("greedy TCP over a small buffer never caused congestion drops")
+	}
+	if retx == 0 {
+		t.Fatal("drops occurred but no retransmissions")
+	}
+}
+
+func TestSYNLossCausesThreeSecondRetry(t *testing.T) {
+	// An attacker dropping the first SYN delays connection setup by the
+	// full 3 s initial RTO — the §6.1.1 observation that makes SYN attacks
+	// disproportionately harmful.
+	net, st := simpleNet(4)
+	att := &synDropper{remaining: 1}
+	net.Router(st.R).SetBehavior(att)
+	m := NewManager(net)
+	f := m.StartFlow(FlowConfig{Src: st.Sources[0], Dst: st.Sinks[0], MaxPackets: 5})
+	net.Run(20 * time.Second)
+
+	if f.Stats.SynRetries != 1 {
+		t.Fatalf("SYN retries = %d, want 1", f.Stats.SynRetries)
+	}
+	lat := f.Stats.ConnectLatency()
+	if lat < 3*time.Second || lat > 3200*time.Millisecond {
+		t.Fatalf("connect latency %v, want ≈3s", lat)
+	}
+	if f.Stats.Delivered != 5 {
+		t.Fatalf("delivered %d after recovery, want 5", f.Stats.Delivered)
+	}
+}
+
+// synDropper drops the first `remaining` SYN packets it forwards.
+type synDropper struct{ remaining int }
+
+func (s *synDropper) OnForward(_ *network.RouterView, p *packet.Packet, _ packet.NodeID) network.Verdict {
+	if p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK) && s.remaining > 0 {
+		s.remaining--
+		return network.Verdict{Action: network.ActDrop}
+	}
+	return network.Verdict{Action: network.ActForward}
+}
+
+func (s *synDropper) OnControl(*network.RouterView, *network.ControlMessage) network.ControlVerdict {
+	return network.CtrlForward
+}
+
+func TestFastRetransmitRecoversWithoutTimeout(t *testing.T) {
+	// Drop one mid-stream data packet once: Reno should recover via three
+	// duplicate ACKs, not a timeout.
+	net, st := simpleNet(5)
+	att := &seqDropper{seq: 50, remaining: 1}
+	net.Router(st.R).SetBehavior(att)
+	m := NewManager(net)
+	f := m.StartFlow(FlowConfig{Src: st.Sources[0], Dst: st.Sinks[0], MaxPackets: 200})
+	net.Run(30 * time.Second)
+
+	if f.Stats.Delivered != 200 {
+		t.Fatalf("delivered %d, want 200 (%+v)", f.Stats.Delivered, f.Stats)
+	}
+	if f.Stats.FastRetx == 0 {
+		t.Fatalf("no fast retransmit: %+v", f.Stats)
+	}
+}
+
+// seqDropper drops data packets with the given seq, a limited number of
+// times.
+type seqDropper struct {
+	seq       uint32
+	remaining int
+}
+
+func (s *seqDropper) OnForward(_ *network.RouterView, p *packet.Packet, _ packet.NodeID) network.Verdict {
+	if p.Flags == 0 && p.Seq == s.seq && s.remaining > 0 {
+		s.remaining--
+		return network.Verdict{Action: network.ActDrop}
+	}
+	return network.Verdict{Action: network.ActForward}
+}
+
+func (s *seqDropper) OnControl(*network.RouterView, *network.ControlMessage) network.ControlVerdict {
+	return network.CtrlForward
+}
+
+func TestCBRRate(t *testing.T) {
+	net, st := simpleNet(6)
+	m := NewManager(net)
+	delivered := 0
+	net.Router(st.Sinks[0]).SetLocalHandler(func(p *packet.Packet) { delivered++ })
+	m.StartCBR(st.Sources[0], st.Sinks[0], 1e6, 1000, 0, 10*time.Second)
+	net.Run(11 * time.Second)
+	// 1 Mbit/s of 1000 B packets = 125 pkt/s for 10 s = 1250.
+	if delivered < 1200 || delivered > 1300 {
+		t.Fatalf("CBR delivered %d, want ≈1250", delivered)
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	net, st := simpleNet(7)
+	m := NewManager(net)
+	delivered := 0
+	net.Router(st.Sinks[1]).SetLocalHandler(func(p *packet.Packet) { delivered++ })
+	m.StartPoisson(st.Sources[1], st.Sinks[1], 200, 500, 0, 10*time.Second)
+	net.Run(12 * time.Second)
+	if delivered < 1700 || delivered > 2300 {
+		t.Fatalf("Poisson delivered %d, want ≈2000", delivered)
+	}
+}
+
+func TestThroughputMetric(t *testing.T) {
+	net, st := simpleNet(8)
+	m := NewManager(net)
+	f := m.StartFlow(FlowConfig{Src: st.Sources[0], Dst: st.Sinks[0]})
+	net.Run(20 * time.Second)
+	// Single flow over 10 Mbit/s: throughput within [5, 10.5] Mbit/s.
+	bps := f.Throughput() * 8
+	if bps < 5e6 || bps > 10.5e6 {
+		t.Fatalf("throughput %.2f Mbit/s", bps/1e6)
+	}
+}

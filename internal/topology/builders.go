@@ -1,0 +1,213 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"routerwatch/internal/packet"
+)
+
+// Abilene returns the 11-PoP Abilene backbone used by the Fatih experiments
+// (Fig 5.6). Link delays are set so that the primary Sunnyvale→New York path
+// ⟨Sunnyvale, Denver, Kansas City, Indianapolis, Chicago, New York⟩ has a
+// one-way latency of 25 ms and the post-detection alternative
+// ⟨Sunnyvale, Los Angeles, Houston, Atlanta, Washington, New York⟩ 28 ms,
+// matching the RTTs (50 ms → 56 ms) reported in §5.3.2. Costs are the delay
+// in milliseconds, so link-state routing prefers the 25 ms path.
+func Abilene() *Graph {
+	g := NewGraph()
+	for _, name := range AbileneNodes {
+		g.AddNode(name)
+	}
+	link := func(a, b string, delayMS int) {
+		ia, _ := g.Lookup(a)
+		ib, _ := g.Lookup(b)
+		g.AddDuplex(ia, ib, LinkAttrs{
+			Bandwidth:  100e6,
+			Delay:      time.Duration(delayMS) * time.Millisecond,
+			QueueLimit: 128 << 10,
+			Cost:       delayMS,
+		})
+	}
+	link("Seattle", "Sunnyvale", 6)
+	link("Seattle", "Denver", 10)
+	link("Sunnyvale", "LosAngeles", 2)
+	link("Sunnyvale", "Denver", 5)
+	link("LosAngeles", "Houston", 7)
+	link("Denver", "KansasCity", 5)
+	link("KansasCity", "Houston", 6)
+	link("KansasCity", "Indianapolis", 5)
+	link("Houston", "Atlanta", 7)
+	link("Indianapolis", "Chicago", 4)
+	link("Indianapolis", "Atlanta", 6)
+	link("Atlanta", "Washington", 6)
+	link("Chicago", "NewYork", 6)
+	link("NewYork", "Washington", 6)
+	return g
+}
+
+// AbileneNodes lists the Abilene PoP names in node-ID order.
+var AbileneNodes = []string{
+	"Seattle", "Sunnyvale", "LosAngeles", "Denver", "KansasCity",
+	"Houston", "Indianapolis", "Chicago", "Atlanta", "NewYork", "Washington",
+}
+
+// SimpleChi returns the simple emulation topology of Fig 6.4 used by the
+// Protocol χ experiments: n source routers feeding a router r whose output
+// interface toward rd is the bottleneck under validation, with sink routers
+// behind rd.
+//
+//	s1 ─┐
+//	s2 ──┼── r ══ rd ── t1
+//	s3 ─┘        └──── t2
+//
+// Source and sink access links are fast (100 Mbit/s); the r→rd bottleneck
+// defaults to 10 Mbit/s with a 50 kB output buffer, producing congestive
+// loss under the TCP workloads of §6.4.
+func SimpleChi(sources, sinks int) *SimpleChiTopology {
+	if sources < 1 || sinks < 1 {
+		panic("topology: SimpleChi needs at least one source and one sink")
+	}
+	g := NewGraph()
+	st := &SimpleChiTopology{Graph: g}
+	st.R = g.AddNode("r")
+	st.RD = g.AddNode("rd")
+	access := LinkAttrs{Bandwidth: 100e6, Delay: 1 * time.Millisecond, QueueLimit: 256 << 10, Cost: 1}
+	for i := 0; i < sources; i++ {
+		s := g.AddNode(fmt.Sprintf("s%d", i+1))
+		st.Sources = append(st.Sources, s)
+		g.AddDuplex(s, st.R, access)
+	}
+	for i := 0; i < sinks; i++ {
+		t := g.AddNode(fmt.Sprintf("t%d", i+1))
+		st.Sinks = append(st.Sinks, t)
+		g.AddDuplex(st.RD, t, access)
+	}
+	g.AddDuplex(st.R, st.RD, LinkAttrs{
+		Bandwidth:  10e6,
+		Delay:      5 * time.Millisecond,
+		QueueLimit: 50_000,
+		Cost:       1,
+	})
+	return st
+}
+
+// SimpleChiTopology bundles the Fig 6.4 graph with its named roles.
+type SimpleChiTopology struct {
+	Graph   *Graph
+	Sources []packet.NodeID
+	R       packet.NodeID // router under validation
+	RD      packet.NodeID // downstream validator
+	Sinks   []packet.NodeID
+}
+
+// Line returns a linear topology r0—r1—…—r(n-1), the workhorse for unit
+// tests of path-segment protocols (the paper's running examples are paths).
+func Line(n int) *Graph {
+	g := NewGraph()
+	attrs := DefaultLinkAttrs()
+	var prev packet.NodeID
+	for i := 0; i < n; i++ {
+		id := g.AddNode(fmt.Sprintf("n%d", i))
+		if i > 0 {
+			g.AddDuplex(prev, id, attrs)
+		}
+		prev = id
+	}
+	return g
+}
+
+// GeneratorSpec parameterizes the synthetic ISP-topology generator used to
+// reproduce the Rocketfuel-measured networks of §5.1.1.
+type GeneratorSpec struct {
+	Name      string
+	Nodes     int
+	Links     int // duplex links
+	MaxDegree int
+	Seed      int64
+}
+
+// SprintlinkSpec matches the Rocketfuel Sprintlink measurement: 315 routers,
+// 972 links, mean degree 6.17, max degree 45.
+func SprintlinkSpec() GeneratorSpec {
+	return GeneratorSpec{Name: "sprintlink", Nodes: 315, Links: 972, MaxDegree: 45, Seed: 315}
+}
+
+// EBONESpec matches the Rocketfuel EBONE measurement: 87 routers, 161
+// links, mean degree 3.70, max degree 11.
+func EBONESpec() GeneratorSpec {
+	return GeneratorSpec{Name: "ebone", Nodes: 87, Links: 161, MaxDegree: 11, Seed: 87}
+}
+
+// Generate builds a connected preferential-attachment graph matching the
+// spec's node count, link count, and degree cap. Preferential attachment
+// yields the heavy-tailed degree distribution characteristic of measured
+// ISP topologies (a few hubs near MaxDegree, most routers with 2–4 links),
+// which is what the |Pr| distributions of Figs 5.2/5.4 depend on.
+func Generate(spec GeneratorSpec) *Graph {
+	if spec.Nodes < 2 {
+		panic("topology: generator needs at least two nodes")
+	}
+	maxLinks := spec.Nodes * (spec.Nodes - 1) / 2
+	if spec.Links > maxLinks {
+		panic("topology: more links than node pairs")
+	}
+	if spec.Links < spec.Nodes-1 {
+		panic("topology: too few links to connect the graph")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g := NewGraph()
+	for i := 0; i < spec.Nodes; i++ {
+		g.AddNode(fmt.Sprintf("%s%d", spec.Name, i))
+	}
+	attrs := DefaultLinkAttrs()
+
+	degree := make([]int, spec.Nodes)
+	// stubs lists node IDs once per incident link end, driving preferential
+	// attachment; capped nodes are filtered at selection time.
+	var stubs []packet.NodeID
+	addLink := func(a, b packet.NodeID) bool {
+		if a == b || g.HasLink(a, b) {
+			return false
+		}
+		if degree[a] >= spec.MaxDegree || degree[b] >= spec.MaxDegree {
+			return false
+		}
+		g.AddDuplex(a, b, attrs)
+		degree[a]++
+		degree[b]++
+		stubs = append(stubs, a, b)
+		return true
+	}
+
+	// Spanning skeleton: attach node i to a preferentially chosen earlier
+	// node, guaranteeing connectivity.
+	addLink(0, 1)
+	for i := 2; i < spec.Nodes; i++ {
+		for {
+			target := stubs[rng.Intn(len(stubs))]
+			if int(target) < i && addLink(packet.NodeID(i), target) {
+				break
+			}
+			// Fallback to a uniform earlier node if the preferential pick
+			// is saturated.
+			if u := packet.NodeID(rng.Intn(i)); addLink(packet.NodeID(i), u) {
+				break
+			}
+		}
+	}
+	// Densify to the target link count with preferential endpoints.
+	for g.NumDuplexLinks() < spec.Links {
+		a := stubs[rng.Intn(len(stubs))]
+		b := stubs[rng.Intn(len(stubs))]
+		if !addLink(a, b) {
+			// Occasional uniform rewiring avoids getting stuck when hubs
+			// saturate their degree cap.
+			a = packet.NodeID(rng.Intn(spec.Nodes))
+			b = packet.NodeID(rng.Intn(spec.Nodes))
+			addLink(a, b)
+		}
+	}
+	return g
+}

@@ -1,0 +1,364 @@
+// Package topology models the network graph the detection protocols run
+// over: routers, directional point-to-point links with bandwidth, delay,
+// queue capacity and routing cost, and the path / path-segment machinery
+// (§4.1) that Protocols Π2 and Πk+2 build their monitoring sets from.
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"routerwatch/internal/packet"
+)
+
+// Link is a directed point-to-point link between two routers.
+type Link struct {
+	From packet.NodeID
+	To   packet.NodeID
+
+	// Bandwidth is the transmission rate in bits per second.
+	Bandwidth int64
+
+	// Delay is the propagation delay.
+	Delay time.Duration
+
+	// QueueLimit is the output-interface buffer size in bytes at From.
+	QueueLimit int
+
+	// Cost is the link-state routing metric.
+	Cost int
+}
+
+// TransmissionTime returns how long size bytes occupy the link.
+func (l Link) TransmissionTime(size int) time.Duration {
+	if l.Bandwidth <= 0 {
+		return 0
+	}
+	bits := int64(size) * 8
+	return time.Duration(bits * int64(time.Second) / l.Bandwidth)
+}
+
+// Graph is the network topology. Links are stored directionally; AddDuplex
+// installs both directions with identical attributes, which matches the
+// paper's model of bidirectional physical links as directed pairs.
+type Graph struct {
+	names []string
+	index map[string]packet.NodeID
+	adj   map[packet.NodeID]map[packet.NodeID]*Link
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		index: make(map[string]packet.NodeID),
+		adj:   make(map[packet.NodeID]map[packet.NodeID]*Link),
+	}
+}
+
+// AddNode adds a router with the given display name and returns its ID.
+// Adding an existing name returns the existing ID.
+func (g *Graph) AddNode(name string) packet.NodeID {
+	if id, ok := g.index[name]; ok {
+		return id
+	}
+	id := packet.NodeID(len(g.names))
+	g.names = append(g.names, name)
+	g.index[name] = id
+	g.adj[id] = make(map[packet.NodeID]*Link)
+	return id
+}
+
+// Name returns the display name of a node.
+func (g *Graph) Name(id packet.NodeID) string {
+	if int(id) < 0 || int(id) >= len(g.names) {
+		return fmt.Sprintf("r%d?", int32(id))
+	}
+	return g.names[id]
+}
+
+// Lookup returns the node ID for a name.
+func (g *Graph) Lookup(name string) (packet.NodeID, bool) {
+	id, ok := g.index[name]
+	return id, ok
+}
+
+// NumNodes returns the number of routers.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []packet.NodeID {
+	ids := make([]packet.NodeID, len(g.names))
+	for i := range ids {
+		ids[i] = packet.NodeID(i)
+	}
+	return ids
+}
+
+// AddLink installs a single directed link. It replaces any existing link
+// with the same endpoints.
+func (g *Graph) AddLink(l Link) {
+	if _, ok := g.adj[l.From]; !ok {
+		panic(fmt.Sprintf("topology: unknown node %v", l.From))
+	}
+	if _, ok := g.adj[l.To]; !ok {
+		panic(fmt.Sprintf("topology: unknown node %v", l.To))
+	}
+	if l.From == l.To {
+		panic("topology: self-loop")
+	}
+	ll := l
+	g.adj[l.From][l.To] = &ll
+}
+
+// AddDuplex installs both directions of a bidirectional link.
+func (g *Graph) AddDuplex(a, b packet.NodeID, attrs LinkAttrs) {
+	g.AddLink(Link{From: a, To: b, Bandwidth: attrs.Bandwidth, Delay: attrs.Delay, QueueLimit: attrs.QueueLimit, Cost: attrs.Cost})
+	g.AddLink(Link{From: b, To: a, Bandwidth: attrs.Bandwidth, Delay: attrs.Delay, QueueLimit: attrs.QueueLimit, Cost: attrs.Cost})
+}
+
+// LinkAttrs bundles the physical attributes of a duplex link.
+type LinkAttrs struct {
+	Bandwidth  int64
+	Delay      time.Duration
+	QueueLimit int
+	Cost       int
+}
+
+// DefaultLinkAttrs are sensible backbone-ish defaults used by the synthetic
+// generators: 100 Mbit/s, 2 ms propagation, 64 KiB buffers, cost 10.
+func DefaultLinkAttrs() LinkAttrs {
+	return LinkAttrs{Bandwidth: 100e6, Delay: 2 * time.Millisecond, QueueLimit: 64 << 10, Cost: 10}
+}
+
+// HasLink reports whether the directed link from→to exists.
+func (g *Graph) HasLink(from, to packet.NodeID) bool {
+	_, ok := g.adj[from][to]
+	return ok
+}
+
+// Link returns the directed link from→to.
+func (g *Graph) Link(from, to packet.NodeID) (Link, bool) {
+	l, ok := g.adj[from][to]
+	if !ok {
+		return Link{}, false
+	}
+	return *l, true
+}
+
+// Neighbors returns from's neighbors in ascending ID order. Deterministic
+// ordering matters: routing tie-breaks and iteration order must be stable
+// across runs.
+func (g *Graph) Neighbors(from packet.NodeID) []packet.NodeID {
+	out := make([]packet.NodeID, 0, len(g.adj[from]))
+	for to := range g.adj[from] {
+		out = append(out, to)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the out-degree of a node.
+func (g *Graph) Degree(id packet.NodeID) int { return len(g.adj[id]) }
+
+// NumDirectedLinks returns the number of directed links.
+func (g *Graph) NumDirectedLinks() int {
+	n := 0
+	for _, m := range g.adj {
+		n += len(m)
+	}
+	return n
+}
+
+// NumDuplexLinks returns the number of bidirectional links, assuming every
+// link was installed via AddDuplex.
+func (g *Graph) NumDuplexLinks() int { return g.NumDirectedLinks() / 2 }
+
+// Links returns all directed links, ordered by (From, To).
+func (g *Graph) Links() []Link {
+	out := make([]Link, 0, g.NumDirectedLinks())
+	for _, from := range g.Nodes() {
+		for _, to := range g.Neighbors(from) {
+			out = append(out, *g.adj[from][to])
+		}
+	}
+	return out
+}
+
+// Connected reports whether the graph is connected (treating links as
+// undirected; all our graphs are duplex).
+func (g *Graph) Connected() bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []packet.NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for to := range g.adj[v] {
+			if !seen[to] {
+				seen[to] = true
+				count++
+				stack = append(stack, to)
+			}
+		}
+	}
+	return count == n
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	for _, name := range g.names {
+		c.AddNode(name)
+	}
+	for _, l := range g.Links() {
+		c.AddLink(l)
+	}
+	return c
+}
+
+// RemoveLink deletes the directed link from→to if present.
+func (g *Graph) RemoveLink(from, to packet.NodeID) {
+	delete(g.adj[from], to)
+}
+
+// ---------------------------------------------------------------------------
+// Shortest paths
+
+// spItem is a priority-queue entry for Dijkstra.
+type spItem struct {
+	node packet.NodeID
+	dist int64
+}
+
+type spHeap []spItem
+
+func (h spHeap) Len() int { return len(h) }
+func (h spHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node < h[j].node
+}
+func (h spHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *spHeap) Push(x any)     { *h = append(*h, x.(spItem)) }
+func (h *spHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+
+// ShortestPathTree computes a deterministic single-source shortest path tree
+// from src using link costs. Ties are broken toward the lower predecessor
+// node ID, modeling the deterministic forwarding the paper assumes (§4.1:
+// "a router can predict the path that a packet will take in the stable
+// state"). It returns parent[v] (the predecessor of v on its path from src;
+// parent[src] = src; parent[v] = -1 if unreachable) and dist[v].
+func (g *Graph) ShortestPathTree(src packet.NodeID) (parent []packet.NodeID, dist []int64) {
+	n := g.NumNodes()
+	const inf = int64(1) << 62
+	parent = make([]packet.NodeID, n)
+	dist = make([]int64, n)
+	done := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+		dist[i] = inf
+	}
+	parent[src] = src
+	dist[src] = 0
+	h := &spHeap{{node: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(spItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, to := range g.Neighbors(v) {
+			l := g.adj[v][to]
+			nd := dist[v] + int64(l.Cost)
+			if nd < dist[to] || (nd == dist[to] && !done[to] && parent[to] != -1 && v < parent[to]) {
+				dist[to] = nd
+				parent[to] = v
+				heap.Push(h, spItem{node: to, dist: nd})
+			}
+		}
+	}
+	for i := range parent {
+		if dist[i] == inf {
+			parent[i] = -1
+		}
+	}
+	return parent, dist
+}
+
+// Path is a sequence of adjacent routers (§4.1). The first router is the
+// source, the last the sink.
+type Path []packet.NodeID
+
+// String renders the path as ⟨a,b,c⟩ using node IDs.
+func (p Path) String() string {
+	parts := make([]string, len(p))
+	for i, id := range p {
+		parts[i] = id.String()
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}
+
+// Contains reports whether the path contains node r.
+func (p Path) Contains(r packet.NodeID) bool {
+	for _, v := range p {
+		if v == r {
+			return true
+		}
+	}
+	return false
+}
+
+// PathBetween extracts the path src→dst from a shortest-path tree parent
+// array (as produced by ShortestPathTree with source src). Returns nil if
+// dst is unreachable.
+func PathBetween(parent []packet.NodeID, src, dst packet.NodeID) Path {
+	if int(dst) >= len(parent) || parent[dst] == -1 {
+		return nil
+	}
+	var rev Path
+	for v := dst; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+		if parent[v] == -1 || parent[v] == v {
+			if v != src {
+				return nil
+			}
+			break
+		}
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// AllPairsPaths computes the deterministic routing path between every
+// ordered pair of routers.
+func (g *Graph) AllPairsPaths() []Path {
+	var out []Path
+	for _, src := range g.Nodes() {
+		parent, _ := g.ShortestPathTree(src)
+		for _, dst := range g.Nodes() {
+			if src == dst {
+				continue
+			}
+			if p := PathBetween(parent, src, dst); p != nil {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package topology
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"routerwatch/internal/packet"
+)
+
+// Segment is a path-segment: a sequence of consecutive routers that is a
+// subsequence of some routing path (§4.1). Segments are the unit of
+// suspicion reported by failure detectors.
+type Segment = Path
+
+// SegmentKey is a compact comparable encoding of a segment, suitable for
+// map keys and set membership.
+type SegmentKey string
+
+// Key encodes the segment.
+func Key(s Segment) SegmentKey {
+	b := make([]byte, 4*len(s))
+	for i, id := range s {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(id))
+	}
+	return SegmentKey(b)
+}
+
+// DecodeKey recovers the segment from its key.
+func DecodeKey(k SegmentKey) Segment {
+	b := []byte(k)
+	s := make(Segment, len(b)/4)
+	for i := range s {
+		s[i] = packet.NodeID(binary.BigEndian.Uint32(b[4*i:]))
+	}
+	return s
+}
+
+// SegmentSet is a deduplicated collection of segments.
+type SegmentSet map[SegmentKey]struct{}
+
+// Add inserts a segment.
+func (ss SegmentSet) Add(s Segment) { ss[Key(s)] = struct{}{} }
+
+// Has reports membership.
+func (ss SegmentSet) Has(s Segment) bool {
+	_, ok := ss[Key(s)]
+	return ok
+}
+
+// Slice returns the segments in a deterministic order.
+func (ss SegmentSet) Slice() []Segment {
+	keys := make([]string, 0, len(ss))
+	for k := range ss {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	out := make([]Segment, len(keys))
+	for i, k := range keys {
+		out[i] = DecodeKey(SegmentKey(k))
+	}
+	return out
+}
+
+// MonitorMode selects which protocol's monitoring-set rule to apply.
+type MonitorMode int
+
+// Monitoring-set rules.
+const (
+	// ModeNodes is Protocol Π2's rule (§5.1): every router monitors every
+	// (k+2)-path-segment it belongs to, plus every shorter whole path
+	// (3 ≤ x < k+2 with terminal ends) it belongs to.
+	ModeNodes MonitorMode = iota + 1
+	// ModeEnds is Protocol Πk+2's rule (§5.2): every router monitors every
+	// x-path-segment, 3 ≤ x ≤ k+2, of which it is an end.
+	ModeEnds
+)
+
+// MonitorSets computes Pr — the set of path-segments each router monitors —
+// for the given routing paths, adjacent-fault bound k, and protocol rule.
+// It returns the per-router monitoring sets and the global deduplicated
+// segment universe.
+func MonitorSets(paths []Path, k int, mode MonitorMode) (pr map[packet.NodeID][]Segment, all SegmentSet) {
+	if k < 1 {
+		k = 1
+	}
+	target := k + 2
+
+	all = make(SegmentSet)
+	switch mode {
+	case ModeNodes:
+		for _, p := range paths {
+			if len(p) < 3 {
+				continue
+			}
+			if len(p) < target {
+				all.Add(append(Segment(nil), p...))
+				continue
+			}
+			for i := 0; i+target <= len(p); i++ {
+				all.Add(append(Segment(nil), p[i:i+target]...))
+			}
+		}
+	case ModeEnds:
+		for _, p := range paths {
+			for x := 3; x <= target; x++ {
+				if len(p) < x {
+					break
+				}
+				for i := 0; i+x <= len(p); i++ {
+					all.Add(append(Segment(nil), p[i:i+x]...))
+				}
+			}
+		}
+	default:
+		panic("topology: unknown monitor mode")
+	}
+
+	pr = make(map[packet.NodeID][]Segment)
+	for _, seg := range all.Slice() {
+		switch mode {
+		case ModeNodes:
+			for _, r := range seg {
+				pr[r] = append(pr[r], seg)
+			}
+		case ModeEnds:
+			pr[seg[0]] = append(pr[seg[0]], seg)
+			last := seg[len(seg)-1]
+			if last != seg[0] {
+				pr[last] = append(pr[last], seg)
+			}
+		}
+	}
+	return pr, all
+}
+
+// PrStats summarizes the distribution of |Pr| across routers, the quantity
+// plotted in Figures 5.2 and 5.4.
+type PrStats struct {
+	K       int
+	Max     int
+	Mean    float64
+	Median  float64
+	Routers int
+}
+
+// ComputePrStats computes |Pr| statistics over all routers in the graph
+// (routers monitoring zero segments count as zero).
+func ComputePrStats(g *Graph, paths []Path, k int, mode MonitorMode) PrStats {
+	pr, _ := MonitorSets(paths, k, mode)
+	sizes := make([]int, g.NumNodes())
+	for r, segs := range pr {
+		sizes[r] = len(segs)
+	}
+	sort.Ints(sizes)
+	st := PrStats{K: k, Routers: g.NumNodes()}
+	total := 0
+	for _, s := range sizes {
+		total += s
+		if s > st.Max {
+			st.Max = s
+		}
+	}
+	if len(sizes) > 0 {
+		st.Mean = float64(total) / float64(len(sizes))
+		mid := len(sizes) / 2
+		if len(sizes)%2 == 1 {
+			st.Median = float64(sizes[mid])
+		} else {
+			st.Median = float64(sizes[mid-1]+sizes[mid]) / 2
+		}
+	}
+	return st
+}
+
+// SubsegmentOf reports whether needle appears as a contiguous subsequence
+// of hay.
+func SubsegmentOf(needle, hay Segment) bool {
+	if len(needle) == 0 || len(needle) > len(hay) {
+		return false
+	}
+outer:
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"routerwatch/internal/packet"
+	"routerwatch/internal/summary"
+)
+
+func TestFlowTV(t *testing.T) {
+	var up, down summary.Counter
+	for i := 0; i < 100; i++ {
+		up.Add(1000)
+	}
+	for i := 0; i < 95; i++ {
+		down.Add(1000)
+	}
+	tv := FlowTV{LossThreshold: 10}
+	if res := tv.Validate(up, down); !res.OK || res.Lost != 5 {
+		t.Fatalf("within threshold: %v", res)
+	}
+	tv = FlowTV{LossThreshold: 3}
+	res := tv.Validate(up, down)
+	if res.OK {
+		t.Fatalf("5 losses passed threshold 3: %v", res)
+	}
+	if !strings.Contains(res.String(), "FAIL") {
+		t.Fatalf("result string: %q", res.String())
+	}
+}
+
+func TestFlowTVFabricationShowsAsNegativeLoss(t *testing.T) {
+	var up, down summary.Counter
+	up.Add(100)
+	down.Add(100)
+	down.Add(100)
+	res := FlowTV{}.Validate(up, down)
+	// Conservation of flow alone cannot flag fabrication as a failure —
+	// the WATCHERS weakness — but the counts are reported.
+	if res.Fabricated != 1 {
+		t.Fatalf("fabricated = %d", res.Fabricated)
+	}
+}
+
+func TestContentTV(t *testing.T) {
+	up, down := summary.NewFPSet(), summary.NewFPSet()
+	for i := 0; i < 50; i++ {
+		up.Add(packet.Fingerprint(i))
+		if i%10 != 0 { // 5 lost
+			down.Add(packet.Fingerprint(i))
+		}
+	}
+	down.Add(0xBAD) // 1 fabricated
+	tv := ContentTV{LossThreshold: 10, FabricationThreshold: 2}
+	if res := tv.Validate(up, down); !res.OK || res.Lost != 5 || res.Fabricated != 1 {
+		t.Fatalf("res %v", res)
+	}
+	tv = ContentTV{LossThreshold: 4, FabricationThreshold: 0}
+	if res := tv.Validate(up, down); res.OK {
+		t.Fatalf("should fail both thresholds: %v", res)
+	}
+}
+
+func TestContentTVDetectsModification(t *testing.T) {
+	// Modification = one lost + one fabricated fingerprint.
+	up, down := summary.NewFPSet(), summary.NewFPSet()
+	up.Add(1)
+	down.Add(2)
+	res := ContentTV{}.Validate(up, down)
+	if res.OK || res.Lost != 1 || res.Fabricated != 1 {
+		t.Fatalf("modification signature wrong: %v", res)
+	}
+}
+
+func TestOrderTV(t *testing.T) {
+	up, down := summary.NewOrderedFP(), summary.NewOrderedFP()
+	for i := 0; i < 20; i++ {
+		up.Add(packet.Fingerprint(i))
+	}
+	// Received in blocks swapped: 10..19 then 0..9.
+	for i := 10; i < 20; i++ {
+		down.Add(packet.Fingerprint(i))
+	}
+	for i := 0; i < 10; i++ {
+		down.Add(packet.Fingerprint(i))
+	}
+	tv := OrderTV{ReorderThreshold: 5}
+	res := tv.Validate(up, down)
+	if res.OK || res.Reordered != 10 {
+		t.Fatalf("block swap: %v", res)
+	}
+	tv = OrderTV{ReorderThreshold: 10}
+	if res := tv.Validate(up, down); !res.OK {
+		t.Fatalf("within reorder threshold: %v", res)
+	}
+}
+
+func TestTimelinessTV(t *testing.T) {
+	up, down := summary.NewTimedFP(), summary.NewTimedFP()
+	for i := 0; i < 10; i++ {
+		fp := packet.Fingerprint(i)
+		sent := time.Duration(i) * time.Millisecond
+		up.Add(fp, 100, sent)
+		delay := 2 * time.Millisecond
+		if i == 7 {
+			delay = 500 * time.Millisecond // maliciously delayed
+		}
+		down.Add(fp, 100, sent+delay)
+	}
+	tv := TimelinessTV{MaxDelay: 10 * time.Millisecond, LateThreshold: 0}
+	res := tv.Validate(up, down)
+	if res.OK || res.LateCount != 1 {
+		t.Fatalf("late packet not flagged: %v", res)
+	}
+	tv = TimelinessTV{MaxDelay: time.Second}
+	if res := tv.Validate(up, down); !res.OK {
+		t.Fatalf("all within bound: %v", res)
+	}
+}
+
+func TestTimelinessTVLossAndFabrication(t *testing.T) {
+	up, down := summary.NewTimedFP(), summary.NewTimedFP()
+	up.Add(1, 100, 0)
+	up.Add(2, 100, 0)
+	down.Add(1, 100, time.Millisecond)
+	down.Add(9, 100, time.Millisecond)
+	tv := TimelinessTV{MaxDelay: time.Second, LossThreshold: 0}
+	res := tv.Validate(up, down)
+	if res.OK || res.Lost != 1 || res.Fabricated != 1 {
+		t.Fatalf("res %v", res)
+	}
+}
+
+func TestResultStringOK(t *testing.T) {
+	if got := (Result{OK: true}).String(); got != "ok" {
+		t.Fatalf("ok string %q", got)
+	}
+}
