@@ -1,0 +1,37 @@
+# Tier-1 verification is `make verify`: build everything, then run the full
+# test suite under the race detector. The suite includes the parallel-runner
+# determinism regressions (internal/experiments) and the concurrent-kernel
+# property tests (internal/sim), so -race is load-bearing, not decorative.
+
+GO ?= go
+
+.PHONY: build test race verify bench fuzz figures clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Short fuzz pass over every summary-codec harness (satisfies `go test`
+# normally too — the seed corpus runs as ordinary tests).
+fuzz:
+	@for f in FuzzBloomDecode FuzzBloomRoundTrip FuzzBloomMergeCommutativity \
+	          FuzzCounterCodec FuzzFPSetCodec FuzzFPSetMergeCommutativity \
+	          FuzzCharPolyMultiplicative; do \
+		$(GO) test ./internal/summary/ -run='^$$' -fuzz=$$f -fuzztime=10s || exit 1; \
+	done
+
+figures:
+	$(GO) run ./cmd/figures
+
+clean:
+	$(GO) clean ./...

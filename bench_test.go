@@ -11,6 +11,8 @@ package routerwatch
 // regenerates the entire evaluation.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -25,7 +27,7 @@ import (
 // median |Pr| vs k on the Sprintlink- and EBONE-scale topologies).
 func BenchmarkFig5_2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs := experiments.Fig5_2(8)
+		figs := experiments.Fig5_2(8, 0)
 		sprint := figs[0]
 		b.ReportMetric(sprint.Stats[1].Mean, "avgPr(k=2)")
 		b.ReportMetric(float64(sprint.WatchersMean), "watchersCounters")
@@ -35,7 +37,7 @@ func BenchmarkFig5_2(b *testing.B) {
 // BenchmarkFig5_4 regenerates the Πk+2 monitoring-state figure.
 func BenchmarkFig5_4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs := experiments.Fig5_4(8)
+		figs := experiments.Fig5_4(8, 0)
 		sprint := figs[0]
 		b.ReportMetric(sprint.Stats[1].Mean, "avgPr(k=2)")
 	}
@@ -276,6 +278,42 @@ func BenchmarkSigning(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = a.Sign(3, msg)
+	}
+}
+
+// BenchmarkFigureSuite measures the parallel experiment runner end to end:
+// a fixed subset of the evaluation fanned out over 1 worker (the serial
+// baseline) and over GOMAXPROCS workers. The reported speedup metric is
+// cumulative trial time over wall time; on a multi-core host it approaches
+// the worker count, and stdout-equivalent output is asserted by the
+// determinism suite, not here.
+func BenchmarkFigureSuite(b *testing.B) {
+	subset := []string{"5.2", "5.4", "6.2", "state", "perlman", "watchers"}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, rep := experiments.RunSuite(experiments.SuiteOptions{
+					Seed: 1, MaxK: 6, Workers: workers,
+				}, subset)
+				b.ReportMetric(rep.Speedup(), "speedup")
+				b.ReportMetric(rep.Utilization(), "utilization")
+			}
+		})
+	}
+}
+
+// BenchmarkFatihTrials measures multi-seed trial fan-out: N independent
+// Abilene compromise scenarios per iteration, serial vs full-width.
+func BenchmarkFatihTrials(b *testing.B) {
+	const trials = 4
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := experiments.FatihTrials(int64(9000+i), trials, workers, nil)
+				b.ReportMetric(float64(res.Detected)/trials, "detectRate")
+				b.ReportMetric(res.Report.Speedup(), "speedup")
+			}
+		})
 	}
 }
 

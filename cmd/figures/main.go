@@ -2,10 +2,17 @@
 // evaluation. Without arguments it runs the full suite; with figure names
 // (e.g. "5.2 6.7 red") it runs a subset.
 //
-//	go run ./cmd/figures            # everything (several minutes)
-//	go run ./cmd/figures 5.2 5.4    # monitoring-state figures only
-//	go run ./cmd/figures 5.7        # the Fatih timeline
-//	go run ./cmd/figures 6.7 vs     # masked attack + χ-vs-threshold
+//	go run ./cmd/figures                # everything (several minutes)
+//	go run ./cmd/figures 5.2 5.4        # monitoring-state figures only
+//	go run ./cmd/figures 5.7            # the Fatih timeline
+//	go run ./cmd/figures 6.7 vs         # masked attack + χ-vs-threshold
+//	go run ./cmd/figures -parallel 8    # fan figures out over 8 workers
+//	go run ./cmd/figures -trials 16 5.7 # 16-seed Fatih latency statistics
+//
+// Figures fan out over a bounded worker pool (internal/runner; default
+// GOMAXPROCS workers, -parallel=1 for the serial escape hatch). Each figure
+// builds its own simulator kernels and derives its own seeds, so stdout is
+// byte-identical for every -parallel value — only wall-clock time changes.
 package main
 
 import (
@@ -15,105 +22,68 @@ import (
 	"strings"
 
 	"routerwatch/internal/experiments"
-	"routerwatch/internal/topology"
+	"routerwatch/internal/runner"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	maxK := flag.Int("maxk", 8, "largest AdjacentFault(k) for Figs 5.2/5.4")
 	series := flag.Bool("series", false, "also print full per-round/per-sample series")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	trials := flag.Int("trials", 0, "also run N multi-seed Fatih trials (aggregate Fig 5.7 statistics)")
+	progress := flag.Bool("progress", false, "report per-figure completions and pool utilization on stderr")
 	flag.Parse()
 
-	want := map[string]bool{}
-	for _, a := range flag.Args() {
-		want[strings.ToLower(a)] = true
-	}
-	sel := func(names ...string) bool {
-		if len(want) == 0 {
-			return true
-		}
-		for _, n := range names {
-			if want[n] {
-				return true
-			}
-		}
-		return false
-	}
-	out := os.Stdout
-
-	if sel("5.2") {
-		for _, f := range experiments.Fig5_2(*maxK) {
-			fmt.Fprintln(out, f.Table())
-		}
-	}
-	if sel("5.4") {
-		for _, f := range experiments.Fig5_4(*maxK) {
-			fmt.Fprintln(out, f.Table())
-		}
-	}
-	if sel("5.7", "fatih") {
-		res, tb := experiments.Fig5_7(*seed)
-		fmt.Fprintln(out, tb)
-		if *series {
-			fmt.Fprintln(out, experiments.RTTSeries(res))
-		}
-	}
-	if sel("6.2") {
-		fmt.Fprintln(out, experiments.Fig6_2(50_000, 1000, 0, 1500))
-	}
-	if sel("6.3") {
-		_, tb := experiments.Fig6_3(*seed + 100)
-		fmt.Fprintln(out, tb)
-	}
-
-	chiFigs := []struct {
-		names []string
-		title string
-		run   func(int64) *experiments.ChiResult
-	}{
-		{[]string{"6.5"}, "Fig 6.5 — no attack (drop-tail)", experiments.Fig6_5},
-		{[]string{"6.6"}, "Fig 6.6 — attack 1: drop 20% of the selected flows", experiments.Fig6_6},
-		{[]string{"6.7"}, "Fig 6.7 — attack 2: drop when queue ≥90% full", experiments.Fig6_7},
-		{[]string{"6.8"}, "Fig 6.8 — attack 3: drop when queue ≥95% full", experiments.Fig6_8},
-		{[]string{"6.9"}, "Fig 6.9 — attack 4: SYN drop", experiments.Fig6_9},
-		{[]string{"6.11", "red"}, "Fig 6.11 — no attack (RED)", experiments.Fig6_11},
-		{[]string{"6.12", "red"}, "Fig 6.12 — RED attack 1: drop above avg 45 kB", experiments.Fig6_12},
-		{[]string{"6.13", "red"}, "Fig 6.13 — RED attack 2: drop above avg 54 kB", experiments.Fig6_13},
-		{[]string{"6.14", "red"}, "Fig 6.14 — RED attack 3: 10% above avg 45 kB", experiments.Fig6_14},
-		{[]string{"6.15", "red"}, "Fig 6.15 — RED attack 4: 5% above avg 45 kB", experiments.Fig6_15},
-		{[]string{"6.16", "red"}, "Fig 6.16 — RED attack 5: SYN drop", experiments.Fig6_16},
-	}
-	for i, cf := range chiFigs {
-		if !sel(cf.names...) {
-			continue
-		}
-		res := cf.run(*seed + int64(200+i))
-		if *series {
-			fmt.Fprintln(out, res.Table(cf.title))
-		} else {
-			fmt.Fprintf(out, "== %s ==\ndetected=%v suspicions=%d attacker-drops=%d first-detection=%v\n\n",
-				cf.title, res.Detected(), len(res.Suspicions), res.AttackerDropped, res.FirstDetectionAt)
+	var onProgress func(runner.Snapshot)
+	if *progress {
+		onProgress = func(s runner.Snapshot) {
+			fmt.Fprintf(os.Stderr, "figures: %d/%d done, wall %.1fs, cumulative %.1fs\n",
+				s.Done, s.Total, s.Wall.Seconds(), s.CumTrial.Seconds())
 		}
 	}
 
-	if sel("vs", "6.4.3") {
-		fmt.Fprintln(out, experiments.RunChiVsThreshold(*seed+300).Table())
+	// -trials runs only the trial sweep when no figure names are given
+	// alongside it.
+	if *trials > 0 && flag.NArg() == 0 {
+		runTrials(*seed, *trials, *parallel, onProgress, *progress)
+		return
 	}
-	if sel("state", "7.2") {
-		fmt.Fprintln(out, experiments.StateSizeTable(topology.SprintlinkSpec(), 2))
-		fmt.Fprintln(out, experiments.StateSizeTable(topology.EBONESpec(), 2))
+
+	results, rep := experiments.RunSuite(experiments.SuiteOptions{
+		Seed:     *seed,
+		MaxK:     *maxK,
+		Series:   *series,
+		Workers:  *parallel,
+		Progress: onProgress,
+	}, flag.Args())
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "figures: no figure matches %q; known: %s\n",
+			strings.Join(flag.Args(), " "), strings.Join(experiments.SuiteNames(), " "))
+		os.Exit(2)
 	}
-	if sel("watchers", "3.1") {
-		fmt.Fprintln(out, experiments.WatchersFlawTable(*seed+400))
+	for _, r := range results {
+		fmt.Print(r.Text)
 	}
-	if sel("perlman", "3.7", "3.3") {
-		fmt.Fprintln(out, experiments.PerlmanFlawTable())
+	if *progress {
+		fmt.Fprintf(os.Stderr,
+			"figures: %d figures on %d workers: wall %.1fs, cumulative %.1fs, speedup %.2fx, utilization %.0f%%\n",
+			rep.Trials, rep.Workers, rep.Wall.Seconds(), rep.CumTrial.Seconds(),
+			rep.Speedup(), 100*rep.Utilization())
 	}
-	if sel("arch", "2.3", "2.4") {
-		fmt.Fprintln(out, experiments.RunArchitectures(*seed+600).Table())
+
+	if *trials > 0 {
+		runTrials(*seed, *trials, *parallel, onProgress, *progress)
 	}
-	if sel("overhead", "2.4.1") {
-		fmt.Fprintln(out, experiments.SummarySizeTable([]int{100, 1000, 10000, 100000}, 12))
-		fmt.Fprintln(out, experiments.ExchangeBandwidthTable(*seed+500))
+}
+
+func runTrials(seed int64, n, parallel int, onProgress func(runner.Snapshot), progress bool) {
+	res := experiments.FatihTrials(seed, n, parallel, onProgress)
+	fmt.Println(res.Table())
+	if progress {
+		rep := res.Report
+		fmt.Fprintf(os.Stderr,
+			"trials: %d trials on %d workers: wall %.1fs, cumulative %.1fs, speedup %.2fx, utilization %.0f%%\n",
+			rep.Trials, rep.Workers, rep.Wall.Seconds(), rep.CumTrial.Seconds(),
+			rep.Speedup(), 100*rep.Utilization())
 	}
 }

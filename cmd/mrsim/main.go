@@ -5,6 +5,12 @@
 //	go run ./cmd/mrsim -protocol pi2 -attack modify
 //	go run ./cmd/mrsim -protocol chi -attack masked90
 //	go run ./cmd/mrsim -protocol watchers -attack drop
+//
+// With -trials N > 1 the scenario is replayed over N independent seeds on a
+// bounded worker pool (-parallel; default GOMAXPROCS, 1 = serial) and the
+// aggregate detection statistics are reported. Trial i runs on its own
+// simulator kernel with RNG stream sim.DeriveSeed(seed, i), so the numbers
+// are identical for every -parallel value.
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	"routerwatch/internal/attack"
@@ -23,9 +30,19 @@ import (
 	"routerwatch/internal/detector/tvinfo"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/runner"
+	"routerwatch/internal/stats"
 	"routerwatch/internal/tcpsim"
 	"routerwatch/internal/topology"
 )
+
+// outcome is one trial's result.
+type outcome struct {
+	suspicions int
+	implicated bool
+	// firstAt is the first suspicion time (0 if none).
+	firstAt time.Duration
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,21 +53,72 @@ func main() {
 	rate := flag.Float64("rate", 1, "drop probability for the drop attack")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	dur := flag.Duration("duration", 30*time.Second, "simulated duration")
+	trials := flag.Int("trials", 1, "independent trials (per-trial derived seeds)")
+	parallel := flag.Int("parallel", 0, "worker pool size for -trials (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	if *protocol == "chi" {
-		runChi(*attackName, *seed, *dur)
+	if *trials <= 1 {
+		logbook, faulty := runScenario(*protocol, *attackName, *rate, *seed, *dur, true)
+		report(logbook, faulty)
 		return
+	}
+
+	agg := stats.NewSharded(shardCount(*parallel))
+	outs, rep := runner.Map(runner.Config{Workers: *parallel, BaseSeed: *seed}, *trials,
+		func(tr runner.Trial) outcome {
+			logbook, faulty := runScenario(*protocol, *attackName, *rate, tr.Seed, *dur, false)
+			o := summarize(logbook, faulty)
+			if o.firstAt > 0 {
+				agg.Shard(tr.Worker).Observe(tr.Index, o.firstAt.Seconds())
+			}
+			return o
+		})
+
+	detected, implicated := 0, 0
+	for _, o := range outs {
+		if o.suspicions > 0 {
+			detected++
+		}
+		if o.implicated {
+			implicated++
+		}
+	}
+	first := agg.Fold()
+	fmt.Printf("%d trials of %s/%s (base seed %d):\n", *trials, *protocol, *attackName, *seed)
+	fmt.Printf("  detected:        %d/%d\n", detected, *trials)
+	fmt.Printf("  faulty implicated: %d/%d\n", implicated, *trials)
+	if first.N() > 0 {
+		fmt.Printf("  first suspicion: mean %.2fs, median %.2fs, max %.2fs\n",
+			first.Mean(), first.Median(), first.Max())
+	}
+	fmt.Fprintf(os.Stderr,
+		"mrsim: %d workers: wall %.1fs, cumulative %.1fs, speedup %.2fx, utilization %.0f%%\n",
+		rep.Workers, rep.Wall.Seconds(), rep.CumTrial.Seconds(), rep.Speedup(), 100*rep.Utilization())
+}
+
+// shardCount mirrors runner.Config's worker resolution for shard sizing.
+func shardCount(parallel int) int {
+	if parallel > 0 {
+		return parallel
+	}
+	return 64 // generous cover for GOMAXPROCS; unused shards cost nothing
+}
+
+// runScenario executes one trial and returns its suspicion log and the
+// compromised router. verbose enables the single-run narration.
+func runScenario(protocol, attackName string, rate float64, seed int64, dur time.Duration, verbose bool) (*detector.Log, packet.NodeID) {
+	if protocol == "chi" {
+		return runChi(attackName, seed, dur, verbose)
 	}
 
 	// Path-segment protocols run on a 5-router line with the middle
 	// router compromised.
 	g := topology.Line(5)
-	net := network.New(g, network.Options{Seed: *seed, ProcessingJitter: 100 * time.Microsecond})
+	net := network.New(g, network.Options{Seed: seed, ProcessingJitter: 100 * time.Microsecond})
 	logbook := detector.NewLog()
 	sink := detector.LogSink(logbook)
 
-	switch *protocol {
+	switch protocol {
 	case "pik2":
 		pik2.Attach(net, pik2.Options{
 			K: 1, Round: time.Second, Timeout: 250 * time.Millisecond,
@@ -66,14 +134,14 @@ func main() {
 			Round: time.Second, Threshold: 5000, Fixed: true, Sink: sink,
 		})
 	default:
-		log.Fatalf("unknown protocol %q", *protocol)
+		log.Fatalf("unknown protocol %q", protocol)
 	}
 
 	faulty := packet.NodeID(2)
-	switch *attackName {
+	switch attackName {
 	case "drop":
 		net.Router(faulty).SetBehavior(&attack.Dropper{
-			Select: attack.All, P: *rate, Rng: rand.New(rand.NewSource(*seed)),
+			Select: attack.All, P: rate, Rng: rand.New(rand.NewSource(seed)),
 			Start: 5 * time.Second,
 		})
 	case "modify":
@@ -81,13 +149,13 @@ func main() {
 	case "reorder":
 		net.Router(faulty).SetBehavior(&attack.Delayer{
 			Select: attack.DataOnly, Jitter: 10 * time.Millisecond,
-			Rng: rand.New(rand.NewSource(*seed)),
+			Rng: rand.New(rand.NewSource(seed)),
 		})
 	case "fabricate":
 		attack.NewFabricator(net, faulty, 0, 4, 700, 20*time.Millisecond)
 	case "none":
 	default:
-		log.Fatalf("attack %q not available for path-segment protocols", *attackName)
+		log.Fatalf("attack %q not available for path-segment protocols", attackName)
 	}
 
 	// Bidirectional traffic across the line.
@@ -98,11 +166,11 @@ func main() {
 			net.Inject(4, &packet.Packet{Dst: 0, Size: 500, Flow: 2, Seq: uint32(i), Payload: uint64(i)})
 		})
 	}
-	net.Run(*dur)
-	report(logbook, faulty)
+	net.Run(dur)
+	return logbook, faulty
 }
 
-func runChi(attackName string, seed int64, dur time.Duration) {
+func runChi(attackName string, seed int64, dur time.Duration, verbose bool) (*detector.Log, packet.NodeID) {
 	st := topology.SimpleChi(3, 2)
 	buildNet := func(seed int64, opts chi.Options) (*network.Network, *chi.Protocol, *tcpsim.Manager) {
 		net := network.New(st.Graph, network.Options{Seed: seed, ProcessingJitter: 2 * time.Millisecond})
@@ -111,7 +179,9 @@ func runChi(attackName string, seed int64, dur time.Duration) {
 		return net, p, tcpsim.NewManager(net)
 	}
 
-	fmt.Println("learning period (60 s simulated)...")
+	if verbose {
+		fmt.Println("learning period (60 s simulated)...")
+	}
 	lnet, lproto, lman := buildNet(seed, chi.Options{Learning: true, Round: time.Second})
 	var flows []*tcpsim.Flow
 	for i := 0; i < 3; i++ {
@@ -122,7 +192,9 @@ func runChi(attackName string, seed int64, dur time.Duration) {
 	}
 	lnet.Run(60 * time.Second)
 	cal := lproto.Validator(chi.QueueID{R: st.R, RD: st.RD}).Calibrate()
-	fmt.Printf("calibrated: mu=%.0f sigma=%.0f\n", cal.Mu, cal.Sigma)
+	if verbose {
+		fmt.Printf("calibrated: mu=%.0f sigma=%.0f\n", cal.Mu, cal.Sigma)
+	}
 
 	logbook := detector.NewLog()
 	net, _, man := buildNet(seed+1, chi.Options{
@@ -164,7 +236,18 @@ func runChi(attackName string, seed int64, dur time.Duration) {
 		dur = 30 * time.Second
 	}
 	net.Run(dur)
-	report(logbook, st.R)
+	return logbook, st.R
+}
+
+// summarize condenses a trial's log into the aggregate-mode outcome.
+func summarize(logbook *detector.Log, faulty packet.NodeID) outcome {
+	o := outcome{suspicions: logbook.Len(), firstAt: logbook.FirstAt()}
+	for _, seg := range logbook.Segments() {
+		if seg.Contains(faulty) {
+			o.implicated = true
+		}
+	}
+	return o
 }
 
 func report(logbook *detector.Log, faulty packet.NodeID) {
@@ -180,11 +263,5 @@ func report(logbook *detector.Log, faulty packet.NodeID) {
 		fmt.Println("  (none)")
 		return
 	}
-	hit := false
-	for _, seg := range logbook.Segments() {
-		if seg.Contains(faulty) {
-			hit = true
-		}
-	}
-	fmt.Printf("\nfaulty router %v implicated: %v\n", faulty, hit)
+	fmt.Printf("\nfaulty router %v implicated: %v\n", faulty, summarize(logbook, faulty).implicated)
 }

@@ -27,8 +27,8 @@ func TestFig5PrShapes(t *testing.T) {
 	// Use the EBONE-scale topology for test speed; the claims are
 	// scale-free.
 	spec := topology.EBONESpec()
-	nodes := RunPrFigure(spec, topology.ModeNodes, 4)
-	ends := RunPrFigure(spec, topology.ModeEnds, 4)
+	nodes := RunPrFigure(spec, topology.ModeNodes, 4, 0)
+	ends := RunPrFigure(spec, topology.ModeEnds, 4, 0)
 
 	for i := range nodes.Stats {
 		n, e := nodes.Stats[i], ends.Stats[i]

@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"routerwatch/internal/baseline"
 	"routerwatch/internal/fatih"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/runner"
 	"routerwatch/internal/topology"
 )
 
@@ -21,14 +24,18 @@ type PrFigure struct {
 	WatchersMean, WatchersMax int
 }
 
-// RunPrFigure computes |Pr| statistics for k = 1..maxK.
-func RunPrFigure(spec topology.GeneratorSpec, mode topology.MonitorMode, maxK int) *PrFigure {
+// RunPrFigure computes |Pr| statistics for k = 1..maxK, fanning the per-k
+// sweeps out over `workers` goroutines (0 = GOMAXPROCS, 1 = serial). The
+// graph and its path set are built once and shared read-only; each k is an
+// independent trial, and the stats come back ordered by k, so the figure is
+// identical for every worker count.
+func RunPrFigure(spec topology.GeneratorSpec, mode topology.MonitorMode, maxK, workers int) *PrFigure {
 	g := topology.Generate(spec)
 	paths := g.AllPairsPaths()
 	f := &PrFigure{Spec: spec, Mode: mode}
-	for k := 1; k <= maxK; k++ {
-		f.Stats = append(f.Stats, topology.ComputePrStats(g, paths, k, mode))
-	}
+	f.Stats, _ = runner.Map(runner.Config{Workers: workers}, maxK, func(tr runner.Trial) topology.PrStats {
+		return topology.ComputePrStats(g, paths, tr.Index+1, mode)
+	})
 	total, max := 0, 0
 	for _, r := range g.Nodes() {
 		s := baseline.CounterStateSize(g, r)
@@ -63,18 +70,18 @@ func (f *PrFigure) Table() *Table {
 
 // Fig5_2 runs the Π2 monitoring-state figure on both measured-topology
 // stand-ins.
-func Fig5_2(maxK int) []*PrFigure {
+func Fig5_2(maxK, workers int) []*PrFigure {
 	return []*PrFigure{
-		RunPrFigure(topology.SprintlinkSpec(), topology.ModeNodes, maxK),
-		RunPrFigure(topology.EBONESpec(), topology.ModeNodes, maxK),
+		RunPrFigure(topology.SprintlinkSpec(), topology.ModeNodes, maxK, workers),
+		RunPrFigure(topology.EBONESpec(), topology.ModeNodes, maxK, workers),
 	}
 }
 
 // Fig5_4 runs the Πk+2 monitoring-state figure on both topologies.
-func Fig5_4(maxK int) []*PrFigure {
+func Fig5_4(maxK, workers int) []*PrFigure {
 	return []*PrFigure{
-		RunPrFigure(topology.SprintlinkSpec(), topology.ModeEnds, maxK),
-		RunPrFigure(topology.EBONESpec(), topology.ModeEnds, maxK),
+		RunPrFigure(topology.SprintlinkSpec(), topology.ModeEnds, maxK, workers),
+		RunPrFigure(topology.EBONESpec(), topology.ModeEnds, maxK, workers),
 	}
 }
 
@@ -92,8 +99,13 @@ func Fig5_7(seed int64) (*fatih.ScenarioResult, *Table) {
 	t.AddRow("attack starts", res.AttackAt)
 	t.AddRow("first detection", res.FirstDetectionAt)
 	t.AddRow("first reroute", res.RerouteAt)
-	for r, at := range res.DetectionsBy {
-		t.AddRow(fmt.Sprintf("suspicion held by %s", g.Name(r)), at)
+	holders := make([]packet.NodeID, 0, len(res.DetectionsBy))
+	for r := range res.DetectionsBy {
+		holders = append(holders, r)
+	}
+	sort.Slice(holders, func(i, j int) bool { return holders[i] < holders[j] })
+	for _, r := range holders {
+		t.AddRow(fmt.Sprintf("suspicion held by %s", g.Name(r)), res.DetectionsBy[r])
 	}
 	t.AddRow("RTT NewYork-Sunnyvale before attack", res.PreAttackRTT)
 	t.AddRow("RTT NewYork-Sunnyvale after reroute", res.PostRerouteRTT)

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// render concatenates a suite run's text output exactly the way cmd/figures
+// prints it.
+func render(results []SuiteResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		b.WriteString(r.Text)
+	}
+	return b.String()
+}
+
+// TestSuiteParallelDeterminism is the headline regression test for the
+// parallel runner: the rendered figure output must be byte-identical no
+// matter how many workers execute the suite.
+func TestSuiteParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// A cheap but representative subset: per-k fan-out (5.2), a numeric
+	// table (6.2), and two full scenario simulations.
+	names := []string{"5.2", "6.2", "perlman", "watchers"}
+	opts := func(workers int) SuiteOptions {
+		return SuiteOptions{Seed: 42, MaxK: 3, Workers: workers}
+	}
+
+	serial, _ := RunSuite(opts(1), names)
+	want := render(serial)
+	if want == "" {
+		t.Fatal("serial suite produced no output")
+	}
+	for _, workers := range []int{4, 8} {
+		par, _ := RunSuite(opts(workers), names)
+		if got := render(par); got != want {
+			t.Errorf("workers=%d output differs from serial:\n got %d bytes\nwant %d bytes\n%s",
+				workers, len(got), len(want), firstDiff(got, want))
+		}
+	}
+}
+
+// TestSuiteOrderIndependentOfCompletion checks results come back in canonical
+// suite order even when later jobs finish first (fast jobs mixed with slow).
+func TestSuiteOrderIndependentOfCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	names := []string{"5.2", "6.2", "perlman"}
+	res, _ := RunSuite(SuiteOptions{Seed: 7, MaxK: 2, Workers: 8}, names)
+	if len(res) != len(names) {
+		t.Fatalf("got %d results, want %d", len(res), len(names))
+	}
+	for i, r := range res {
+		if r.Name != names[i] {
+			t.Errorf("result %d is %q, want %q", i, r.Name, names[i])
+		}
+	}
+}
+
+// TestFig5_7RenderStable guards the Fig 5.7 table against map-iteration
+// nondeterminism: the per-router suspicion rows must render in the same
+// order on every run (they historically followed DetectionsBy's map order,
+// which varies per process).
+func TestFig5_7RenderStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, ta := Fig5_7(5)
+	_, tb := Fig5_7(5)
+	if a, b := ta.String(), tb.String(); a != b {
+		t.Errorf("Fig 5.7 table not stable across runs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestFatihTrialsParallelDeterminism checks the multi-seed trial sweep —
+// including every folded statistic in the rendered table — is bitwise
+// identical across worker counts.
+func TestFatihTrialsParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serial := FatihTrials(11, 2, 1, nil)
+	want := serial.Table().String()
+	for _, workers := range []int{2, 4} {
+		par := FatihTrials(11, 2, workers, nil)
+		if got := par.Table().String(); got != want {
+			t.Errorf("workers=%d table differs from serial:\n got:\n%s\nwant:\n%s", workers, got, want)
+		}
+		if par.Detected != serial.Detected {
+			t.Errorf("workers=%d detected %d, serial %d", workers, par.Detected, serial.Detected)
+		}
+	}
+}
+
+// firstDiff locates the first byte where two strings diverge, with context.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+40, i+40
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return "first divergence at byte " + strconv.Itoa(i) + ":\n got ..." + a[lo:hiA] + "...\nwant ..." + b[lo:hiB] + "..."
+		}
+	}
+	return "one output is a prefix of the other"
+}

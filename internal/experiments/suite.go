@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"routerwatch/internal/runner"
+	"routerwatch/internal/topology"
+)
+
+// SuiteOptions configures a full or partial regeneration of the paper's
+// evaluation through the parallel trial runner.
+type SuiteOptions struct {
+	// Seed is the base simulation seed; every figure derives its own seeds
+	// from it exactly as the serial CLI always has.
+	Seed int64
+	// MaxK is the largest AdjacentFault(k) for the monitoring-state sweeps.
+	MaxK int
+	// Series also renders the full per-round/per-sample series.
+	Series bool
+	// Workers bounds the figure-level worker pool (0 = GOMAXPROCS,
+	// 1 = serial escape hatch). Per-figure inner sweeps reuse the same
+	// bound.
+	Workers int
+	// Progress, if set, observes figure completions.
+	Progress func(runner.Snapshot)
+}
+
+func (o *SuiteOptions) fill() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxK == 0 {
+		o.MaxK = 8
+	}
+}
+
+// SuiteResult is one regenerated figure: its canonical name and the exact
+// text the serial CLI would print for it.
+type SuiteResult struct {
+	Name string
+	Text string
+	// Dur is the figure's execution time (wall time inside its trial).
+	Dur time.Duration
+}
+
+// suiteJob is one independently runnable figure.
+type suiteJob struct {
+	name    string
+	aliases []string
+	run     func(o SuiteOptions) string
+}
+
+func (j suiteJob) matches(want map[string]bool) bool {
+	if len(want) == 0 {
+		return true
+	}
+	if want[j.name] {
+		return true
+	}
+	for _, a := range j.aliases {
+		if want[a] {
+			return true
+		}
+	}
+	return false
+}
+
+// chiSuiteFigs mirrors the Chapter 6 figure list of cmd/figures; the i-th
+// entry runs with seed+200+i, preserving the serial CLI's seed schedule.
+var chiSuiteFigs = []struct {
+	name    string
+	aliases []string
+	title   string
+	run     func(int64) *ChiResult
+}{
+	{"6.5", nil, "Fig 6.5 — no attack (drop-tail)", Fig6_5},
+	{"6.6", nil, "Fig 6.6 — attack 1: drop 20% of the selected flows", Fig6_6},
+	{"6.7", nil, "Fig 6.7 — attack 2: drop when queue ≥90% full", Fig6_7},
+	{"6.8", nil, "Fig 6.8 — attack 3: drop when queue ≥95% full", Fig6_8},
+	{"6.9", nil, "Fig 6.9 — attack 4: SYN drop", Fig6_9},
+	{"6.11", []string{"red"}, "Fig 6.11 — no attack (RED)", Fig6_11},
+	{"6.12", []string{"red"}, "Fig 6.12 — RED attack 1: drop above avg 45 kB", Fig6_12},
+	{"6.13", []string{"red"}, "Fig 6.13 — RED attack 2: drop above avg 54 kB", Fig6_13},
+	{"6.14", []string{"red"}, "Fig 6.14 — RED attack 3: 10% above avg 45 kB", Fig6_14},
+	{"6.15", []string{"red"}, "Fig 6.15 — RED attack 4: 5% above avg 45 kB", Fig6_15},
+	{"6.16", []string{"red"}, "Fig 6.16 — RED attack 5: SYN drop", Fig6_16},
+}
+
+// suiteJobs returns every figure of the evaluation in the CLI's canonical
+// print order. Each job is self-contained: it builds its own kernels and
+// derives its own seeds, so jobs are safe to fan out.
+func suiteJobs() []suiteJob {
+	jobs := []suiteJob{
+		{name: "5.2", run: func(o SuiteOptions) string {
+			var b strings.Builder
+			for _, f := range Fig5_2(o.MaxK, o.Workers) {
+				fmt.Fprintln(&b, f.Table())
+			}
+			return b.String()
+		}},
+		{name: "5.4", run: func(o SuiteOptions) string {
+			var b strings.Builder
+			for _, f := range Fig5_4(o.MaxK, o.Workers) {
+				fmt.Fprintln(&b, f.Table())
+			}
+			return b.String()
+		}},
+		{name: "5.7", aliases: []string{"fatih"}, run: func(o SuiteOptions) string {
+			var b strings.Builder
+			res, tb := Fig5_7(o.Seed)
+			fmt.Fprintln(&b, tb)
+			if o.Series {
+				fmt.Fprintln(&b, RTTSeries(res))
+			}
+			return b.String()
+		}},
+		{name: "6.2", run: func(o SuiteOptions) string {
+			return Fig6_2(50_000, 1000, 0, 1500).String() + "\n"
+		}},
+		{name: "6.3", run: func(o SuiteOptions) string {
+			_, tb := Fig6_3(o.Seed + 100)
+			return tb.String() + "\n"
+		}},
+	}
+	for i, cf := range chiSuiteFigs {
+		i, cf := i, cf
+		jobs = append(jobs, suiteJob{name: cf.name, aliases: cf.aliases, run: func(o SuiteOptions) string {
+			res := cf.run(o.Seed + int64(200+i))
+			if o.Series {
+				return res.Table(cf.title).String() + "\n"
+			}
+			return fmt.Sprintf("== %s ==\ndetected=%v suspicions=%d attacker-drops=%d first-detection=%v\n\n",
+				cf.title, res.Detected(), len(res.Suspicions), res.AttackerDropped, res.FirstDetectionAt)
+		}})
+	}
+	jobs = append(jobs,
+		suiteJob{name: "vs", aliases: []string{"6.4.3"}, run: func(o SuiteOptions) string {
+			return RunChiVsThreshold(o.Seed+300).Table().String() + "\n"
+		}},
+		suiteJob{name: "state", aliases: []string{"7.2"}, run: func(o SuiteOptions) string {
+			var b strings.Builder
+			fmt.Fprintln(&b, StateSizeTable(topology.SprintlinkSpec(), 2))
+			fmt.Fprintln(&b, StateSizeTable(topology.EBONESpec(), 2))
+			return b.String()
+		}},
+		suiteJob{name: "watchers", aliases: []string{"3.1"}, run: func(o SuiteOptions) string {
+			return WatchersFlawTable(o.Seed+400).String() + "\n"
+		}},
+		suiteJob{name: "perlman", aliases: []string{"3.7", "3.3"}, run: func(o SuiteOptions) string {
+			return PerlmanFlawTable().String() + "\n"
+		}},
+		suiteJob{name: "arch", aliases: []string{"2.3", "2.4"}, run: func(o SuiteOptions) string {
+			return RunArchitectures(o.Seed+600).Table().String() + "\n"
+		}},
+		suiteJob{name: "overhead", aliases: []string{"2.4.1"}, run: func(o SuiteOptions) string {
+			var b strings.Builder
+			fmt.Fprintln(&b, SummarySizeTable([]int{100, 1000, 10000, 100000}, 12))
+			fmt.Fprintln(&b, ExchangeBandwidthTable(o.Seed+500))
+			return b.String()
+		}},
+	)
+	return jobs
+}
+
+// SuiteNames lists the canonical figure names in print order.
+func SuiteNames() []string {
+	jobs := suiteJobs()
+	names := make([]string, len(jobs))
+	for i, j := range jobs {
+		names[i] = j.name
+	}
+	return names
+}
+
+// RunSuite regenerates the selected figures (nil or empty names = all) by
+// fanning them out over the runner's worker pool, and returns the rendered
+// texts in canonical print order plus the pool's timing report.
+//
+// The output is byte-identical for every worker count: each figure derives
+// its seeds from o.Seed alone, builds private simulator kernels, and results
+// are ordered by figure index, never by completion order.
+func RunSuite(o SuiteOptions, names []string) ([]SuiteResult, runner.Report) {
+	o.fill()
+	want := map[string]bool{}
+	for _, n := range names {
+		want[strings.ToLower(n)] = true
+	}
+	var selected []suiteJob
+	for _, j := range suiteJobs() {
+		if j.matches(want) {
+			selected = append(selected, j)
+		}
+	}
+	texts, rep := runner.Map(runner.Config{
+		Workers:  o.Workers,
+		BaseSeed: o.Seed,
+		Progress: o.Progress,
+	}, len(selected), func(tr runner.Trial) string {
+		// Figures keep the CLI's historical seed schedule (offsets from
+		// o.Seed) rather than tr.Seed so the regenerated evaluation matches
+		// the serial seed-for-seed; tr.Seed drives multi-trial sweeps like
+		// FatihTrials instead.
+		return selected[tr.Index].run(o)
+	})
+	out := make([]SuiteResult, len(selected))
+	for i, j := range selected {
+		out[i] = SuiteResult{Name: j.name, Text: texts[i], Dur: rep.TrialDur[i]}
+	}
+	return out, rep
+}

@@ -70,8 +70,11 @@ func (h *eventHeap) Pop() any {
 
 // Scheduler is a discrete-event scheduler. The zero value is ready to use.
 //
-// Scheduler is not safe for concurrent use; simulations are single-threaded
-// by design so that runs are deterministic.
+// A single Scheduler is not safe for concurrent use; each simulation is
+// single-threaded by design so that runs are deterministic. Distinct
+// Scheduler instances share no state whatsoever, so any number of
+// independent kernels may run concurrently on separate goroutines — the
+// contract internal/runner's parallel trial fan-out relies on.
 type Scheduler struct {
 	now    time.Duration
 	seq    uint64

@@ -1,0 +1,134 @@
+package stats
+
+import "sort"
+
+// Sharded is a mutex-free aggregator for per-trial metrics produced by a
+// parallel trial fan-out (internal/runner). Each worker owns one shard and
+// records observations into it without any synchronization; after all
+// workers finish, Fold merges the shards into trial-index order and replays
+// them through the serial accumulators.
+//
+// Because the fold replays observations in trial order — not in the
+// nondeterministic order workers completed them — every derived statistic
+// (mean, variance, median, max) is bitwise identical to what a serial loop
+// over the same trials would compute, regardless of worker count or
+// scheduling. That determinism is the contract the parallel experiment
+// runner is tested against.
+type Sharded struct {
+	shards []shard
+}
+
+// shard is padded to a cache line so adjacent workers' appends don't
+// false-share.
+type shard struct {
+	obs []obs
+	_   [104]byte
+}
+
+type obs struct {
+	trial int
+	value float64
+}
+
+// NewSharded returns an aggregator with one shard per worker.
+func NewSharded(workers int) *Sharded {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Sharded{shards: make([]shard, workers)}
+}
+
+// Shard returns worker w's handle. Each handle must be used by exactly one
+// goroutine; distinct handles are safe to use concurrently.
+func (s *Sharded) Shard(w int) *Shard { return &Shard{s: &s.shards[w]} }
+
+// Shard is one worker's private view of a Sharded aggregator.
+type Shard struct {
+	s *shard
+}
+
+// Observe records the metric value for one trial. Trial indices must be
+// unique across all shards (each trial reports once).
+func (h *Shard) Observe(trial int, value float64) {
+	h.s.obs = append(h.s.obs, obs{trial: trial, value: value})
+}
+
+// Fold merges all shards into trial order. Call only after every worker has
+// finished observing.
+func (s *Sharded) Fold() *Folded {
+	var all []obs
+	for i := range s.shards {
+		all = append(all, s.shards[i].obs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].trial < all[j].trial })
+	f := &Folded{values: make([]float64, 0, len(all))}
+	for _, o := range all {
+		f.values = append(f.values, o.value)
+		f.est.Add(o.value)
+	}
+	return f
+}
+
+// Folded is the trial-ordered merge of a Sharded aggregator.
+type Folded struct {
+	values []float64
+	est    Estimator
+}
+
+// N returns the number of observations.
+func (f *Folded) N() int { return f.est.N() }
+
+// Mean returns the mean across trials.
+func (f *Folded) Mean() float64 { return f.est.Mean() }
+
+// StdDev returns the sample standard deviation across trials.
+func (f *Folded) StdDev() float64 { return f.est.StdDev() }
+
+// Median returns the median across trials.
+func (f *Folded) Median() float64 { return Quantile(f.values, 0.5) }
+
+// Max returns the maximum across trials (0 for an empty fold).
+func (f *Folded) Max() float64 {
+	max := 0.0
+	for i, v := range f.values {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min returns the minimum across trials (0 for an empty fold).
+func (f *Folded) Min() float64 {
+	min := 0.0
+	for i, v := range f.values {
+		if i == 0 || v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Values returns the per-trial values in trial order (not a copy; callers
+// must not mutate).
+func (f *Folded) Values() []float64 { return f.values }
+
+// Merge combines another estimator into e using the parallel-variance
+// (Chan et al.) update. The result is mathematically equal to accumulating
+// both sample streams into one estimator, but floating-point rounding may
+// differ from the serial order — use Sharded.Fold where bitwise equality
+// with a serial run is required.
+func (e *Estimator) Merge(o Estimator) {
+	if o.n == 0 {
+		return
+	}
+	if e.n == 0 {
+		*e = o
+		return
+	}
+	n := e.n + o.n
+	d := o.mean - e.mean
+	e.m2 += o.m2 + d*d*float64(e.n)*float64(o.n)/float64(n)
+	e.mean += d * float64(o.n) / float64(n)
+	e.n = n
+}

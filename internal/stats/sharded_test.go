@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestShardedFoldBitwiseEqualsSerial is the determinism contract: folding
+// shards filled in scrambled per-worker order must reproduce the serial
+// accumulation bit for bit.
+func TestShardedFoldBitwiseEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const trials = 1000
+	values := make([]float64, trials)
+	for i := range values {
+		values[i] = rng.NormFloat64()*1e6 + rng.Float64()
+	}
+
+	var serial Estimator
+	for _, v := range values {
+		serial.Add(v)
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		sh := NewSharded(workers)
+		// Assign trials to shards round-robin but insert in reversed order
+		// within each shard, simulating arbitrary completion order.
+		perShard := make([][]int, workers)
+		for i := 0; i < trials; i++ {
+			w := i % workers
+			perShard[w] = append([]int{i}, perShard[w]...)
+		}
+		for w, idxs := range perShard {
+			h := sh.Shard(w)
+			for _, i := range idxs {
+				h.Observe(i, values[i])
+			}
+		}
+		f := sh.Fold()
+		if f.N() != serial.N() {
+			t.Fatalf("workers=%d: N=%d want %d", workers, f.N(), serial.N())
+		}
+		if f.Mean() != serial.Mean() {
+			t.Fatalf("workers=%d: mean %v not bitwise equal to serial %v", workers, f.Mean(), serial.Mean())
+		}
+		if f.StdDev() != serial.StdDev() {
+			t.Fatalf("workers=%d: stddev %v not bitwise equal to serial %v", workers, f.StdDev(), serial.StdDev())
+		}
+		for i, v := range f.Values() {
+			if v != values[i] {
+				t.Fatalf("workers=%d: value %d reordered", workers, i)
+			}
+		}
+	}
+}
+
+func TestFoldedOrderStats(t *testing.T) {
+	sh := NewSharded(2)
+	a, b := sh.Shard(0), sh.Shard(1)
+	// Trials observed out of order across shards.
+	b.Observe(3, 40)
+	a.Observe(0, 10)
+	b.Observe(1, 30)
+	a.Observe(2, 20)
+	f := sh.Fold()
+	if f.Median() != 25 {
+		t.Fatalf("median %v want 25", f.Median())
+	}
+	if f.Max() != 40 || f.Min() != 10 {
+		t.Fatalf("max/min %v/%v want 40/10", f.Max(), f.Min())
+	}
+}
+
+// TestShardedConcurrent exercises the mutex-free claim under the race
+// detector: one goroutine per shard, no synchronization beyond the final
+// join.
+func TestShardedConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 2000
+	sh := NewSharded(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := sh.Shard(w)
+			for i := 0; i < perWorker; i++ {
+				h.Observe(w*perWorker+i, float64(w*perWorker+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	f := sh.Fold()
+	if f.N() != workers*perWorker {
+		t.Fatalf("N=%d", f.N())
+	}
+	// Values must come back in global trial order.
+	for i, v := range f.Values() {
+		if v != float64(i) {
+			t.Fatalf("value %d = %v", i, v)
+		}
+	}
+}
+
+func TestEstimatorMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var whole, left, right Estimator
+	for i := 0; i < 500; i++ {
+		v := rng.NormFloat64() * 3
+		whole.Add(v)
+		if i < 200 {
+			left.Add(v)
+		} else {
+			right.Add(v)
+		}
+	}
+	merged := left
+	merged.Merge(right)
+	if merged.N() != whole.N() {
+		t.Fatalf("N=%d want %d", merged.N(), whole.N())
+	}
+	if d := merged.Mean() - whole.Mean(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("mean %v vs %v", merged.Mean(), whole.Mean())
+	}
+	if d := merged.Variance() - whole.Variance(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("variance %v vs %v", merged.Variance(), whole.Variance())
+	}
+	// Merge into an empty estimator adopts the other side verbatim.
+	var empty Estimator
+	empty.Merge(whole)
+	if empty.Mean() != whole.Mean() || empty.N() != whole.N() {
+		t.Fatal("merge into empty not identity")
+	}
+}

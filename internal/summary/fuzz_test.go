@@ -1,0 +1,221 @@
+package summary
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"routerwatch/internal/packet"
+)
+
+// The fuzz harnesses below exercise the wire codecs a router exposes to its
+// (possibly malicious) neighbors. Two properties matter:
+//
+//  1. Round-trip: Decode(Encode(x)) reproduces x, and decoding arbitrary
+//     bytes either errors or yields a value that re-encodes canonically —
+//     never a panic, never an unbounded allocation.
+//  2. Merge commutativity: combining summaries from two monitoring points
+//     must not depend on arrival order, or parallel validation would
+//     disagree with serial validation.
+//
+// The f.Add calls are the checked-in seed corpus.
+
+// fpsFromBytes derives a deterministic fingerprint list from fuzz input.
+func fpsFromBytes(data []byte) []packet.Fingerprint {
+	var fps []packet.Fingerprint
+	for i := 0; i+8 <= len(data) && len(fps) < 256; i += 8 {
+		fps = append(fps, packet.Fingerprint(binary.BigEndian.Uint64(data[i:])))
+	}
+	return fps
+}
+
+func FuzzBloomDecode(f *testing.F) {
+	b := NewBloom(16, 0.01)
+	b.Add(1)
+	b.Add(2)
+	f.Add(b.Encode())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 20))
+	// Hostile length prefix: claims a huge m.
+	huge := make([]byte, 20)
+	binary.BigEndian.PutUint32(huge, 4)
+	binary.BigEndian.PutUint64(huge[4:], 1<<40)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeBloom(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode to exactly the input bytes.
+		if got := dec.Encode(); !bytes.Equal(got, data) {
+			t.Fatalf("decode/encode not identity: %d bytes in, %d out", len(data), len(got))
+		}
+		// Queries on decoded filters must be safe.
+		_ = dec.Contains(0)
+		_ = dec.Contains(^packet.Fingerprint(0))
+	})
+}
+
+func FuzzBloomRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 16)
+	f.Add([]byte{}, 1)
+	f.Add(bytes.Repeat([]byte{0xab}, 64), 100)
+
+	f.Fuzz(func(t *testing.T, data []byte, sizeHint int) {
+		b := NewBloom(sizeHint%4096, 0.01)
+		fps := fpsFromBytes(data)
+		for _, fp := range fps {
+			b.Add(fp)
+		}
+		dec, err := DecodeBloom(b.Encode())
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(dec.Encode(), b.Encode()) {
+			t.Fatal("encode→decode→encode not stable")
+		}
+		if dec.N() != b.N() {
+			t.Fatalf("N %d != %d", dec.N(), b.N())
+		}
+		for _, fp := range fps {
+			if !dec.Contains(fp) {
+				t.Fatalf("decoded filter lost fingerprint %x", uint64(fp))
+			}
+		}
+	})
+}
+
+func FuzzBloomMergeCommutativity(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, bytes.Repeat([]byte{9}, 16))
+	f.Add([]byte{}, []byte{})
+
+	f.Fuzz(func(t *testing.T, dataA, dataB []byte) {
+		build := func(data []byte) *Bloom {
+			b := NewBloom(64, 0.01)
+			for _, fp := range fpsFromBytes(data) {
+				b.Add(fp)
+			}
+			return b
+		}
+		ab, ba := build(dataA), build(dataB)
+		// a∪b vs b∪a.
+		other := build(dataB)
+		if err := ab.Merge(other); err != nil {
+			t.Fatal(err)
+		}
+		otherA := build(dataA)
+		if err := ba.Merge(otherA); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab.Encode(), ba.Encode()) {
+			t.Fatal("bloom merge not commutative")
+		}
+		// The union must contain everything either side held.
+		for _, fp := range append(fpsFromBytes(dataA), fpsFromBytes(dataB)...) {
+			if !ab.Contains(fp) {
+				t.Fatalf("merged filter lost fingerprint %x", uint64(fp))
+			}
+		}
+	})
+}
+
+func FuzzCounterCodec(f *testing.F) {
+	f.Add(Counter{Packets: 3, Bytes: 1500}.Encode())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 16))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCounter(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(c.Encode(), data) {
+			t.Fatal("counter decode/encode not identity")
+		}
+	})
+}
+
+func FuzzFPSetCodec(f *testing.F) {
+	s := NewFPSet()
+	s.Add(7)
+	s.Add(7)
+	s.Add(1000)
+	f.Add(s.Encode())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, 24))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeFPSet(data)
+		if err != nil {
+			return
+		}
+		// The encoding is canonical, so a valid decode re-encodes byte-for-byte.
+		if !bytes.Equal(dec.Encode(), data) {
+			t.Fatal("fpset decode/encode not identity on valid input")
+		}
+	})
+}
+
+func FuzzFPSetMergeCommutativity(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, bytes.Repeat([]byte{3}, 16))
+	f.Add([]byte{}, []byte{0xaa, 0xbb, 0xcc, 0xdd, 1, 2, 3, 4})
+
+	f.Fuzz(func(t *testing.T, dataA, dataB []byte) {
+		build := func(data []byte) *FPSet {
+			s := NewFPSet()
+			for _, fp := range fpsFromBytes(data) {
+				s.Add(fp)
+			}
+			return s
+		}
+		ab := build(dataA)
+		ab.Merge(build(dataB))
+		ba := build(dataB)
+		ba.Merge(build(dataA))
+		if !bytes.Equal(ab.Encode(), ba.Encode()) {
+			t.Fatal("fpset merge not commutative")
+		}
+		if ab.Len() != ba.Len() {
+			t.Fatalf("merged lengths differ: %d vs %d", ab.Len(), ba.Len())
+		}
+		// Round-trip the merged multiset through the codec.
+		dec, err := DecodeFPSet(ab.Encode())
+		if err != nil {
+			t.Fatalf("merged fpset failed to decode: %v", err)
+		}
+		if !bytes.Equal(dec.Encode(), ab.Encode()) {
+			t.Fatal("merged fpset not canonical")
+		}
+	})
+}
+
+// FuzzCharPolyMultiplicative checks the incremental-update identity the
+// reconciliation state relies on: evaluating the characteristic polynomial
+// of a union is the pointwise product of the parts' evaluations, so a router
+// can fold packets in as they arrive — and in any order.
+func FuzzCharPolyMultiplicative(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, bytes.Repeat([]byte{5}, 16))
+	f.Add([]byte{}, []byte{})
+
+	f.Fuzz(func(t *testing.T, dataA, dataB []byte) {
+		toU64 := func(data []byte) []uint64 {
+			var out []uint64
+			for _, fp := range fpsFromBytes(data) {
+				out = append(out, uint64(fp))
+			}
+			return out
+		}
+		a, b := toU64(dataA), toU64(dataB)
+		pts := ReconcilePoints(5)
+		evalA := EvaluateCharPoly(a, pts)
+		evalB := EvaluateCharPoly(b, pts)
+		union := EvaluateCharPoly(append(append([]uint64{}, a...), b...), pts)
+		for i := range pts {
+			if union[i] != mulMod(evalA[i], evalB[i]) {
+				t.Fatalf("χ_{A∪B}(z%d) != χ_A·χ_B: %d != %d·%d",
+					i, union[i], evalA[i], evalB[i])
+			}
+		}
+	})
+}

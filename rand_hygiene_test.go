@@ -1,0 +1,84 @@
+package routerwatch
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoGlobalRand walks every non-test source file and rejects calls to
+// math/rand's package-level functions (rand.Intn, rand.Float64, rand.Seed,
+// ...). Those share one process-global generator: any call from a trial
+// goroutine couples RNG streams across trials and destroys the runner's
+// bitwise-determinism guarantee. All randomness must flow through an
+// explicit *rand.Rand (rand.New(rand.NewSource(seed)), or the
+// sim.NewRNG/sim.NewTrialRNG helpers).
+func TestNoGlobalRand(t *testing.T) {
+	// Constructors take no hidden global state and are the sanctioned way
+	// to build explicit generators.
+	allowed := map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+	var violations []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); path != "." && (name == "testdata" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		// Find what identifier math/rand is imported under in this file.
+		randName := ""
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "math/rand" {
+				randName = "rand"
+				if imp.Name != nil {
+					randName = imp.Name.Name
+				}
+			}
+		}
+		if randName == "" || randName == "_" {
+			return nil
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			// Only flag selectors on the package identifier itself; method
+			// calls on a *rand.Rand variable have a non-package receiver.
+			if !ok || id.Name != randName || id.Obj != nil || allowed[sel.Sel.Name] {
+				return true
+			}
+			violations = append(violations,
+				fset.Position(call.Pos()).String()+": "+randName+"."+sel.Sel.Name)
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("package-global math/rand call (thread a *rand.Rand instead): %s", v)
+	}
+}
