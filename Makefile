@@ -1,11 +1,18 @@
-# Tier-1 verification is `make verify`: build everything, then run the full
-# test suite under the race detector. The suite includes the parallel-runner
-# determinism regressions (internal/experiments) and the concurrent-kernel
-# property tests (internal/sim), so -race is load-bearing, not decorative.
+# Tier-1 verification is `make verify`: build everything, vet it, then run
+# the full test suite under the race detector. The suite includes the
+# parallel-runner determinism regressions (internal/experiments), the
+# concurrent-kernel property tests (internal/sim) and the telemetry
+# disabled-path allocation guard (internal/telemetry), so -race is
+# load-bearing, not decorative.
 
 GO ?= go
 
-.PHONY: build test race verify bench fuzz figures clean
+# Benchmark log destination. BENCH_baseline.json is the committed first
+# baseline; run `make bench BENCH_OUT=BENCH_current.json` and compare (e.g.
+# with benchstat, or by eye on the ns/op lines) to spot regressions.
+BENCH_OUT ?= BENCH_baseline.json
+
+.PHONY: build test race vet verify bench fuzz figures clean
 
 build:
 	$(GO) build ./...
@@ -16,10 +23,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-verify: build race
+vet:
+	$(GO) vet ./...
 
+verify: build vet race
+
+# Every benchmark in the tree — the paper-figure harness at the root plus
+# the micro-benchmarks (auth, packet, summary codecs, telemetry hot paths) —
+# in machine-readable test2json form, teeing the human-readable lines to the
+# terminal.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ -json ./... > $(BENCH_OUT)
+	@grep -o '"Output":"\(Benchmark[^"]*\\t\|[^"]*ns/op[^"]*\)"' $(BENCH_OUT) | \
+		sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//g' | \
+		paste -d '\0' - -
 
 # Short fuzz pass over every summary-codec harness (satisfies `go test`
 # normally too — the seed corpus runs as ordinary tests).

@@ -5,12 +5,23 @@
 //	go run ./cmd/mrsim -protocol pi2 -attack modify
 //	go run ./cmd/mrsim -protocol chi -attack masked90
 //	go run ./cmd/mrsim -protocol watchers -attack drop
+//	go run ./cmd/mrsim -protocol fatih -trace fatih.json
+//
+// -protocol fatih runs the full Abilene/Fatih scenario (§5.3, Fig 5.7):
+// OSPF convergence, the Kansas City compromise, Πk+2 detection and the
+// alert-driven reroute.
+//
+// Observability: -metrics and -trace snapshot the run's counters and
+// virtual-time event timeline (see internal/telemetry); -cpuprofile and
+// -memprofile write pprof profiles. All instrumentation output goes to
+// files or stderr — stdout is unchanged by these flags.
 //
 // With -trials N > 1 the scenario is replayed over N independent seeds on a
 // bounded worker pool (-parallel; default GOMAXPROCS, 1 = serial) and the
 // aggregate detection statistics are reported. Trial i runs on its own
 // simulator kernel with RNG stream sim.DeriveSeed(seed, i), so the numbers
-// are identical for every -parallel value.
+// are identical for every -parallel value; per-trial metrics fold the same
+// way (runner.MapFold).
 package main
 
 import (
@@ -28,11 +39,13 @@ import (
 	"routerwatch/internal/detector/pi2"
 	"routerwatch/internal/detector/pik2"
 	"routerwatch/internal/detector/tvinfo"
+	"routerwatch/internal/fatih"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
 	"routerwatch/internal/runner"
 	"routerwatch/internal/stats"
 	"routerwatch/internal/tcpsim"
+	"routerwatch/internal/telemetry"
 	"routerwatch/internal/topology"
 )
 
@@ -48,25 +61,52 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mrsim: ")
 
-	protocol := flag.String("protocol", "pik2", "pik2 | pi2 | chi | watchers")
+	protocol := flag.String("protocol", "pik2", "pik2 | pi2 | chi | watchers | fatih")
 	attackName := flag.String("attack", "drop", "drop | modify | reorder | fabricate | syn | masked90 | none")
 	rate := flag.Float64("rate", 1, "drop probability for the drop attack")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	dur := flag.Duration("duration", 30*time.Second, "simulated duration")
 	trials := flag.Int("trials", 1, "independent trials (per-trial derived seeds)")
 	parallel := flag.Int("parallel", 0, "worker pool size for -trials (0 = GOMAXPROCS, 1 = serial)")
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if tf.CPUProfile != "" {
+		stop, err := telemetry.StartCPUProfile(tf.CPUProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+
 	if *trials <= 1 {
-		logbook, faulty := runScenario(*protocol, *attackName, *rate, *seed, *dur, true)
+		tel := tf.NewSet()
+		logbook, faulty := runScenario(*protocol, *attackName, *rate, *seed, *dur, true, tel)
 		report(logbook, faulty)
+		if err := tf.Finish(tel); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
+	// Aggregate mode folds per-trial registries deterministically; a trace
+	// ring shared across concurrent kernels would interleave unrelated
+	// virtual timelines, so -trace is a single-run feature.
+	if tf.Trace != "" {
+		fmt.Fprintln(os.Stderr, "mrsim: -trace applies to single runs; ignoring it for -trials > 1")
+	}
+	var foldReg *telemetry.Registry
+	if tf.Metrics != "" {
+		foldReg = telemetry.NewRegistry()
+	}
 	agg := stats.NewSharded(shardCount(*parallel))
-	outs, rep := runner.Map(runner.Config{Workers: *parallel, BaseSeed: *seed}, *trials,
-		func(tr runner.Trial) outcome {
-			logbook, faulty := runScenario(*protocol, *attackName, *rate, tr.Seed, *dur, false)
+	outs, rep := runner.MapFold(runner.Config{Workers: *parallel, BaseSeed: *seed}, *trials, foldReg,
+		func(tr runner.Trial, reg *telemetry.Registry) outcome {
+			var tel *telemetry.Set
+			if reg != nil {
+				tel = &telemetry.Set{Metrics: reg}
+			}
+			logbook, faulty := runScenario(*protocol, *attackName, *rate, tr.Seed, *dur, false, tel)
 			o := summarize(logbook, faulty)
 			if o.firstAt > 0 {
 				agg.Shard(tr.Worker).Observe(tr.Index, o.firstAt.Seconds())
@@ -94,6 +134,9 @@ func main() {
 	fmt.Fprintf(os.Stderr,
 		"mrsim: %d workers: wall %.1fs, cumulative %.1fs, speedup %.2fx, utilization %.0f%%\n",
 		rep.Workers, rep.Wall.Seconds(), rep.CumTrial.Seconds(), rep.Speedup(), 100*rep.Utilization())
+	if err := tf.Finish(&telemetry.Set{Metrics: foldReg}); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // shardCount mirrors runner.Config's worker resolution for shard sizing.
@@ -106,15 +149,20 @@ func shardCount(parallel int) int {
 
 // runScenario executes one trial and returns its suspicion log and the
 // compromised router. verbose enables the single-run narration.
-func runScenario(protocol, attackName string, rate float64, seed int64, dur time.Duration, verbose bool) (*detector.Log, packet.NodeID) {
-	if protocol == "chi" {
-		return runChi(attackName, seed, dur, verbose)
+func runScenario(protocol, attackName string, rate float64, seed int64, dur time.Duration, verbose bool, tel *telemetry.Set) (*detector.Log, packet.NodeID) {
+	switch protocol {
+	case "chi":
+		return runChi(attackName, seed, dur, verbose, tel)
+	case "fatih":
+		return runFatih(seed, dur, verbose, tel)
 	}
 
 	// Path-segment protocols run on a 5-router line with the middle
 	// router compromised.
 	g := topology.Line(5)
-	net := network.New(g, network.Options{Seed: seed, ProcessingJitter: 100 * time.Microsecond})
+	net := network.New(g, network.Options{
+		Seed: seed, ProcessingJitter: 100 * time.Microsecond, Telemetry: tel,
+	})
 	logbook := detector.NewLog()
 	sink := detector.LogSink(logbook)
 
@@ -170,10 +218,32 @@ func runScenario(protocol, attackName string, rate float64, seed int64, dur time
 	return logbook, faulty
 }
 
-func runChi(attackName string, seed int64, dur time.Duration, verbose bool) (*detector.Log, packet.NodeID) {
+// runFatih runs the Abilene/Fatih scenario (§5.3, Fig 5.7): OSPF
+// convergence, the Kansas City compromise, Πk+2 detection and the
+// alert-driven reroute. Durations below a minute fall back to the
+// scenario's canonical 240 s (the attack only starts at 117 s).
+func runFatih(seed int64, dur time.Duration, verbose bool, tel *telemetry.Set) (*detector.Log, packet.NodeID) {
+	opts := fatih.ScenarioOptions{Seed: seed, Telemetry: tel}
+	if dur >= time.Minute {
+		opts.Duration = dur
+	}
+	res := fatih.RunAbilene(opts)
+	g := res.System.Net.Graph()
+	kc, _ := g.Lookup("KansasCity")
+	if verbose {
+		fmt.Printf("routing converged at %v\n", res.ConvergedAt)
+		fmt.Printf("attack at %v: KansasCity drops 20%% of transit traffic\n", res.AttackAt)
+		fmt.Printf("first detection at %v, first reroute at %v\n", res.FirstDetectionAt, res.RerouteAt)
+	}
+	return res.System.Log, kc
+}
+
+func runChi(attackName string, seed int64, dur time.Duration, verbose bool, tel *telemetry.Set) (*detector.Log, packet.NodeID) {
 	st := topology.SimpleChi(3, 2)
-	buildNet := func(seed int64, opts chi.Options) (*network.Network, *chi.Protocol, *tcpsim.Manager) {
-		net := network.New(st.Graph, network.Options{Seed: seed, ProcessingJitter: 2 * time.Millisecond})
+	buildNet := func(seed int64, opts chi.Options, tel *telemetry.Set) (*network.Network, *chi.Protocol, *tcpsim.Manager) {
+		net := network.New(st.Graph, network.Options{
+			Seed: seed, ProcessingJitter: 2 * time.Millisecond, Telemetry: tel,
+		})
 		opts.Queues = []chi.QueueID{{R: st.R, RD: st.RD}}
 		p := chi.Attach(net, opts)
 		return net, p, tcpsim.NewManager(net)
@@ -182,7 +252,9 @@ func runChi(attackName string, seed int64, dur time.Duration, verbose bool) (*de
 	if verbose {
 		fmt.Println("learning period (60 s simulated)...")
 	}
-	lnet, lproto, lman := buildNet(seed, chi.Options{Learning: true, Round: time.Second})
+	// The learning run is calibration machinery, not the scenario under
+	// observation: it runs uninstrumented.
+	lnet, lproto, lman := buildNet(seed, chi.Options{Learning: true, Round: time.Second}, nil)
 	var flows []*tcpsim.Flow
 	for i := 0; i < 3; i++ {
 		flows = append(flows, lman.StartFlow(tcpsim.FlowConfig{
@@ -201,7 +273,7 @@ func runChi(attackName string, seed int64, dur time.Duration, verbose bool) (*de
 		Round: time.Second, Calibration: cal,
 		SingleThreshold: 0.999, CombinedThreshold: 0.99,
 		FabricationTolerance: 2, Sink: detector.LogSink(logbook),
-	})
+	}, tel)
 	flows = flows[:0]
 	for i := 0; i < 3; i++ {
 		flows = append(flows, man.StartFlow(tcpsim.FlowConfig{

@@ -198,6 +198,7 @@ type Protocol struct {
 	oracle *tvinfo.PathOracle
 
 	validators map[QueueID]*queueValidator
+	tel        detector.Instruments
 }
 
 // Attach deploys χ validators and reporters for the selected queues.
@@ -209,6 +210,7 @@ func Attach(net *network.Network, opts Options) *Protocol {
 		opts:       opts,
 		oracle:     tvinfo.NewPathOracle(g),
 		validators: make(map[QueueID]*queueValidator),
+		tel:        detector.NewInstruments(net.Telemetry(), "chi"),
 	}
 	queues := opts.Queues
 	if queues == nil {

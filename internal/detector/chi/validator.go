@@ -160,6 +160,7 @@ func newQueueValidator(p *Protocol, q QueueID) *queueValidator {
 		fp := p.net.Hasher().Fingerprint(ev.Packet)
 		v.outs = append(v.outs, summary.TimedEntry{FP: fp, Size: ev.Packet.Size, TS: exit})
 		v.outAvail[fp]++
+		p.tel.Fingerprints.Inc()
 	})
 	rdRouter.HandleControl(KindBatch, v.onBatch)
 
@@ -209,6 +210,7 @@ func (r *reporter) onEvent(ev network.Event) {
 	r.pending = append(r.pending, summary.TimedEntry{
 		FP: fp, Size: ev.Packet.Size, TS: enq, Flow: ev.Packet.Flow,
 	})
+	r.v.p.tel.Fingerprints.Inc()
 }
 
 // nextHopAtR predicts which interface router R forwards the packet to.
@@ -241,7 +243,10 @@ func (r *reporter) flush(n int) {
 	r.pending = keep
 
 	b := &Batch{Queue: r.v.q, Reporter: r.rs, Round: n, Entries: send}
-	b.Sig = r.v.p.net.Auth().Sign(r.rs, batchBody(b))
+	body := batchBody(b)
+	b.Sig = r.v.p.net.Auth().Sign(r.rs, body)
+	r.v.p.tel.Summaries.Inc()
+	r.v.p.tel.SummaryBytes.Add(int64(len(body)))
 	r.v.p.net.SendControl(&network.ControlMessage{
 		From: r.rs, To: r.v.q.RD, Kind: KindBatch, Payload: b,
 	})
@@ -598,7 +603,8 @@ func (v *queueValidator) finishRound(n int) {
 	if v.p.opts.Observer != nil {
 		v.p.opts.Observer(v.report)
 	}
-	_ = n
+	v.p.tel.Rounds.Inc()
+	v.p.tel.RoundSpan("chi round", n, v.p.opts.Round, v.p.net.Now(), int32(v.q.RD))
 }
 
 // suspect raises a suspicion at rd.
@@ -608,6 +614,7 @@ func (v *queueValidator) suspect(seg topology.Segment, kind detector.Kind, conf 
 		Kind: kind, Confidence: conf, Detail: detail,
 	}
 	v.p.opts.Sink(s)
+	v.p.tel.ObserveSuspicion(s, detector.RoundEnd(s.Round, v.p.opts.Round))
 	if v.p.opts.Responder != nil {
 		v.p.opts.Responder(v.q.RD, seg)
 	}

@@ -146,6 +146,7 @@ func (a *agent) record(st *segState, p *packet.Packet, sinkTS time.Duration) {
 		st.cur[n] = s
 	}
 	s.RecordTimed(a.p.net.Hasher().Fingerprint(p), p.Size, sinkTS)
+	a.p.tel.Fingerprints.Inc()
 }
 
 // publishRound floods this router's signed summaries for round n.
@@ -163,7 +164,10 @@ func (a *agent) publishRound(n int) {
 			}
 		}
 		inst := infoInstance(st.key, n)
-		a.p.flood.Flood(a.id, TopicInfo, inst, infoPayload(st.pos, s))
+		payload := infoPayload(st.pos, s)
+		a.p.flood.Flood(a.id, TopicInfo, inst, payload)
+		a.p.tel.Summaries.Inc()
+		a.p.tel.SummaryBytes.Add(int64(len(payload)))
 		if a.equivocate {
 			forged := tvinfo.NewSummary(a.p.opts.Policy)
 			forged.Record(packet.Fingerprint(n)+0xE0E0, 1)
@@ -212,6 +216,7 @@ func (a *agent) judgeRound(n int) {
 			continue
 		}
 		st.judged[n] = true
+		a.p.tel.Rounds.Inc()
 		byOrigin := st.collected[n]
 		delete(st.collected, n)
 		delete(st.cur, n)
@@ -256,6 +261,9 @@ func (a *agent) judgeRound(n int) {
 			}
 		}
 	}
+	if len(a.segOrder) > 0 {
+		a.p.tel.RoundSpan("pi2 round", n, a.p.opts.Round, a.p.net.Now(), int32(a.id))
+	}
 }
 
 // suspectPair suspects the 2-segment(s) of seg containing position i.
@@ -274,10 +282,12 @@ func (a *agent) suspect(st *segState, pair topology.Segment, n int, kind detecto
 		return
 	}
 	a.suspected[key] = true
-	a.p.opts.Sink(detector.Suspicion{
+	s := detector.Suspicion{
 		By: a.id, Segment: pair, Round: n, At: a.p.net.Now(),
 		Kind: kind, Confidence: 1, Detail: detail,
-	})
+	}
+	a.p.opts.Sink(s)
+	a.p.tel.ObserveSuspicion(s, detector.RoundEnd(n, a.p.opts.Round))
 	if a.p.opts.Responder != nil {
 		a.p.opts.Responder(a.id, pair)
 	}
@@ -313,11 +323,13 @@ func (a *agent) onAlert(m consensus.Msg) {
 		return
 	}
 	a.suspected[key] = true
-	a.p.opts.Sink(detector.Suspicion{
+	s := detector.Suspicion{
 		By: a.id, Segment: ev.Pair, Round: ev.Round, At: a.p.net.Now(),
 		Kind: ev.Kind, Confidence: 1,
 		Detail: fmt.Sprintf("announced by %v: %s", ev.Announce, ev.Detail),
-	})
+	}
+	a.p.opts.Sink(s)
+	a.p.tel.ObserveSuspicion(s, detector.RoundEnd(ev.Round, a.p.opts.Round))
 	if a.p.opts.Responder != nil {
 		a.p.opts.Responder(a.id, ev.Pair)
 	}

@@ -89,6 +89,7 @@ type Protocol struct {
 	flood  *consensus.Service
 	oracle *tvinfo.PathOracle
 	agents map[packet.NodeID]*agent
+	tel    detector.Instruments
 }
 
 // Attach deploys Π2 on every router.
@@ -104,6 +105,7 @@ func Attach(net *network.Network, opts Options) *Protocol {
 		flood:  consensus.NewService(net),
 		oracle: tvinfo.NewPathOracle(g),
 		agents: make(map[packet.NodeID]*agent),
+		tel:    detector.NewInstruments(net.Telemetry(), "pi2"),
 	}
 	for _, r := range net.Routers() {
 		p.agents[r.ID()] = newAgent(p, r, pr[r.ID()])

@@ -171,6 +171,7 @@ func (a *agent) record(st *segState, p *packet.Packet, sinkTS time.Duration) {
 		st.cur[n] = s
 	}
 	s.RecordTimed(fp, p.Size, sinkTS)
+	a.p.tel.Fingerprints.Inc()
 }
 
 // exchangeRound sends this router's summary for round n on every monitored
@@ -198,7 +199,10 @@ func (a *agent) exchangeRound(n int) {
 			msg.Summary = s
 		}
 		msg.Sig = a.p.net.Auth().Sign(a.id, signedBody(msg))
-		a.bytesSent += int64(msg.WireBytes())
+		wire := int64(msg.WireBytes())
+		a.bytesSent += wire
+		a.p.tel.Summaries.Inc()
+		a.p.tel.SummaryBytes.Add(wire)
 
 		// The exchange travels through π itself (§5.2.1): source→sink
 		// along the segment, sink→source along its reverse.
@@ -248,6 +252,7 @@ func (a *agent) judgeRound(n int) {
 			continue
 		}
 		st.validated[n] = true
+		a.p.tel.Rounds.Inc()
 		local := st.cur[n]
 		delete(st.cur, n)
 		peer := st.peerMsgs[n]
@@ -276,6 +281,9 @@ func (a *agent) judgeRound(n int) {
 		if res := a.p.validateTV(up, down); !res.OK {
 			a.suspect(st, n, detector.KindTrafficValidation, 1, res.String())
 		}
+	}
+	if len(a.segOrder) > 0 {
+		a.p.tel.RoundSpan("pik2 round", n, a.p.opts.Round, a.p.net.Now(), int32(a.id))
 	}
 }
 
@@ -354,6 +362,7 @@ func (a *agent) suspect(st *segState, round int, kind detector.Kind, conf float6
 		At: a.p.net.Now(), Kind: kind, Confidence: conf, Detail: detail,
 	}
 	a.p.opts.Sink(s)
+	a.p.tel.ObserveSuspicion(s, detector.RoundEnd(round, a.p.opts.Round))
 	if a.p.opts.Responder != nil {
 		a.p.opts.Responder(a.id, st.seg)
 	}
@@ -380,11 +389,13 @@ func (a *agent) onAlert(m consensus.Msg) {
 		return
 	}
 	a.suspected[key] = true
-	a.p.opts.Sink(detector.Suspicion{
+	s := detector.Suspicion{
 		By: a.id, Segment: seg, Round: round, At: a.p.net.Now(),
 		Kind: detector.KindTrafficValidation, Confidence: 1,
 		Detail: fmt.Sprintf("announced by %v", by),
-	})
+	}
+	a.p.opts.Sink(s)
+	a.p.tel.ObserveSuspicion(s, detector.RoundEnd(round, a.p.opts.Round))
 	if a.p.opts.Responder != nil {
 		a.p.opts.Responder(a.id, seg)
 	}

@@ -146,6 +146,7 @@ type Protocol struct {
 	flood  *consensus.Service
 	oracle *PathOracle
 	agents map[packet.NodeID]*agent
+	tel    detector.Instruments
 }
 
 // Attach deploys Πk+2 on every router of the network. Monitored segments
@@ -163,6 +164,7 @@ func Attach(net *network.Network, opts Options) *Protocol {
 		flood:  consensus.NewService(net),
 		oracle: NewPathOracle(g),
 		agents: make(map[packet.NodeID]*agent),
+		tel:    detector.NewInstruments(net.Telemetry(), "pik2"),
 	}
 	for _, r := range net.Routers() {
 		p.agents[r.ID()] = newAgent(p, r, pr[r.ID()])
@@ -208,6 +210,7 @@ func AttachECMP(net *network.Network, e *topology.ECMP, flows []packet.FlowID, o
 		flood:  consensus.NewService(net),
 		oracle: tvinfo.NewECMPPathOracle(e),
 		agents: make(map[packet.NodeID]*agent),
+		tel:    detector.NewInstruments(net.Telemetry(), "pik2"),
 	}
 	for _, r := range net.Routers() {
 		p.agents[r.ID()] = newAgent(p, r, pr[r.ID()])

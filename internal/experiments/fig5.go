@@ -8,6 +8,7 @@ import (
 	"routerwatch/internal/fatih"
 	"routerwatch/internal/packet"
 	"routerwatch/internal/runner"
+	"routerwatch/internal/telemetry"
 	"routerwatch/internal/topology"
 )
 
@@ -88,7 +89,13 @@ func Fig5_4(maxK, workers int) []*PrFigure {
 // Fig5_7 runs the Fatih-in-progress timeline (Abilene, Kansas City
 // compromise) and renders the events the paper plots.
 func Fig5_7(seed int64) (*fatih.ScenarioResult, *Table) {
-	res := fatih.RunAbilene(fatih.ScenarioOptions{Seed: seed})
+	return Fig5_7Telemetry(seed, nil)
+}
+
+// Fig5_7Telemetry is Fig5_7 with instrumentation: tel (which may be nil)
+// observes the run's simulator, detector and scenario events.
+func Fig5_7Telemetry(seed int64, tel *telemetry.Set) (*fatih.ScenarioResult, *Table) {
+	res := fatih.RunAbilene(fatih.ScenarioOptions{Seed: seed, Telemetry: tel})
 	g := res.System.Net.Graph()
 
 	t := &Table{

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"routerwatch/internal/runner"
+	"routerwatch/internal/telemetry"
 	"routerwatch/internal/topology"
 )
 
@@ -25,6 +26,13 @@ type SuiteOptions struct {
 	Workers int
 	// Progress, if set, observes figure completions.
 	Progress func(runner.Snapshot)
+	// Telemetry, when non-nil, collects metrics across the suite: each
+	// figure runs against a private registry and the per-figure registries
+	// are folded into Telemetry's registry in figure order (deterministic
+	// for every worker count; see runner.MapFold). Only the metrics half of
+	// the set is threaded into figures — a shared trace ring across
+	// concurrent kernels would interleave unrelated virtual timelines.
+	Telemetry *telemetry.Set
 }
 
 func (o *SuiteOptions) fill() {
@@ -109,7 +117,7 @@ func suiteJobs() []suiteJob {
 		}},
 		{name: "5.7", aliases: []string{"fatih"}, run: func(o SuiteOptions) string {
 			var b strings.Builder
-			res, tb := Fig5_7(o.Seed)
+			res, tb := Fig5_7Telemetry(o.Seed, o.Telemetry)
 			fmt.Fprintln(&b, tb)
 			if o.Series {
 				fmt.Fprintln(&b, RTTSeries(res))
@@ -193,16 +201,21 @@ func RunSuite(o SuiteOptions, names []string) ([]SuiteResult, runner.Report) {
 			selected = append(selected, j)
 		}
 	}
-	texts, rep := runner.Map(runner.Config{
+	texts, rep := runner.MapFold(runner.Config{
 		Workers:  o.Workers,
 		BaseSeed: o.Seed,
 		Progress: o.Progress,
-	}, len(selected), func(tr runner.Trial) string {
+	}, len(selected), o.Telemetry.Registry(), func(tr runner.Trial, reg *telemetry.Registry) string {
 		// Figures keep the CLI's historical seed schedule (offsets from
 		// o.Seed) rather than tr.Seed so the regenerated evaluation matches
 		// the serial seed-for-seed; tr.Seed drives multi-trial sweeps like
 		// FatihTrials instead.
-		return selected[tr.Index].run(o)
+		jo := o
+		jo.Telemetry = nil
+		if reg != nil {
+			jo.Telemetry = &telemetry.Set{Metrics: reg}
+		}
+		return selected[tr.Index].run(jo)
 	})
 	out := make([]SuiteResult, len(selected))
 	for i, j := range selected {

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+
+	"routerwatch/internal/telemetry"
+)
+
+// TestSuiteTelemetryInvisibleOnStdout is the output-discipline half of the
+// observability contract: enabling -metrics must leave the rendered figure
+// text byte-identical — telemetry observes runs, it never changes them —
+// while still folding a non-empty, parallel-deterministic snapshot.
+func TestSuiteTelemetryInvisibleOnStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// 5.7 is the instrumented scenario figure; 6.2 rides along as a cheap
+	// uninstrumented job sharing the pool.
+	names := []string{"5.7", "6.2"}
+	opts := func(workers int, tel *telemetry.Set) SuiteOptions {
+		return SuiteOptions{Seed: 42, MaxK: 2, Workers: workers, Telemetry: tel}
+	}
+
+	bare, _ := RunSuite(opts(1, nil), names)
+	want := render(bare)
+
+	serialTel := telemetry.New(0)
+	serialRes, _ := RunSuite(opts(1, serialTel), names)
+	if got := render(serialRes); got != want {
+		t.Errorf("telemetry changed the rendered output:\n%s", firstDiff(got, want))
+	}
+	serialSnap := serialTel.Registry().Snapshot()
+	if len(serialSnap.Counters) == 0 {
+		t.Fatal("instrumented suite folded an empty registry")
+	}
+
+	parTel := telemetry.New(0)
+	parRes, _ := RunSuite(opts(8, parTel), names)
+	if got := render(parRes); got != want {
+		t.Errorf("telemetry + workers changed the rendered output:\n%s", firstDiff(got, want))
+	}
+	parSnap := parTel.Registry().Snapshot()
+	if len(parSnap.Counters) != len(serialSnap.Counters) {
+		t.Fatalf("parallel fold has %d counters, serial %d", len(parSnap.Counters), len(serialSnap.Counters))
+	}
+	for i, c := range parSnap.Counters {
+		if s := serialSnap.Counters[i]; c != s {
+			t.Errorf("folded counter %d: parallel %+v, serial %+v", i, c, s)
+		}
+	}
+}

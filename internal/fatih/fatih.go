@@ -110,10 +110,16 @@ func Deploy(net *network.Network, opts Options) *System {
 	// path-segments should be monitored", §5.3.1).
 	s.Routing = routing.Attach(net, opts.Timers)
 	dirty := false
+	tr := net.Telemetry().Tracer()
+	rerouteCtr := net.Telemetry().Registry().Counter("rw_reroutes_total")
 	for _, d := range s.Routing.Daemons() {
 		d := d
 		d.OnRecompute(func(at time.Duration) {
 			s.Reroutes = append(s.Reroutes, RerouteEvent{Router: d.ID(), At: at})
+			rerouteCtr.Inc()
+			if tr != nil {
+				tr.Instant("ospf-recompute", "routing", at, int32(d.ID()), "")
+			}
 			dirty = true
 		})
 	}

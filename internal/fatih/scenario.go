@@ -8,6 +8,7 @@ import (
 	"routerwatch/internal/attack"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/telemetry"
 	"routerwatch/internal/topology"
 )
 
@@ -29,6 +30,10 @@ type ScenarioOptions struct {
 	PingInterval time.Duration
 	// Fatih configures the deployed system.
 	Fatih Options
+	// Telemetry, when non-nil, instruments the run: simulator metrics,
+	// detector metrics, and the scenario's timeline events (attack onset,
+	// routing convergence) on the trace.
+	Telemetry *telemetry.Set
 }
 
 func (o *ScenarioOptions) fill() {
@@ -90,8 +95,20 @@ const (
 func RunAbilene(opts ScenarioOptions) *ScenarioResult {
 	opts.fill()
 	g := topology.Abilene()
-	net := network.New(g, network.Options{Seed: opts.Seed, ProcessingJitter: 200 * time.Microsecond})
+	net := network.New(g, network.Options{
+		Seed:             opts.Seed,
+		ProcessingJitter: 200 * time.Microsecond,
+		Telemetry:        opts.Telemetry,
+	})
 	sys := Deploy(net, opts.Fatih)
+
+	// scenarioTID is the trace row for whole-run milestones (attack onset,
+	// routing convergence) that belong to no single router.
+	const scenarioTID = int32(-1)
+	tr := opts.Telemetry.Tracer()
+	if tr != nil {
+		tr.SetThreadName(scenarioTID, "scenario")
+	}
 
 	res := &ScenarioResult{
 		AttackAt:     opts.AttackAt,
@@ -115,6 +132,9 @@ func RunAbilene(opts ScenarioOptions) *ScenarioResult {
 	convergeProbe = func() {
 		if sys.Converged() && res.ConvergedAt == 0 {
 			res.ConvergedAt = net.Now()
+			if tr != nil {
+				tr.Instant("routing-converged", "scenario", net.Now(), scenarioTID, "")
+			}
 			return
 		}
 		sched.After(time.Second, convergeProbe)
@@ -206,6 +226,10 @@ func RunAbilene(opts ScenarioOptions) *ScenarioResult {
 	// The compromise: Kansas City drops AttackRate of its transit traffic
 	// (the paper: "20% of its transit traffic is dropped or altered").
 	sched.At(opts.AttackAt, func() {
+		if tr != nil {
+			tr.Instant("attack-onset", "scenario", net.Now(), scenarioTID, "KansasCity drops transit traffic")
+			tr.Instant("compromised", "scenario", net.Now(), int32(kc), "dropper")
+		}
 		net.Router(kc).SetBehavior(&attack.Dropper{
 			Select: attack.All,
 			P:      opts.AttackRate,

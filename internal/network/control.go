@@ -42,6 +42,7 @@ type ControlMessage struct {
 func (n *Network) SendControl(m *ControlMessage) {
 	n.nextControlID++
 	m.ID = n.nextControlID
+	n.tel.ctrlSent.Inc()
 	if m.Path == nil {
 		parent, _ := n.graph.ShortestPathTree(m.From)
 		m.Path = topology.PathBetween(parent, m.From, m.To)
@@ -70,6 +71,7 @@ func (n *Network) SendControlDirect(from, to packet.NodeID, kind string, payload
 
 // relayControl moves the message one hop.
 func (n *Network) relayControl(m *ControlMessage) {
+	n.tel.ctrlRelays.Inc()
 	cur := m.Path[m.hop]
 	r := n.Router(cur)
 

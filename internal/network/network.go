@@ -20,6 +20,7 @@ import (
 	"routerwatch/internal/packet"
 	"routerwatch/internal/queue"
 	"routerwatch/internal/sim"
+	"routerwatch/internal/telemetry"
 	"routerwatch/internal/topology"
 )
 
@@ -66,6 +67,14 @@ type Options struct {
 
 	// DefaultTTL is the initial TTL of injected packets; 0 means 64.
 	DefaultTTL uint8
+
+	// Telemetry, when non-nil, instruments the simulator: per-router
+	// forward/drop counters, queue occupancy histograms, control-plane
+	// counters, and (with Telemetry.PacketEvents) per-packet trace
+	// instants. Nil disables instrumentation at zero hot-path cost; either
+	// way the simulation's behaviour and canonical output are identical —
+	// telemetry only observes, it never feeds back.
+	Telemetry *telemetry.Set
 }
 
 func (o *Options) fill() {
@@ -90,9 +99,32 @@ type Network struct {
 
 	routers []*Router
 
+	tel netTel
+
 	nextPacketID  uint64
 	nextControlID uint64
 }
+
+// netTel is the network's resolved instrumentation: all handles are
+// resolved once in New and are nil when telemetry is disabled, making
+// every hot-path call a nil-check (see internal/telemetry's disabled-path
+// contract).
+type netTel struct {
+	set      *telemetry.Set
+	injected *telemetry.Counter
+	// ctrlSent counts originated control messages; ctrlRelays counts
+	// per-hop relays (the control-plane load the §5.2.1 overhead tables
+	// reason about).
+	ctrlSent, ctrlRelays *telemetry.Counter
+	// queueIns aggregates output-queue activity across all interfaces.
+	queueIns queue.Instrument
+	// pktTrace is non-nil only when per-packet trace events are opted in.
+	pktTrace *telemetry.Tracer
+}
+
+// queueOccupancyBuckets bins queue occupancy (bytes); the top bound covers
+// the §6.5 90 kB RED buffers.
+var queueOccupancyBuckets = []int64{1_000, 5_000, 15_000, 30_000, 45_000, 60_000, 90_000, 150_000}
 
 // New builds a simulator over the topology.
 func New(g *topology.Graph, opts Options) *Network {
@@ -105,6 +137,32 @@ func New(g *topology.Graph, opts Options) *Network {
 	}
 	k0, k1 := n.auth.FingerprintKeys()
 	n.hasher = packet.NewHasher(k0, k1)
+
+	// Resolve instrumentation handles once; with opts.Telemetry == nil the
+	// registry accessors return nil instruments and every site below
+	// degrades to a nil-check.
+	reg := opts.Telemetry.Registry()
+	n.tel = netTel{
+		set:      opts.Telemetry,
+		injected: reg.Counter("rw_packets_injected_total"),
+		ctrlSent: reg.Counter("rw_control_messages_total"),
+		ctrlRelays: reg.Counter("rw_control_relays_total"),
+		queueIns: queue.Instrument{
+			Enqueued:      reg.Counter("rw_queue_enqueued_total"),
+			Dropped:       reg.Counter("rw_queue_dropped_total"),
+			DequeuedBytes: reg.Counter("rw_queue_dequeued_bytes_total"),
+			Occupancy:     reg.Histogram("rw_queue_occupancy_bytes", queueOccupancyBuckets),
+		},
+		pktTrace: opts.Telemetry.PacketTracer(),
+	}
+	n.sched.InstrumentFired(reg.Counter("rw_sim_events_total"))
+	if tr := opts.Telemetry.Tracer(); tr != nil {
+		for _, id := range g.Nodes() {
+			if name := g.Name(id); name != "" {
+				tr.SetThreadName(int32(id), name)
+			}
+		}
+	}
 
 	n.routers = make([]*Router, g.NumNodes())
 	for _, id := range g.Nodes() {
@@ -129,6 +187,11 @@ func (n *Network) Auth() *auth.Authority { return n.auth }
 
 // Hasher returns the network-wide packet fingerprint function.
 func (n *Network) Hasher() packet.Hasher { return n.hasher }
+
+// Telemetry returns the instrumentation set the network was built with
+// (nil when telemetry is disabled). Protocol layers attach their own
+// instruments through it.
+func (n *Network) Telemetry() *telemetry.Set { return n.tel.set }
 
 // Router returns the router with the given ID.
 func (n *Network) Router(id packet.NodeID) *Router {
@@ -197,6 +260,7 @@ func (n *Network) Inject(src packet.NodeID, p *packet.Packet) {
 	}
 	p.Src = src
 	p.SentAt = n.sched.Now()
+	n.tel.injected.Inc()
 	r := n.Router(src)
 	r.emit(Event{Kind: EvInject, Packet: p})
 	r.forward(p, src)

@@ -3,11 +3,13 @@ package network
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"routerwatch/internal/packet"
 	"routerwatch/internal/queue"
 	"routerwatch/internal/sim"
+	"routerwatch/internal/telemetry"
 	"routerwatch/internal/topology"
 )
 
@@ -97,7 +99,7 @@ func (v *RouterView) QueueLimit(next packet.NodeID) int {
 // interface is not RED.
 func (v *RouterView) REDAvg(next packet.NodeID) float64 {
 	if ifc := v.r.ifaces[next]; ifc != nil {
-		if red, ok := ifc.q.(*queue.RED); ok {
+		if red, ok := queue.Unwrap(ifc.q).(*queue.RED); ok {
 			return red.State().Avg()
 		}
 	}
@@ -118,12 +120,28 @@ type Router struct {
 
 	taps []func(Event)
 
+	// tel holds this router's resolved telemetry handles (all nil when
+	// telemetry is disabled; see internal/telemetry's disabled-path
+	// contract).
+	tel routerTel
+
 	// lastProcess tracks, per inbound neighbor, the latest scheduled
 	// processing time so jitter never reorders a single input stream.
 	lastProcess map[packet.NodeID]time.Duration
 
 	localHandler    func(*packet.Packet)
 	controlHandlers map[string]func(*ControlMessage)
+}
+
+// routerTel is one router's per-router instrumentation, resolved once at
+// construction.
+type routerTel struct {
+	received  *telemetry.Counter
+	forwarded *telemetry.Counter
+	delivered *telemetry.Counter
+	// drops is indexed by queue.DropReason; every reason gets a counter so
+	// the hot path never consults the registry.
+	drops [8]*telemetry.Counter
 }
 
 func newRouter(n *Network, id packet.NodeID) *Router {
@@ -135,13 +153,23 @@ func newRouter(n *Network, id packet.NodeID) *Router {
 		lastProcess: make(map[packet.NodeID]time.Duration),
 	}
 	r.view = RouterView{r: r}
+	if reg := n.tel.set.Registry(); reg != nil {
+		label := strconv.Itoa(int(id))
+		r.tel.received = reg.Counter("rw_packets_received_total", "router", label)
+		r.tel.forwarded = reg.Counter("rw_packets_forwarded_total", "router", label)
+		r.tel.delivered = reg.Counter("rw_packets_delivered_total", "router", label)
+		for reason := int(queue.DropCongestion); reason <= int(queue.DropNoRoute); reason++ {
+			r.tel.drops[reason] = reg.Counter("rw_packets_dropped_total",
+				"router", label, "cause", queue.DropReason(reason).String())
+		}
+	}
 	for _, nb := range n.graph.Neighbors(id) {
 		link, _ := n.graph.Link(id, nb)
-		r.ifaces[nb] = &iface{
-			r:    r,
-			link: link,
-			q:    n.opts.QueueFactory(link, r.rng),
+		q := n.opts.QueueFactory(link, r.rng)
+		if n.tel.set.Registry() != nil {
+			q = queue.Instrumented(q, n.tel.queueIns)
 		}
+		r.ifaces[nb] = &iface{r: r, link: link, q: q}
 	}
 	return r
 }
@@ -208,6 +236,28 @@ func (r *Router) InjectTransit(p *packet.Packet, from packet.NodeID) {
 func (r *Router) emit(ev Event) {
 	ev.Time = r.net.sched.Now()
 	ev.Router = r.id
+	// Telemetry rides the same event stream the detectors tap. Disabled
+	// instruments are nil: each case costs a nil-check and nothing else
+	// (the allocation-guard test pins this sequence at 0 allocs).
+	switch ev.Kind {
+	case EvReceive:
+		r.tel.received.Inc()
+	case EvDequeue:
+		r.tel.forwarded.Inc()
+	case EvDeliver:
+		r.tel.delivered.Inc()
+	case EvDrop:
+		if int(ev.Reason) < len(r.tel.drops) {
+			r.tel.drops[ev.Reason].Inc()
+		}
+	}
+	if pt := r.net.tel.pktTrace; pt != nil {
+		arg := ""
+		if ev.Kind == EvDrop {
+			arg = ev.Reason.String()
+		}
+		pt.Instant(ev.Kind.String(), "net", ev.Time, int32(r.id), arg)
+	}
 	for _, tap := range r.taps {
 		tap(ev)
 	}

@@ -1,0 +1,80 @@
+package queue
+
+import (
+	"time"
+
+	"routerwatch/internal/packet"
+	"routerwatch/internal/telemetry"
+)
+
+// Instrument bundles the telemetry handles an instrumented queue feeds.
+// Any field may be nil (nil instruments are free to call), and the whole
+// struct is resolved once at queue-construction time — never per packet.
+type Instrument struct {
+	// Enqueued counts accepted packets; Dropped counts rejected ones.
+	Enqueued, Dropped *telemetry.Counter
+	// DequeuedBytes accumulates the sizes of dequeued packets.
+	DequeuedBytes *telemetry.Counter
+	// Occupancy observes buffered bytes after each accepted enqueue.
+	Occupancy *telemetry.Histogram
+}
+
+// instrumented decorates a Discipline with telemetry. It changes no
+// queueing decision: every Enqueue/Dequeue outcome is exactly the inner
+// discipline's.
+type instrumented struct {
+	inner Discipline
+	ins   Instrument
+}
+
+// Instrumented wraps d so its activity feeds ins. With a zero Instrument
+// the wrapper still forwards faithfully, just uselessly; callers normally
+// only wrap when telemetry is enabled. Unwrap recovers d.
+func Instrumented(d Discipline, ins Instrument) Discipline {
+	return &instrumented{inner: d, ins: ins}
+}
+
+// Unwrap peels instrumentation off a Discipline, returning the underlying
+// queue (d itself if not wrapped). Code that type-asserts concrete
+// disciplines — e.g. RED state inspection — must unwrap first.
+func Unwrap(d Discipline) Discipline {
+	for {
+		w, ok := d.(*instrumented)
+		if !ok {
+			return d
+		}
+		d = w.inner
+	}
+}
+
+var _ Discipline = (*instrumented)(nil)
+
+// Enqueue implements Discipline.
+func (q *instrumented) Enqueue(p *packet.Packet, now time.Duration) DropReason {
+	reason := q.inner.Enqueue(p, now)
+	if reason == DropNone {
+		q.ins.Enqueued.Inc()
+		q.ins.Occupancy.Observe(int64(q.inner.Bytes()))
+	} else {
+		q.ins.Dropped.Inc()
+	}
+	return reason
+}
+
+// Dequeue implements Discipline.
+func (q *instrumented) Dequeue(now time.Duration) *packet.Packet {
+	p := q.inner.Dequeue(now)
+	if p != nil {
+		q.ins.DequeuedBytes.Add(int64(p.Size))
+	}
+	return p
+}
+
+// Bytes implements Discipline.
+func (q *instrumented) Bytes() int { return q.inner.Bytes() }
+
+// Len implements Discipline.
+func (q *instrumented) Len() int { return q.inner.Len() }
+
+// Limit implements Discipline.
+func (q *instrumented) Limit() int { return q.inner.Limit() }

@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"routerwatch/internal/telemetry"
+)
+
+// foldWorkload is a telemetry-heavy stand-in for a simulation trial: the
+// instrument traffic is a deterministic function of the trial seed, so any
+// divergence between worker counts is a fold bug, not workload noise.
+func foldWorkload(t Trial, reg *telemetry.Registry) int {
+	rng := rand.New(rand.NewSource(t.Seed))
+	fwd := reg.Counter("rw_packets_forwarded_total", "router", "0")
+	drop := reg.Counter("rw_packets_dropped_total", "router", "0", "cause", "congestion")
+	lat := reg.Histogram("rw_suspicion_latency_ms", []int64{10, 100, 1000})
+	n := 100 + rng.Intn(400)
+	for i := 0; i < n; i++ {
+		fwd.Inc()
+		if rng.Intn(10) == 0 {
+			drop.Inc()
+		}
+		lat.Observe(int64(rng.Intn(2000)))
+	}
+	return n
+}
+
+// TestMapFoldDeterministic is the fold half of the observability contract:
+// metrics folded from a parallel fan-out must be bitwise identical to a
+// serial run with the same base seed, for every worker count.
+func TestMapFoldDeterministic(t *testing.T) {
+	const trials = 32
+	run := func(workers int) ([]int, telemetry.Snapshot, []byte) {
+		dst := telemetry.NewRegistry()
+		results, _ := MapFold(Config{Workers: workers, BaseSeed: 7}, trials, dst, foldWorkload)
+		var buf bytes.Buffer
+		if err := dst.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return results, dst.Snapshot(), buf.Bytes()
+	}
+
+	serialRes, serialSnap, serialJSON := run(1)
+	for _, workers := range []int{2, 4, 8, 0} {
+		res, snap, js := run(workers)
+		if !reflect.DeepEqual(res, serialRes) {
+			t.Errorf("workers=%d: trial results diverged from serial", workers)
+		}
+		if !reflect.DeepEqual(snap, serialSnap) {
+			t.Errorf("workers=%d: folded metrics diverged from serial run", workers)
+		}
+		if !bytes.Equal(js, serialJSON) {
+			t.Errorf("workers=%d: folded JSON snapshot not byte-identical to serial", workers)
+		}
+	}
+}
+
+// TestMapFoldNilDst checks the disabled path: a nil destination registry
+// hands every trial a nil registry (free no-op instruments) and still
+// returns the results.
+func TestMapFoldNilDst(t *testing.T) {
+	seen := make([]bool, 8)
+	results, _ := MapFold(Config{Workers: 4, BaseSeed: 1}, 8, nil, func(tr Trial, reg *telemetry.Registry) int {
+		if reg != nil {
+			t.Error("nil dst should hand trials a nil registry")
+		}
+		// Nil instruments must be safe to drive.
+		reg.Counter("c").Inc()
+		seen[tr.Index] = true
+		return tr.Index * 2
+	})
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("trial %d never ran", i)
+		}
+		if results[i] != i*2 {
+			t.Errorf("result[%d] = %d, want %d", i, results[i], i*2)
+		}
+	}
+}

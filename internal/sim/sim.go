@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"routerwatch/internal/telemetry"
 )
 
 // Event is a scheduled callback. The zero Event is invalid.
@@ -80,6 +82,10 @@ type Scheduler struct {
 	seq    uint64
 	events eventHeap
 	fired  uint64
+
+	// firedCtr, when attached, counts fired events for per-trial sim-event
+	// throughput metrics. Nil (the default) costs one nil-check per event.
+	firedCtr *telemetry.Counter
 }
 
 // New returns a new Scheduler starting at virtual time zero.
@@ -90,6 +96,11 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// InstrumentFired attaches a telemetry counter incremented once per fired
+// event (nil detaches). Purely observational: the scheduler never reads it
+// back, so determinism is unaffected.
+func (s *Scheduler) InstrumentFired(c *telemetry.Counter) { s.firedCtr = c }
 
 // Pending returns the number of events scheduled but not yet fired.
 func (s *Scheduler) Pending() int { return len(s.events) }
@@ -124,6 +135,7 @@ func (s *Scheduler) Step() bool {
 		}
 		s.now = ev.at
 		s.fired++
+		s.firedCtr.Inc()
 		ev.fn()
 		return true
 	}

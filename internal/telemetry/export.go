@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time, deterministic copy of a registry's state:
+// map iteration order is hidden behind sorted slices so identical metric
+// state always serializes to identical bytes — the property the fold
+// determinism tests compare.
+type Snapshot struct {
+	Counters   []MetricValue   `json:"counters"`
+	Gauges     []MetricValue   `json:"gauges"`
+	Histograms []HistogramDump `json:"histograms"`
+}
+
+// MetricValue is one named counter or gauge reading.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramDump is one histogram's full state.
+type HistogramDump struct {
+	Name string `json:"name"`
+	// Bounds are the bucket upper bounds; Counts has one extra entry for
+	// the +Inf bucket.
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot captures the registry's current state with deterministic
+// ordering. A nil registry yields an empty (but valid) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, MetricValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, MetricValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		s.Histograms = append(s.Histograms, HistogramDump{
+			Name:   name,
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: h.BucketCounts(),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON exports the registry as an indented JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.Snapshot())
+}
+
+// baseOf splits a series name into its metric base (before any '{').
+func baseOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labelsOf returns the {...} label block of a series name ("" if none),
+// without the braces.
+func labelsOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return strings.TrimSuffix(name[i+1:], "}")
+	}
+	return ""
+}
+
+// WritePrometheus exports the registry in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric base, then each
+// series. Histograms come out as the conventional _bucket (cumulative,
+// with le labels), _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	bw := bufio.NewWriter(w)
+
+	writeTyped := func(vals []MetricValue, typ string) {
+		lastBase := ""
+		for _, mv := range vals {
+			base := baseOf(mv.Name)
+			if base != lastBase {
+				fmt.Fprintf(bw, "# TYPE %s %s\n", base, typ)
+				lastBase = base
+			}
+			fmt.Fprintf(bw, "%s %d\n", mv.Name, mv.Value)
+		}
+	}
+	writeTyped(s.Counters, "counter")
+	writeTyped(s.Gauges, "gauge")
+
+	lastBase := ""
+	for _, h := range s.Histograms {
+		base := baseOf(h.Name)
+		if base != lastBase {
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", base)
+			lastBase = base
+		}
+		labels := labelsOf(h.Name)
+		series := func(le string) string {
+			if labels == "" {
+				return fmt.Sprintf("%s_bucket{le=%q}", base, le)
+			}
+			return fmt.Sprintf("%s_bucket{%s,le=%q}", base, labels, le)
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s %d\n", series(fmt.Sprint(bound)), cum)
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		fmt.Fprintf(bw, "%s %d\n", series("+Inf"), cum)
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(bw, "%s_sum%s %d\n", base, suffix, h.Sum)
+		fmt.Fprintf(bw, "%s_count%s %d\n", base, suffix, h.Count)
+	}
+	return bw.Flush()
+}

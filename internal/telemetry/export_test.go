@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// golden compares got against testdata/<name>, rewriting the file under
+// -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/telemetry -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// goldenRegistry builds the fixed registry state behind the exporter golden
+// files: labeled counters, a gauge, and both a bare and a labeled histogram.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("rw_packets_forwarded_total", "router", "0").Add(120)
+	r.Counter("rw_packets_forwarded_total", "router", "1").Add(98)
+	r.Counter("rw_packets_dropped_total", "router", "1", "cause", "congestion").Add(7)
+	r.Gauge("rw_queue_depth_bytes", "router", "1").Set(4096)
+	h := r.Histogram("rw_suspicion_latency_ms", []int64{100, 1000})
+	for _, v := range []int64{40, 90, 500, 2500} {
+		h.Observe(v)
+	}
+	lh := r.Histogram("rw_queue_occupancy_bytes", []int64{1000, 15000}, "router", "1")
+	lh.Observe(900)
+	lh.Observe(16000)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "metrics.prom", buf.Bytes())
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "metrics.json", buf.Bytes())
+}
+
+// TestSnapshotRoundTrip pushes a snapshot through encoding/json and back:
+// the decoded struct must equal the original, so the JSON export is a
+// faithful, machine-readable copy of the registry state.
+func TestSnapshotRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := goldenRegistry()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if want := r.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot round-trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotNilRegistry(t *testing.T) {
+	s := (*Registry)(nil).Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot should be empty, got %+v", s)
+	}
+}
+
+// TestSnapshotDeterministic checks that two registries populated in
+// different orders serialize to identical bytes — the property the
+// parallel-fold determinism tests compare on.
+func TestSnapshotDeterministic(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x").Add(1)
+	a.Counter("y").Add(2)
+	b.Counter("y").Add(2)
+	b.Counter("x").Add(1)
+	var ba, bb bytes.Buffer
+	if err := a.WriteJSON(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Error("registries with identical state serialized differently")
+	}
+}
+
+// goldenTracer builds the fixed trace behind the trace golden files: named
+// tracks, instants and spans at known virtual times, including two events
+// sharing a timestamp (ordered by record order).
+func goldenTracer() *Tracer {
+	tr := NewTracer(16)
+	tr.SetThreadName(-1, "scenario")
+	tr.SetThreadName(3, "KansasCity")
+	tr.Instant("routing-converged", "scenario", 6*time.Second, -1, "")
+	tr.Span("pik2 round", "detector", 10*time.Second, 15*time.Second, 3, "")
+	tr.Instant("attack-onset", "scenario", 117*time.Second, -1, "KansasCity drops transit traffic")
+	tr.Instant("suspicion", "detector", 121*time.Second, 3, "traffic-validation")
+	tr.Instant("ospf-recompute", "routing", 121*time.Second, 3, "")
+	return tr
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "trace.json", buf.Bytes())
+}
+
+func TestWriteTimelineGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "trace.txt", buf.Bytes())
+}
+
+// TestChromeTraceRoundTrip re-decodes the Chrome trace export through
+// encoding/json and checks the invariants a trace viewer depends on:
+// microsecond timestamps, "X"/"i" phases, thread-scoped instants, and
+// thread_name metadata.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var meta, instants, spans int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			meta++
+		case "i":
+			instants++
+			if ev.Scope != "t" {
+				t.Errorf("instant %q scope = %q, want t", ev.Name, ev.Scope)
+			}
+		case "X":
+			spans++
+			if ev.Name == "pik2 round" && ev.Dur != 5e6 {
+				t.Errorf("span dur = %v µs, want 5e6", ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Phase)
+		}
+		if ev.Name == "attack-onset" {
+			if ev.TS != 117e6 {
+				t.Errorf("attack-onset ts = %v µs, want 117e6", ev.TS)
+			}
+			if ev.Args["detail"] == "" {
+				t.Error("attack-onset lost its args")
+			}
+		}
+	}
+	if meta != 2 || instants != 4 || spans != 1 {
+		t.Errorf("event counts meta=%d instants=%d spans=%d, want 2/4/1", meta, instants, spans)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant("ev", "cat", time.Duration(i)*time.Second, 0, "")
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Errorf("dropped = %d, want 6", got)
+	}
+	// The most recent events survive.
+	if evs[0].TS != 6*time.Second || evs[3].TS != 9*time.Second {
+		t.Errorf("retained window = [%v, %v], want [6s, 9s]", evs[0].TS, evs[3].TS)
+	}
+}
+
+func TestTracerEventOrdering(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Instant("second", "cat", 2*time.Second, 0, "")
+	tr.Instant("first", "cat", time.Second, 0, "")
+	tr.Instant("also-second", "cat", 2*time.Second, 0, "")
+	evs := tr.Events()
+	got := []string{evs[0].Name, evs[1].Name, evs[2].Name}
+	want := []string{"first", "second", "also-second"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("event order = %v, want %v (time, then record order)", got, want)
+	}
+}

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a CPU profile into path and returns the function
+// that stops it and closes the file. Wire it to a CLI's -cpuprofile flag:
+//
+//	stop, err := telemetry.StartCPUProfile(*cpuprofile)
+//	if err != nil { ... }
+//	defer stop()
+func StartCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects (so the profile reflects live memory,
+// matching `go test -memprofile` semantics) and writes an allocation
+// profile to path. Wire it to a CLI's -memprofile flag, after the
+// workload.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	return nil
+}

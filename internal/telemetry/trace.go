@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Phase classifies a trace event.
+type Phase byte
+
+// Trace event phases, matching the Chrome trace-event "ph" values.
+const (
+	// PhaseInstant is a point on the timeline ("i").
+	PhaseInstant Phase = 'i'
+	// PhaseSpan is a complete duration event ("X").
+	PhaseSpan Phase = 'X'
+)
+
+// Event is one virtual-time-stamped trace record. TS and Dur are virtual
+// (simulation) time, not wall time: the trace shows where events sit on
+// the simulated timeline, which is what the paper's Fig 5.7 plots.
+type Event struct {
+	// Name labels the event ("suspicion", "ospf-recompute", "round", ...).
+	Name string
+	// Cat is the event category ("detector", "routing", "net", "sim").
+	Cat string
+	// Phase is PhaseInstant or PhaseSpan.
+	Phase Phase
+	// TS is the event's virtual time (span start for PhaseSpan).
+	TS time.Duration
+	// Dur is the span length (PhaseSpan only).
+	Dur time.Duration
+	// TID is the track the event renders on — router IDs in this repo.
+	TID int32
+	// Arg is an optional human-readable detail.
+	Arg string
+
+	// seq orders events that share a timestamp by record order.
+	seq uint64
+}
+
+// Tracer records events into a bounded ring buffer: the most recent
+// capacity events are kept, older ones are overwritten (Dropped counts
+// them). A nil *Tracer is a disabled instrument; Instant and Span on it
+// cost one nil-check and never allocate.
+//
+// A Tracer is safe for concurrent use, but the intended pattern — one
+// tracer per simulation kernel, like one RNG stream per trial — makes the
+// mutex uncontended.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // ring write position
+	full    bool
+	seq     uint64
+	dropped uint64
+	threads map[int32]string
+}
+
+// DefaultTraceCapacity bounds the ring when NewTracer is given 0.
+const DefaultTraceCapacity = 1 << 16
+
+// NewTracer returns a tracer keeping the most recent capacity events
+// (DefaultTraceCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity), threads: make(map[int32]string)}
+}
+
+// SetThreadName names a track (e.g. router 3 → "KansasCity"); exporters
+// carry it through so trace viewers show topology names.
+func (t *Tracer) SetThreadName(tid int32, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.threads[tid] = name
+	t.mu.Unlock()
+}
+
+// Instant records a point event at virtual time ts on track tid.
+func (t *Tracer) Instant(name, cat string, ts time.Duration, tid int32, arg string) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Name: name, Cat: cat, Phase: PhaseInstant, TS: ts, TID: tid, Arg: arg})
+}
+
+// Span records a complete duration event covering [start, end].
+func (t *Tracer) Span(name, cat string, start, end time.Duration, tid int32, arg string) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.record(Event{Name: name, Cat: cat, Phase: PhaseSpan, TS: start, Dur: end - start, TID: tid, Arg: arg})
+}
+
+func (t *Tracer) record(ev Event) {
+	t.mu.Lock()
+	ev.seq = t.seq
+	t.seq++
+	if t.full {
+		t.dropped++
+	}
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Dropped returns how many events were evicted from the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the retained events ordered by (virtual time, record
+// order).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var out []Event
+	if t.full {
+		out = make([]Event, 0, len(t.buf))
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append([]Event(nil), t.buf[:t.next]...)
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// ThreadNames returns a copy of the tid → name map.
+func (t *Tracer) ThreadNames() map[int32]string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int32]string, len(t.threads))
+	for k, v := range t.threads {
+		out[k] = v
+	}
+	return out
+}
+
+// chromeEvent is the JSON shape of one Chrome trace-event. Timestamps and
+// durations are microseconds, per the trace-event format spec.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int32             `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the exported JSON document (object form, so viewers get
+// displayTimeUnit and metadata alongside the events).
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+const tracePID = 0 // single simulated process; tracks are routers
+
+// WriteChromeTrace exports the retained events as Chrome trace-event JSON
+// (load in chrome://tracing or https://ui.perfetto.dev). Router tracks
+// named via SetThreadName come out as thread_name metadata records.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: tracing is disabled")
+	}
+	doc := chromeTrace{DisplayTimeUnit: "ms"}
+	if d := t.Dropped(); d > 0 {
+		doc.OtherData = map[string]string{"evicted_events": fmt.Sprint(d)}
+	}
+	names := t.ThreadNames()
+	tids := make([]int32, 0, len(names))
+	for tid := range names {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: tracePID, TID: tid,
+			Args: map[string]string{"name": names[tid]},
+		})
+	}
+	for _, ev := range t.Events() {
+		ce := chromeEvent{
+			Name:  ev.Name,
+			Cat:   ev.Cat,
+			Phase: string(rune(ev.Phase)),
+			TS:    float64(ev.TS) / float64(time.Microsecond),
+			PID:   tracePID,
+			TID:   ev.TID,
+		}
+		if ev.Phase == PhaseSpan {
+			ce.Dur = float64(ev.Dur) / float64(time.Microsecond)
+		}
+		if ev.Phase == PhaseInstant {
+			ce.Scope = "t" // thread-scoped instant marks
+		}
+		if ev.Arg != "" {
+			ce.Args = map[string]string{"detail": ev.Arg}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteTimeline exports the retained events as a plain-text timeline, one
+// line per event in virtual-time order.
+func (t *Tracer) WriteTimeline(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: tracing is disabled")
+	}
+	names := t.ThreadNames()
+	bw := bufio.NewWriter(w)
+	for _, ev := range t.Events() {
+		who := names[ev.TID]
+		if who == "" {
+			who = fmt.Sprintf("router-%d", ev.TID)
+		}
+		switch ev.Phase {
+		case PhaseSpan:
+			fmt.Fprintf(bw, "%12.3fms %-14s %-10s %-20s dur=%v %s\n",
+				ms(ev.TS), who, ev.Cat, ev.Name, ev.Dur, ev.Arg)
+		default:
+			fmt.Fprintf(bw, "%12.3fms %-14s %-10s %-20s %s\n",
+				ms(ev.TS), who, ev.Cat, ev.Name, ev.Arg)
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(bw, "(%d earlier events evicted from the trace ring)\n", d)
+	}
+	return bw.Flush()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
