@@ -1,0 +1,147 @@
+// Command rwlint is routerwatch's determinism lint suite: a multichecker
+// running the custom analyzers that machine-enforce the invariants the
+// parallel trial runner's bitwise determinism rests on, plus local ports
+// of the stock nilness and shadow passes.
+//
+//	rwlint [-only a,b] [-list] [packages]
+//
+// With no arguments (or "./..."), the whole module is analyzed. Exit
+// status: 0 clean, 1 diagnostics reported, 2 internal error. The analyzer
+// catalogue, the invariants behind it, and the wall-clock allowlist are
+// documented in DESIGN.md "Static analysis".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"routerwatch/internal/analysis"
+	"routerwatch/internal/analysis/driver"
+	"routerwatch/internal/analysis/globalrand"
+	"routerwatch/internal/analysis/load"
+	"routerwatch/internal/analysis/mapyield"
+	"routerwatch/internal/analysis/nilinstrument"
+	"routerwatch/internal/analysis/passes/nilness"
+	"routerwatch/internal/analysis/passes/shadow"
+	"routerwatch/internal/analysis/walltime"
+)
+
+// suite is the full analyzer catalogue, in reporting order.
+var suite = []*analysis.Analyzer{
+	globalrand.Analyzer,
+	walltime.Analyzer,
+	mapyield.Analyzer,
+	nilinstrument.Analyzer,
+	nilness.Analyzer,
+	shadow.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rwlint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		for _, a := range suite {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := suite
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := byName[strings.TrimSpace(name)]
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "rwlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwlint: %v\n", err)
+		os.Exit(2)
+	}
+	l := load.New(load.Config{Dir: root, Module: "routerwatch"})
+
+	var pkgs []*load.Package
+	args := flag.Args()
+	if len(args) == 0 || (len(args) == 1 && (args[0] == "./..." || args[0] == "...")) {
+		pkgs, err = l.LoadAll()
+	} else {
+		paths := make([]string, len(args))
+		for i, a := range args {
+			paths[i] = importPath(a)
+		}
+		pkgs, err = l.Load(paths...)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags, err := driver.Run(l, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(driver.Format(l.Fset, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rwlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// importPath normalizes a command-line package argument ("./internal/sim",
+// "internal/sim", "routerwatch/internal/sim") to an import path.
+func importPath(arg string) string {
+	arg = strings.TrimSuffix(filepath.ToSlash(arg), "/")
+	arg = strings.TrimPrefix(arg, "./")
+	if arg == "." || arg == "" {
+		return "routerwatch"
+	}
+	if arg == "routerwatch" || strings.HasPrefix(arg, "routerwatch/") {
+		return arg
+	}
+	return "routerwatch/" + arg
+}
+
+// moduleRoot finds the directory holding go.mod, starting from the
+// working directory — so rwlint works from any subdirectory of the repo.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory; run from inside the module")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,42 @@
+package routerwatch
+
+import (
+	"testing"
+
+	"routerwatch/internal/analysis"
+	"routerwatch/internal/analysis/driver"
+	"routerwatch/internal/analysis/globalrand"
+	"routerwatch/internal/analysis/load"
+	"routerwatch/internal/analysis/mapyield"
+	"routerwatch/internal/analysis/nilinstrument"
+	"routerwatch/internal/analysis/walltime"
+)
+
+// TestDeterminismInvariants drives the rwlint analyzer suite over the
+// whole module from inside `go test ./...`, so the determinism invariants
+// are enforced even when nobody runs the standalone binary. It replaces
+// the old parser-only TestNoGlobalRand walk (rand_hygiene_test.go), which
+// missed aliased imports, dot imports and math/rand/v2 and covered only
+// one of the invariants; the type-aware analyzers close those holes. See
+// DESIGN.md "Static analysis" for the invariant catalogue and cmd/rwlint
+// for the full multichecker (which additionally runs the nilness and
+// shadow passes).
+func TestDeterminismInvariants(t *testing.T) {
+	l := load.New(load.Config{Dir: ".", Module: "routerwatch"})
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run(l, pkgs, []*analysis.Analyzer{
+		globalrand.Analyzer,
+		walltime.Analyzer,
+		mapyield.Analyzer,
+		nilinstrument.Analyzer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", driver.Format(l.Fset, d))
+	}
+}

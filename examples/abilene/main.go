@@ -10,9 +10,11 @@ package main
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"routerwatch/internal/fatih"
+	"routerwatch/internal/packet"
 )
 
 func main() {
@@ -23,8 +25,13 @@ func main() {
 	fmt.Printf("  %-32s %8.1fs\n", "routing converged", res.ConvergedAt.Seconds())
 	fmt.Printf("  %-32s %8.1fs\n", "Kansas City compromised", res.AttackAt.Seconds())
 	fmt.Printf("  %-32s %8.1fs\n", "first detection", res.FirstDetectionAt.Seconds())
-	for r, at := range res.DetectionsBy {
-		fmt.Printf("  %-32s %8.1fs\n", "suspicion at "+g.Name(r), at.Seconds())
+	holders := make([]packet.NodeID, 0, len(res.DetectionsBy))
+	for r := range res.DetectionsBy {
+		holders = append(holders, r)
+	}
+	sort.Slice(holders, func(i, j int) bool { return holders[i] < holders[j] })
+	for _, r := range holders {
+		fmt.Printf("  %-32s %8.1fs\n", "suspicion at "+g.Name(r), res.DetectionsBy[r].Seconds())
 	}
 	fmt.Printf("  %-32s %8.1fs\n", "first reroute", res.RerouteAt.Seconds())
 

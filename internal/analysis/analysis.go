@@ -1,0 +1,101 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named check,
+// a Pass hands it one type-checked package, and diagnostics flow through
+// Pass.Report. The build environment for this repository deliberately has
+// no module downloads (the reproduction must build offline from a bare Go
+// toolchain), so instead of depending on x/tools the framework mirrors its
+// API shape closely enough that the analyzers in the sibling packages
+// could be ported to the real thing by changing one import line.
+//
+// The suite exists to machine-enforce the invariants the parallel trial
+// runner's bitwise determinism rests on; see DESIGN.md "Static analysis"
+// for the catalogue.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be a
+	// valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation; the first line is the summary.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings via
+	// pass.Report / pass.Reportf and returns an error only for internal
+	// failures (not for findings).
+	Run func(pass *Pass) error
+}
+
+// Pass is one (analyzer, package) unit of work, carrying the package's
+// syntax and full type information.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+
+	// Fset maps positions for every file in Files.
+	Fset *token.FileSet
+
+	// Files is the package's syntax, one entry per non-test source file.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// PkgPath is the package's import path. For packages loaded from the
+	// module it includes the module prefix; analysistest fixture packages
+	// use their path under testdata/src verbatim.
+	PkgPath string
+
+	// TypesInfo holds type facts (Uses, Defs, Selections, Types, Scopes)
+	// for every expression in Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills this in.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name, filled by drivers
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Preorder calls fn for every node in every file of the pass, in
+// depth-first preorder — the common traversal all the suite's analyzers
+// use (a stand-in for x/tools' inspect.Analyzer result).
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// IsTestFile reports whether pos sits in a _test.go file. The loader only
+// feeds non-test files to passes, so analyzers rarely need this; it guards
+// against future loaders widening the file set.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

@@ -1,0 +1,132 @@
+// Package analysistest runs analyzers over GOPATH-style fixture trees and
+// checks their diagnostics against // want "regexp" comments — the same
+// convention as golang.org/x/tools/go/analysis/analysistest, implemented
+// on the local framework so fixtures stay portable to the real thing.
+//
+// A fixture tree looks like:
+//
+//	testdata/src/<pkgpath>/<files>.go
+//
+// and every line that should trigger a diagnostic carries a trailing
+// comment of the form
+//
+//	rand.Intn(6) // want `package-level math/rand`
+//
+// Multiple expectations on one line are written as repeated quoted
+// regexps: // want "first" "second". Diagnostics with no matching want,
+// and wants with no matching diagnostic, both fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"routerwatch/internal/analysis"
+	"routerwatch/internal/analysis/driver"
+	"routerwatch/internal/analysis/load"
+)
+
+// expectation is one want-regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// wantRx pulls the quoted or backquoted patterns out of a want comment.
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture package below testdata/src, applies the analyzer,
+// and matches diagnostics against the want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	RunAll(t, testdata, []*analysis.Analyzer{a}, patterns...)
+}
+
+// RunAll is Run for several analyzers sharing one fixture tree.
+func RunAll(t *testing.T, testdata string, analyzers []*analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	l := load.New(load.Config{Dir: src})
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := driver.Run(l, pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, collectWants(t, l, f)...)
+		}
+	}
+
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		if !match(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func match(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.met && w.file == file && w.line == line && w.rx.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts the want expectations from one parsed file.
+func collectWants(t *testing.T, l *load.Loader, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") && text != "want" {
+				continue
+			}
+			pos := l.Fset.Position(c.Pos())
+			rest := strings.TrimPrefix(text, "want")
+			matches := wantRx.FindAllString(rest, -1)
+			if len(matches) == 0 {
+				t.Fatalf("%s: malformed want comment: %s", pos, c.Text)
+			}
+			for _, m := range matches {
+				var pat string
+				if strings.HasPrefix(m, "`") {
+					pat = strings.Trim(m, "`")
+				} else {
+					var err error
+					pat, err = strconv.Unquote(m)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, m, err)
+					}
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx, raw: m})
+			}
+		}
+	}
+	return out
+}

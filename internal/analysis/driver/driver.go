@@ -1,0 +1,51 @@
+// Package driver runs analyzers over loaded packages. It is the shared
+// engine behind cmd/rwlint, the analysistest fixture runner, and the
+// root rand-hygiene test.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"routerwatch/internal/analysis"
+	"routerwatch/internal/analysis/load"
+)
+
+// Run applies every analyzer to every package and returns the diagnostics
+// sorted by position. Packages with type errors produce an error instead:
+// analysis over broken type information reports nonsense.
+func Run(l *load.Loader, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s: package does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      l.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.Path,
+				TypesInfo: l.Info,
+				Report: func(d analysis.Diagnostic) {
+					if d.Category == "" {
+						d.Category = a.Name
+					}
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// Format renders one diagnostic in the conventional file:line:col form.
+func Format(fset *token.FileSet, d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Category, d.Message)
+}

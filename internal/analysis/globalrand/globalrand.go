@@ -1,0 +1,69 @@
+// Package globalrand rejects uses of math/rand's (and math/rand/v2's)
+// package-level generator. Those functions share one process-global RNG:
+// a single call from inside a trial couples the random streams of every
+// concurrently running trial and silently destroys the parallel runner's
+// bitwise-determinism guarantee (serial replay would no longer reproduce
+// a parallel run). All randomness must flow through an explicit
+// *rand.Rand — rand.New(rand.NewSource(seed)), or the sim.NewRNG /
+// sim.DeriveSeed helpers that derive per-trial streams.
+//
+// Being type-based, the check sees through import aliasing, dot imports
+// and math/rand/v2 — the cases the old parser-only hygiene test missed.
+// Constructors (New, NewSource, NewZipf, NewPCG, NewChaCha8, ...) are
+// allowed: they take no hidden global state and are the sanctioned way to
+// build explicit generators.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"routerwatch/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "reject package-level math/rand calls that couple RNG streams across trials",
+	Run:  run,
+}
+
+// randPackages are the import paths whose package-level state is shared
+// process-wide.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Pkg() == nil || !randPackages[obj.Pkg().Path()] {
+			return
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			// Types (rand.Rand, rand.Source) and constants are fine; the
+			// hazard is package-level functions only.
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			// Methods on an explicit *rand.Rand / *rand.Zipf are exactly
+			// what the invariant asks for.
+			return
+		}
+		if strings.HasPrefix(fn.Name(), "New") {
+			// Constructors build explicit generators; allowed.
+			return
+		}
+		pass.Reportf(id.Pos(),
+			"package-level %s.%s uses the process-global RNG; thread an explicit *rand.Rand (sim.NewRNG / rand.New) instead",
+			obj.Pkg().Path(), fn.Name())
+	})
+	return nil
+}

@@ -1,0 +1,16 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"routerwatch/internal/analysis/analysistest"
+	"routerwatch/internal/analysis/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata", globalrand.Analyzer, "globalrand")
+}
+
+func TestGlobalRandV2(t *testing.T) {
+	analysistest.Run(t, "testdata", globalrand.Analyzer, "globalrandv2")
+}

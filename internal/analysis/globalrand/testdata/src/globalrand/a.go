@@ -1,0 +1,29 @@
+// Package globalrand exercises the plain-import cases.
+package globalrand
+
+import "math/rand"
+
+// useGlobal hits the process-global generator in several shapes.
+func useGlobal() int {
+	rand.Seed(42)        // want `package-level math/rand\.Seed`
+	x := rand.Intn(6)    // want `package-level math/rand\.Intn`
+	_ = rand.Float64()   // want `package-level math/rand\.Float64`
+	rand.Shuffle(3, nil) // want `package-level math/rand\.Shuffle`
+	f := rand.Perm       // want `package-level math/rand\.Perm`
+	_ = f
+	return x
+}
+
+// useExplicit is the sanctioned pattern: an explicit generator.
+func useExplicit(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	_ = z.Uint64()
+	return r.Intn(6)
+}
+
+// typesAreFine references types and methods, never the global generator.
+func typesAreFine(r *rand.Rand, src rand.Source) float64 {
+	_ = src
+	return r.Float64()
+}

@@ -1,0 +1,15 @@
+package globalrand
+
+import mrand "math/rand"
+
+// aliased is the case the old parser-only hygiene test missed: the global
+// generator hiding behind an import alias.
+func aliased() int {
+	_ = mrand.Uint32()    // want `package-level math/rand\.Uint32`
+	return mrand.Intn(10) // want `package-level math/rand\.Intn`
+}
+
+// aliasedExplicit still passes: constructors remain fine under an alias.
+func aliasedExplicit() *mrand.Rand {
+	return mrand.New(mrand.NewSource(7))
+}

@@ -1,0 +1,15 @@
+package globalrand
+
+import . "math/rand"
+
+// dotImported: with a dot import there is no qualifier at all — only a
+// type-based check can see these are math/rand's global generator.
+func dotImported() int {
+	_ = Float64()   // want `package-level math/rand\.Float64`
+	return Intn(99) // want `package-level math/rand\.Intn`
+}
+
+// dotConstructor: New/NewSource stay legal through a dot import too.
+func dotConstructor() *Rand {
+	return New(NewSource(1))
+}

@@ -1,0 +1,25 @@
+// Package globalrandv2 exercises the math/rand/v2 cases: same shared
+// global generator hazard, new import path and function names.
+package globalrandv2
+
+import (
+	"math/rand/v2"
+	rv2 "math/rand/v2"
+)
+
+func useGlobalV2() int {
+	_ = rand.Uint64()   // want `package-level math/rand/v2\.Uint64`
+	_ = rand.Float64()  // want `package-level math/rand/v2\.Float64`
+	return rand.IntN(6) // want `package-level math/rand/v2\.IntN`
+}
+
+func aliasedV2() int {
+	return rv2.IntN(6) // want `package-level math/rand/v2\.IntN`
+}
+
+// explicitV2: v2 constructors (NewPCG, NewChaCha8, New) are the sanctioned
+// explicit-generator path.
+func explicitV2() int {
+	r := rand.New(rand.NewPCG(1, 2))
+	return r.IntN(6)
+}

@@ -1,0 +1,292 @@
+// Package load parses and type-checks Go packages for the analysis suite
+// without any dependency beyond the standard library. It understands two
+// layouts:
+//
+//   - module mode (Config.Module != ""): packages live under Config.Dir and
+//     are imported as Module, Module/sub, Module/sub/pkg, ...
+//   - fixture mode (Config.Module == ""): GOPATH-style testdata trees where
+//     package "a/b" lives in Config.Dir/a/b — the layout analysistest uses.
+//
+// Standard-library imports are type-checked from GOROOT source with
+// function bodies skipped: analyzers get real types for time.Now or
+// rand.Intn without needing export data or a network. Only packages inside
+// Config.Dir are checked with full bodies and recorded for analysis.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config locates a source tree.
+type Config struct {
+	// Dir is the root of the tree to analyze.
+	Dir string
+	// Module is the import-path prefix of the tree ("" = fixture mode).
+	Module string
+}
+
+// Package is one fully type-checked package from inside Config.Dir.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Name is the package name from its source files.
+	Name string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Files is the parsed non-test syntax, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checker's package object.
+	Types *types.Package
+	// TypeErrors collects type-checking problems in this package (not in
+	// its dependencies). Analysis over a package with type errors is
+	// unreliable; drivers should fail loudly.
+	TypeErrors []error
+}
+
+// Loader loads packages on demand and doubles as the types.Importer for
+// every check it triggers.
+type Loader struct {
+	cfg  Config
+	Fset *token.FileSet
+	// Info accumulates type facts for every in-tree package (AST nodes are
+	// unique across packages, so one shared table is safe).
+	Info *types.Info
+
+	pkgs map[string]*entry
+}
+
+type entry struct {
+	tpkg    *types.Package
+	pkg     *Package // nil for out-of-tree (stdlib) packages
+	err     error
+	loading bool
+}
+
+// New returns a loader for the given tree.
+func New(cfg Config) *Loader {
+	return &Loader{
+		cfg:  cfg,
+		Fset: token.NewFileSet(),
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		},
+		pkgs: make(map[string]*entry),
+	}
+}
+
+// Load type-checks the packages with the given import paths (which must be
+// inside the tree) and returns them in the order given.
+func (l *Loader) Load(paths ...string) ([]*Package, error) {
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		tp, err := l.ensure(p)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", p, err)
+		}
+		e := l.pkgs[tp.Path()]
+		if e == nil || e.pkg == nil {
+			return nil, fmt.Errorf("load %s: not inside the analyzed tree", p)
+		}
+		out = append(out, e.pkg)
+	}
+	return out, nil
+}
+
+// LoadAll walks the tree and loads every package in it, skipping testdata,
+// hidden and underscore-prefixed directories. Packages come back sorted by
+// import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.cfg.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.cfg.Dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(l.cfg.Dir, path)
+		if err != nil {
+			return err
+		}
+		paths = append(paths, l.pathFor(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return l.Load(paths...)
+}
+
+// pathFor maps a directory (relative to the root) to its import path.
+func (l *Loader) pathFor(rel string) string {
+	rel = filepath.ToSlash(rel)
+	if l.cfg.Module == "" {
+		return rel
+	}
+	if rel == "." {
+		return l.cfg.Module
+	}
+	return l.cfg.Module + "/" + rel
+}
+
+// dirFor maps an import path to a directory inside the tree, or "" when
+// the path does not belong to it.
+func (l *Loader) dirFor(path string) string {
+	if l.cfg.Module != "" {
+		if path == l.cfg.Module {
+			return l.cfg.Dir
+		}
+		if rest, ok := strings.CutPrefix(path, l.cfg.Module+"/"); ok {
+			return filepath.Join(l.cfg.Dir, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+	dir := filepath.Join(l.cfg.Dir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) { return l.ensure(path) }
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return l.ensure(path)
+}
+
+func (l *Loader) ensure(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e, ok := l.pkgs[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return e.tpkg, e.err
+	}
+	e := &entry{loading: true}
+	l.pkgs[path] = e
+	if dir := l.dirFor(path); dir != "" {
+		e.tpkg, e.pkg, e.err = l.checkTree(path, dir)
+	} else {
+		e.tpkg, e.err = l.checkStdlib(path)
+	}
+	e.loading = false
+	return e.tpkg, e.err
+}
+
+// checkTree fully type-checks one in-tree package.
+func (l *Loader) checkTree(path, dir string) (*types.Package, *Package, error) {
+	files, name, err := l.parseDir(dir, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	pkg := &Package{Path: path, Name: name, Dir: dir, Files: files}
+	cfg := &types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := cfg.Check(path, l.Fset, files, l.Info)
+	pkg.Types = tpkg
+	return tpkg, pkg, nil
+}
+
+// checkStdlib type-checks a GOROOT package from source with function
+// bodies skipped: fast, offline, and all an analyzer needs for resolving
+// references into the standard library. Type errors in the standard
+// library (e.g. from skipped cgo files) are tolerated.
+func (l *Loader) checkStdlib(path string) (*types.Package, error) {
+	bp, err := build.Import(path, "", 0)
+	if err != nil {
+		// GOROOT vendors some std dependencies under src/vendor.
+		vdir := filepath.Join(build.Default.GOROOT, "src", "vendor", filepath.FromSlash(path))
+		if st, serr := os.Stat(vdir); serr == nil && st.IsDir() {
+			bp, err = build.ImportDir(vdir, 0)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cannot find package %q", path)
+		}
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles { // CgoFiles skipped: see FakeImportC
+		f, err := parser.ParseFile(l.Fset, filepath.Join(bp.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	cfg := &types.Config{
+		Importer:         l,
+		FakeImportC:      true,
+		IgnoreFuncBodies: true,
+		Error:            func(error) {}, // tolerated; see doc comment
+	}
+	tpkg, _ := cfg.Check(path, l.Fset, files, nil)
+	if tpkg == nil {
+		return nil, fmt.Errorf("type-checking %q produced no package", path)
+	}
+	return tpkg, nil
+}
+
+// parseDir parses the buildable non-test Go files of dir (respecting build
+// constraints via go/build) and returns them sorted by file name.
+func (l *Loader) parseDir(dir string, mode parser.Mode) ([]*ast.File, string, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, "", err
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, "", err
+		}
+		files = append(files, f)
+	}
+	return files, bp.Name, nil
+}

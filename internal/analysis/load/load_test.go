@@ -1,0 +1,113 @@
+package load
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from this package's directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This file lives at internal/analysis/load; the module root is three
+	// levels up.
+	return filepath.Clean(filepath.Join(dir, "..", "..", ".."))
+}
+
+// TestLoadModule type-checks the entire routerwatch module with full type
+// information — the environment every analyzer in the suite runs in. Any
+// package with type errors here would silently corrupt analysis results,
+// so this test is load-bearing for the whole lint suite.
+func TestLoadModule(t *testing.T) {
+	l := New(Config{Dir: moduleRoot(t), Module: "routerwatch"})
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages, expected the whole module", len(pkgs))
+	}
+	seen := make(map[string]*Package)
+	for _, p := range pkgs {
+		seen[p.Path] = p
+		for _, e := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.Path, e)
+		}
+	}
+	for _, want := range []string{
+		"routerwatch",
+		"routerwatch/internal/sim",
+		"routerwatch/internal/telemetry",
+		"routerwatch/internal/runner",
+		"routerwatch/cmd/mrsim",
+	} {
+		if seen[want] == nil {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+
+	// Spot-check that stdlib references resolve to real objects: find a
+	// time.Duration use somewhere in internal/telemetry.
+	tel := seen["routerwatch/internal/telemetry"]
+	if tel == nil {
+		t.Fatal("telemetry package missing")
+	}
+	found := false
+	for _, f := range tel.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if obj := l.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+				found = true
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Error("no identifier resolved into package time; stdlib type info is broken")
+	}
+}
+
+// TestLoadRejectsUnknown verifies that a package outside the tree (and not
+// in GOROOT) is a loading error, not a silent skip.
+func TestLoadRejectsUnknown(t *testing.T) {
+	l := New(Config{Dir: moduleRoot(t), Module: "routerwatch"})
+	if _, err := l.Load("example.com/no/such/pkg"); err == nil {
+		t.Fatal("loading a nonexistent package succeeded")
+	} else if !strings.Contains(err.Error(), "no/such/pkg") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestStdlibImportShape pins the properties analyzers rely on: stdlib
+// packages load with scope entries for the functions the suite matches
+// against (time.Now, rand.Intn).
+func TestStdlibImportShape(t *testing.T) {
+	l := New(Config{Dir: t.TempDir()})
+	for _, tc := range []struct{ pkg, fn string }{
+		{"time", "Now"},
+		{"time", "Sleep"},
+		{"math/rand", "Intn"},
+		{"math/rand/v2", "IntN"},
+	} {
+		p, err := l.ensure(tc.pkg)
+		if err != nil {
+			t.Fatalf("import %s: %v", tc.pkg, err)
+		}
+		obj := p.Scope().Lookup(tc.fn)
+		if obj == nil {
+			t.Fatalf("%s.%s not found in loaded package scope", tc.pkg, tc.fn)
+		}
+		if _, ok := obj.(*types.Func); !ok {
+			t.Fatalf("%s.%s is %T, want *types.Func", tc.pkg, tc.fn, obj)
+		}
+	}
+}

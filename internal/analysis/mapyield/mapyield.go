@@ -1,0 +1,283 @@
+// Package mapyield flags `for range` loops over maps whose iteration
+// order can reach an exported result, trace event or formatted output
+// without an intervening sort. Go randomizes map iteration order per run,
+// so a map-range that prints, writes, sends on a channel, records trace
+// events or appends into a slice that escapes unsorted makes output
+// ordering a function of the runtime's hash seed — the classic silent
+// killer of fold determinism (identical metric state must serialize to
+// identical bytes; see telemetry.Snapshot).
+//
+// Order-insensitive bodies stay legal: commutative accumulation (sums,
+// counter.Add, min/max), stores into another map, deletes, and the
+// canonical collect-then-sort idiom
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)
+//
+// are all recognized as safe.
+package mapyield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"routerwatch/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapyield",
+	Doc:  "flag map iteration whose order reaches output without a sort",
+	Run:  run,
+}
+
+// fmtSinks are fmt functions that emit directly to a stream. The Sprint
+// family is excluded: its result is a value whose ordering fate is decided
+// wherever it ends up.
+var fmtSinks = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// methodSinks are method names whose call order is observable: stream
+// writers, encoders, the trace ring (record order breaks ties between
+// events at equal virtual time), and the experiments table builder whose
+// row order is the figure output.
+var methodSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Print": true, "Printf": true, "Println": true,
+	"Instant": true, "Span": true, "AddRow": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			body := funcBody(n)
+			if body == nil {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				rng, ok := m.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rng) {
+					return true
+				}
+				checkRange(pass, body, rng)
+				return true
+			})
+			// The body inspection above already visited any nested
+			// function literals; don't descend twice.
+			return false
+		})
+	}
+	return nil
+}
+
+// funcBody returns the body if n declares a function.
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch d := n.(type) {
+	case *ast.FuncDecl:
+		return d.Body
+	case *ast.FuncLit:
+		return d.Body
+	}
+	return nil
+}
+
+func isMapRange(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkRange inspects one map-range loop inside fnBody.
+func checkRange(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	var appendTargets []ast.Expr
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(rng.For,
+				"map iteration order reaches a channel send (%s); sort the keys first",
+				pass.Fset.Position(s.Pos()))
+			return true
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) && i < len(s.Lhs) {
+					if declaredOutside(pass, s.Lhs[i], rng) {
+						appendTargets = append(appendTargets, s.Lhs[i])
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := sinkCall(pass, s); ok {
+				pass.Reportf(rng.For,
+					"map iteration order reaches %s without an intervening sort", name)
+				return false
+			}
+		}
+		return true
+	})
+
+	for _, target := range appendTargets {
+		key := types.ExprString(target)
+		if sortedAfter(pass, fnBody, rng, key) {
+			continue
+		}
+		if escapesAfter(pass, fnBody, rng, key) {
+			pass.Reportf(rng.For,
+				"map iteration appends to %s, which escapes without being sorted; map order is random per run", key)
+		}
+	}
+}
+
+// sinkCall reports whether the call is an order-observable emission.
+func sinkCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && fmtSinks[obj.Name()] {
+				return "fmt." + obj.Name(), true
+			}
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil && methodSinks[obj.Name()] {
+				return "method " + obj.Name(), true
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && fmtSinks[obj.Name()] {
+				return "fmt." + obj.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredOutside reports whether the assignment target was declared
+// outside the range loop (appending to a loop-local scratch slice cannot
+// leak iteration order).
+func declaredOutside(pass *analysis.Pass, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return true // field or index target: conservatively outside
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether, after the loop, the named expression is
+// passed to a sorting call in the same function body: anything from the
+// sort or slices packages, or a helper whose name says it sorts (sortFPs,
+// SortKeys, ...).
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, key string) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(arg, key) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes sort/slices package calls and sort-named helpers.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj := pass.TypesInfo.Uses[fun.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		p := obj.Pkg().Path()
+		return p == "sort" || p == "slices" ||
+			strings.HasPrefix(obj.Name(), "Sort") || strings.HasPrefix(obj.Name(), "sort")
+	case *ast.Ident:
+		return strings.HasPrefix(fun.Name, "sort") || strings.HasPrefix(fun.Name, "Sort")
+	}
+	return false
+}
+
+// escapesAfter reports whether, after the loop, the named expression is
+// returned, passed to a call, or assigned into a wider structure.
+func escapesAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, key string) bool {
+	escapes := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if escapes || n == nil || n.End() < rng.End() {
+			return !escapes
+		}
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if exprMentions(r, key) {
+					escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			if s.Pos() < rng.End() {
+				return true
+			}
+			for _, arg := range s.Args {
+				if exprMentions(arg, key) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if s.Pos() < rng.End() {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				if !exprMentions(rhs, key) {
+					continue
+				}
+				// Reassigning to itself (s = append(s, ...)) is not an
+				// escape; assigning into a field/map/other variable is.
+				if i < len(s.Lhs) && types.ExprString(s.Lhs[i]) == key {
+					continue
+				}
+				escapes = true
+			}
+		}
+		return !escapes
+	})
+	return escapes
+}
+
+// exprMentions reports whether the expression contains a subexpression
+// printing as key.
+func exprMentions(e ast.Expr, key string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if x, ok := n.(ast.Expr); ok && types.ExprString(x) == key {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

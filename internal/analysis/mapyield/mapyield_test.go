@@ -1,0 +1,12 @@
+package mapyield_test
+
+import (
+	"testing"
+
+	"routerwatch/internal/analysis/analysistest"
+	"routerwatch/internal/analysis/mapyield"
+)
+
+func TestMapYield(t *testing.T) {
+	analysistest.Run(t, "testdata", mapyield.Analyzer, "mapyield")
+}

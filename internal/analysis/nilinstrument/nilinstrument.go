@@ -1,0 +1,168 @@
+// Package nilinstrument enforces the telemetry disabled-path contract: a
+// nil instrument (*Counter, *Gauge, *Histogram, *Tracer, *Registry, *Set)
+// must be free to call — one nil-check, no field access, no allocation.
+// Subsystems resolve instruments once and call them unconditionally on hot
+// paths, so a single method that dereferences its receiver before the nil
+// guard turns "telemetry off" into a crash, and a value receiver makes the
+// nil contract unexpressible.
+//
+// The analyzer discovers contract types instead of hard-coding them: any
+// struct type in a package named "telemetry" with at least one exported
+// pointer-receiver method that nil-guards its receiver is deemed an
+// instrument, and from then on every exported method of that type must
+// (a) use a pointer receiver and (b) nil-guard before the first receiver
+// field access. Unexported helpers (record, counterByName) stay exempt —
+// they run behind an exported method's guard.
+package nilinstrument
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"routerwatch/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilinstrument",
+	Doc:  "telemetry instruments: pointer receiver + nil guard before any field access",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || pass.Pkg.Name() != "telemetry" {
+		return nil
+	}
+
+	// Pass 1: a type becomes an instrument when any exported
+	// pointer-receiver method nil-guards the receiver.
+	instruments := make(map[*types.TypeName]bool)
+	forEachMethod(pass, func(decl *ast.FuncDecl, recv *types.Var, named *types.TypeName, ptr bool) {
+		if ptr && decl.Name.IsExported() && recv != nil && earliestNilCheck(pass, decl.Body, recv) != token.NoPos {
+			instruments[named] = true
+		}
+	})
+	if len(instruments) == 0 {
+		return nil
+	}
+
+	// Pass 2: every exported method of an instrument type must honor the
+	// contract.
+	forEachMethod(pass, func(decl *ast.FuncDecl, recv *types.Var, named *types.TypeName, ptr bool) {
+		if !instruments[named] || !decl.Name.IsExported() {
+			return
+		}
+		if !ptr {
+			pass.Reportf(decl.Name.Pos(),
+				"instrument method %s.%s must use a pointer receiver: the nil-instrument contract cannot hold for value receivers",
+				named.Name(), decl.Name.Name)
+			return
+		}
+		if recv == nil {
+			return // unnamed receiver cannot be dereferenced
+		}
+		access := earliestFieldAccess(pass, decl.Body, recv)
+		if access == token.NoPos {
+			return
+		}
+		guard := earliestNilCheck(pass, decl.Body, recv)
+		if guard == token.NoPos {
+			pass.Reportf(decl.Name.Pos(),
+				"instrument method (*%s).%s accesses receiver fields with no nil guard; a disabled (nil) instrument would panic",
+				named.Name(), decl.Name.Name)
+		} else if guard > access {
+			pass.Reportf(access,
+				"instrument method (*%s).%s accesses a receiver field before its nil guard",
+				named.Name(), decl.Name.Name)
+		}
+	})
+	return nil
+}
+
+// forEachMethod calls fn for every method declaration with a resolvable
+// receiver type in the package.
+func forEachMethod(pass *analysis.Pass, fn func(decl *ast.FuncDecl, recv *types.Var, named *types.TypeName, ptr bool)) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Recv == nil || len(decl.Recv.List) != 1 || decl.Body == nil {
+				continue
+			}
+			field := decl.Recv.List[0]
+			var recv *types.Var
+			if len(field.Names) == 1 {
+				recv, _ = pass.TypesInfo.Defs[field.Names[0]].(*types.Var)
+			}
+			t := pass.TypesInfo.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			ptr := false
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				ptr = true
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				continue
+			}
+			fn(decl, recv, named.Obj(), ptr)
+		}
+	}
+}
+
+// earliestNilCheck returns the position of the first `recv == nil` /
+// `recv != nil` comparison in the body, or NoPos.
+func earliestNilCheck(pass *analysis.Pass, body *ast.BlockStmt, recv *types.Var) token.Pos {
+	best := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+			return true
+		}
+		if (isRecv(pass, b.X, recv) && isNil(pass, b.Y)) || (isRecv(pass, b.Y, recv) && isNil(pass, b.X)) {
+			if best == token.NoPos || b.Pos() < best {
+				best = b.Pos()
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// earliestFieldAccess returns the position of the first receiver struct
+// field access in the body, or NoPos. Method calls on the receiver don't
+// count: instrument methods are themselves nil-safe.
+func earliestFieldAccess(pass *analysis.Pass, body *ast.BlockStmt, recv *types.Var) token.Pos {
+	best := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !isRecv(pass, sel.X, recv) {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if best == token.NoPos || sel.Pos() < best {
+			best = sel.Pos()
+		}
+		return true
+	})
+	return best
+}
+
+func isRecv(pass *analysis.Pass, e ast.Expr, recv *types.Var) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == recv
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}

@@ -1,0 +1,12 @@
+package nilinstrument_test
+
+import (
+	"testing"
+
+	"routerwatch/internal/analysis/analysistest"
+	"routerwatch/internal/analysis/nilinstrument"
+)
+
+func TestNilInstrument(t *testing.T) {
+	analysistest.Run(t, "testdata", nilinstrument.Analyzer, "telemetry")
+}

@@ -1,0 +1,71 @@
+// Package telemetry is the nilinstrument fixture: the analyzer keys on
+// the package name, so this fixture mirrors the real instrument shapes.
+package telemetry
+
+// Counter is an instrument: Inc's nil guard binds the whole type to the
+// nil-instrument contract.
+type Counter struct {
+	v int64
+}
+
+// Inc is compliant: guard, then field access.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Add forgot its guard entirely.
+func (c *Counter) Add(n int64) { // want `instrument method \(\*Counter\)\.Add accesses receiver fields with no nil guard`
+	c.v += n
+}
+
+// Value guards only after it has already dereferenced the receiver.
+func (c *Counter) Value() int64 {
+	v := c.v // want `accesses a receiver field before its nil guard`
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+// Snapshot uses a value receiver, so the nil contract cannot hold.
+func (c Counter) Snapshot() int64 { // want `instrument method Counter\.Snapshot must use a pointer receiver`
+	return c.v
+}
+
+// reset is unexported: helpers running behind an exported guard are
+// exempt.
+func (c *Counter) reset() {
+	c.v = 0
+}
+
+// Gauge is compliant throughout, including the expression-form guard.
+type Gauge struct {
+	v int64
+}
+
+// Set guards with the statement form.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v = n
+}
+
+// Live guards with the expression form (short-circuit before the access).
+func (g *Gauge) Live() bool {
+	return g != nil && g.v != 0
+}
+
+// Options is configuration, not an instrument: no method nil-guards, so
+// the contract never attaches and plain field access is fine.
+type Options struct {
+	Capacity int
+}
+
+// Cap freely touches fields; Options is not an instrument.
+func (o *Options) Cap() int {
+	return o.Capacity
+}

@@ -1,0 +1,143 @@
+// Package nilness is a lightweight local port of the x/tools nilness pass
+// (the full version needs SSA; x/tools is not vendorable in this offline
+// build). It reports dereferences that are guaranteed to panic because
+// they sit in a branch that just established the value is nil:
+//
+//	if p == nil {
+//		return p.f // nil dereference
+//	}
+//
+// and the mirrored `if p != nil { ... } else { <deref> }` form. Method
+// calls on a nil receiver are deliberately not reported — they are legal
+// Go and the telemetry nil-instrument contract depends on them (see the
+// nilinstrument analyzer).
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"routerwatch/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "report dereferences in branches where the value is known to be nil",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		var v *ast.Ident
+		switch {
+		case isNil(pass, cond.Y):
+			v, _ = cond.X.(*ast.Ident)
+		case isNil(pass, cond.X):
+			v, _ = cond.Y.(*ast.Ident)
+		}
+		if v == nil {
+			return
+		}
+		obj, ok := pass.TypesInfo.Uses[v].(*types.Var)
+		if !ok || !nilable(obj.Type()) {
+			return
+		}
+		var nilBlock *ast.BlockStmt
+		switch cond.Op {
+		case token.EQL:
+			nilBlock = ifs.Body
+		case token.NEQ:
+			nilBlock, _ = ifs.Else.(*ast.BlockStmt)
+		}
+		if nilBlock == nil {
+			return
+		}
+		checkBlock(pass, nilBlock, obj)
+	})
+	return nil
+}
+
+// checkBlock reports guaranteed nil dereferences of obj within block,
+// unless the block reassigns obj (which invalidates the known-nil fact).
+func checkBlock(pass *analysis.Pass, block *ast.BlockStmt, obj *types.Var) {
+	reassigned := false
+	ast.Inspect(block, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					reassigned = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				if id, ok := s.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					reassigned = true // address taken; value may change
+				}
+			}
+		}
+		return !reassigned
+	})
+	if reassigned {
+		return
+	}
+	ast.Inspect(block, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if !usesObj(pass, e.X, obj) {
+				return true
+			}
+			if sel := pass.TypesInfo.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+				pass.Reportf(e.Pos(), "nil dereference in field selection %s.%s",
+					obj.Name(), e.Sel.Name)
+			}
+		case *ast.StarExpr:
+			if usesObj(pass, e.X, obj) {
+				pass.Reportf(e.Pos(), "nil dereference in load of *%s", obj.Name())
+			}
+		case *ast.IndexExpr:
+			// Indexing a nil slice or array pointer panics; a nil map read
+			// is legal.
+			if usesObj(pass, e.X, obj) {
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					pass.Reportf(e.Pos(), "nil dereference in index of nil slice %s", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func usesObj(pass *analysis.Pass, e ast.Expr, obj *types.Var) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+// nilable reports whether a type has a nil zero value that dereferencing
+// could trip over.
+func nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}

@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"routerwatch/internal/analysis/analysistest"
+	"routerwatch/internal/analysis/passes/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, "testdata", nilness.Analyzer, "nilness")
+}

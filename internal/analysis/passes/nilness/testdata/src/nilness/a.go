@@ -1,0 +1,68 @@
+// Package nilness exercises the known-nil dereference pass.
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+// derefInNilBranch: the branch just established p is nil.
+func derefInNilBranch(p *node) int {
+	if p == nil {
+		return p.val // want `nil dereference in field selection p\.val`
+	}
+	return p.val
+}
+
+// derefInElseOfNotNil: mirrored form.
+func derefInElseOfNotNil(p *node) int {
+	if p != nil {
+		return p.val
+	} else {
+		return p.val // want `nil dereference in field selection p\.val`
+	}
+}
+
+// starDeref: explicit load through a nil pointer.
+func starDeref(p *int) int {
+	if p == nil {
+		return *p // want `nil dereference in load of \*p`
+	}
+	return *p
+}
+
+// nilSliceIndex panics; a nil map read would not.
+func nilSliceIndex(s []int, m map[string]int) int {
+	if s == nil {
+		return s[0] // want `nil dereference in index of nil slice s`
+	}
+	if m == nil {
+		return m["x"] // legal: nil map reads yield the zero value
+	}
+	return s[0]
+}
+
+// reassignedFirst: the nil fact dies at the assignment.
+func reassignedFirst(p *node) int {
+	if p == nil {
+		p = &node{}
+		return p.val
+	}
+	return p.val
+}
+
+// methodOnNil: calling a method with a nil receiver is legal Go (the
+// telemetry instruments depend on it) and must not be reported.
+func methodOnNil(p *node) int {
+	if p == nil {
+		return p.depth()
+	}
+	return p.depth()
+}
+
+func (p *node) depth() int {
+	if p == nil {
+		return 0
+	}
+	return 1 + p.next.depth()
+}

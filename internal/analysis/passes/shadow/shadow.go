@@ -1,0 +1,110 @@
+// Package shadow is a local port of the vet "shadow" pass (x/tools is not
+// vendorable in this offline build). It reports an inner variable
+// declaration that shadows an outer variable of the identical type when
+// the outer variable is still used after the inner scope ends — the
+// configuration where a fix to the inner name silently fails to update
+// the outer state, e.g. the classic
+//
+//	err := f()
+//	if cond {
+//		err := g() // shadows err
+//		_ = err
+//	}
+//	return err // g's error lost
+//
+// Same-type-only and used-after-only matching keeps the pass quiet enough
+// to run in CI, mirroring vet's own heuristics.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"routerwatch/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "report shadowed variables whose outer binding is used after the inner scope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// All uses in this function, per object, for the used-after test; and
+	// the identifiers that are closure parameters or named results —
+	// parameter shadowing (func(seed int64){...} inside a seed-taking
+	// function) is the deliberate-shadow idiom and stays exempt, as in
+	// vet.
+	uses := make(map[types.Object][]token.Pos)
+	param := make(map[*ast.Ident]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				uses[obj] = append(uses[obj], x.Pos())
+			}
+		case *ast.FuncType:
+			for _, fl := range []*ast.FieldList{x.Params, x.Results} {
+				if fl == nil {
+					continue
+				}
+				for _, f := range fl.List {
+					for _, name := range f.Names {
+						param[name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name == "_" || param[id] {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		scope := obj.Parent()
+		if scope == nil || scope.Parent() == nil {
+			return true
+		}
+		_, outer := scope.Parent().LookupParent(id.Name, id.Pos())
+		shadowed, ok := outer.(*types.Var)
+		if !ok || shadowed == obj || shadowed.IsField() {
+			return true
+		}
+		// Ignore shadows of package-level variables (common, usually
+		// deliberate) and type mismatches (vet's same-type heuristic).
+		if shadowed.Parent() == pass.Pkg.Scope() || !types.Identical(obj.Type(), shadowed.Type()) {
+			return true
+		}
+		// Only a problem if the outer binding is read again once the
+		// inner scope is gone.
+		for _, p := range uses[shadowed] {
+			if p > scope.End() {
+				pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s",
+					id.Name, pass.Fset.Position(shadowed.Pos()))
+				return true
+			}
+		}
+		return true
+	})
+}

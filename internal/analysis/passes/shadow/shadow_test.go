@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"routerwatch/internal/analysis/analysistest"
+	"routerwatch/internal/analysis/passes/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, "testdata", shadow.Analyzer, "shadow")
+}

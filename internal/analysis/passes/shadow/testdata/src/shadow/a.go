@@ -1,0 +1,55 @@
+// Package shadow exercises the shadowed-variable pass.
+package shadow
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+// lostError is the classic bug: the inner err shadows the outer one, and
+// the outer (still nil) value is returned.
+func lostError(retry bool) error {
+	err := work()
+	if retry {
+		err := work() // want `declaration of "err" shadows declaration at .*a\.go:11`
+		_ = err
+	}
+	return err
+}
+
+// rebindOK: plain assignment updates the outer variable; nothing shadows.
+func rebindOK(retry bool) error {
+	err := work()
+	if retry {
+		err = work()
+	}
+	return err
+}
+
+// innerOnly: the outer variable is never used after the inner scope, so
+// the shadow is harmless and stays unreported.
+func innerOnly(retry bool) {
+	err := work()
+	_ = err
+	if retry {
+		err := work()
+		_ = err
+	}
+}
+
+// differentType: same name, different type — vet's same-type heuristic
+// treats this as deliberate.
+func differentType(retry bool) error {
+	err := work()
+	if retry {
+		err := "a string, not an error"
+		_ = err
+	}
+	return err
+}
+
+// closureParam: parameter shadowing is the deliberate-shadow idiom
+// (buildNet := func(seed int64){...} inside a seed-taking function).
+func closureParam(seed int64) int64 {
+	derive := func(seed int64) int64 { return seed * 2 }
+	return derive(seed) + seed
+}

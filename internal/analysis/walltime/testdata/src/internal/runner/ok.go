@@ -1,0 +1,11 @@
+// Package runner matches the internal/runner allowlist entry: the trial
+// fan-out reports wall-time throughput, so wall-clock reads are its job.
+package runner
+
+import "time"
+
+func wallThroughput() time.Duration {
+	start := time.Now() // allowlisted package: no diagnostic
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

@@ -1,0 +1,9 @@
+package telemetry
+
+import "time"
+
+// otherStamp sits in the same package as profile.go but outside the
+// file-scoped allowlist entry, so it is still flagged.
+func otherStamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,9 @@
+// profile.go matches the internal/telemetry:profile.go allowlist entry —
+// wall-clock use is legal in this one file only.
+package telemetry
+
+import "time"
+
+func profileStamp() time.Time {
+	return time.Now() // allowlisted file: no diagnostic
+}

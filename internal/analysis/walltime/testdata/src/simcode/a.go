@@ -1,0 +1,31 @@
+// Package simcode stands in for simulation-side code, where every
+// wall-clock read is a determinism bug.
+package simcode
+
+import (
+	"time"
+	wt "time"
+)
+
+func wallClockReads() {
+	_ = time.Now()              // want `time\.Now reads the wall clock`
+	time.Sleep(time.Second)     // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{}) // want `time\.Since reads the wall clock`
+	<-time.After(time.Second)   // want `time\.After reads the wall clock`
+	_ = time.NewTimer(0)        // want `time\.NewTimer reads the wall clock`
+}
+
+// aliasedClock: an import alias must not hide the read.
+func aliasedClock() wt.Time {
+	return wt.Now() // want `time\.Now reads the wall clock`
+}
+
+// virtualTimeIsFine: Duration arithmetic, formatting and comparisons are
+// the virtual-clock vocabulary and stay legal.
+func virtualTimeIsFine(now time.Duration) time.Duration {
+	d := 250 * time.Millisecond
+	if now > d {
+		return now - d
+	}
+	return d.Round(time.Millisecond)
+}

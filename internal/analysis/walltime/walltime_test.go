@@ -1,0 +1,19 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"routerwatch/internal/analysis/analysistest"
+	"routerwatch/internal/analysis/walltime"
+)
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata", walltime.Analyzer, "simcode")
+}
+
+// TestAllowlist drives the two allowlist shapes: a whole package
+// (internal/runner) and a single file inside a package
+// (internal/telemetry:profile.go).
+func TestAllowlist(t *testing.T) {
+	analysistest.Run(t, "testdata", walltime.Analyzer, "internal/runner", "internal/telemetry")
+}

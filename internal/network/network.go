@@ -143,9 +143,9 @@ func New(g *topology.Graph, opts Options) *Network {
 	// degrades to a nil-check.
 	reg := opts.Telemetry.Registry()
 	n.tel = netTel{
-		set:      opts.Telemetry,
-		injected: reg.Counter("rw_packets_injected_total"),
-		ctrlSent: reg.Counter("rw_control_messages_total"),
+		set:        opts.Telemetry,
+		injected:   reg.Counter("rw_packets_injected_total"),
+		ctrlSent:   reg.Counter("rw_control_messages_total"),
 		ctrlRelays: reg.Counter("rw_control_relays_total"),
 		queueIns: queue.Instrument{
 			Enqueued:      reg.Counter("rw_queue_enqueued_total"),
