@@ -8,11 +8,11 @@
 GO ?= go
 
 # Benchmark log destination. BENCH_baseline.json is the committed first
-# baseline; run `make bench BENCH_OUT=BENCH_current.json` and compare (e.g.
-# with benchstat, or by eye on the ns/op lines) to spot regressions.
+# baseline; run `make bench BENCH_OUT=BENCH_current.json` and compare with
+# `make bench-compare` (cmd/benchcmp) to spot regressions.
 BENCH_OUT ?= BENCH_baseline.json
 
-.PHONY: build test race vet lint verify bench fuzz figures clean
+.PHONY: build test race vet lint verify bench bench-compare fuzz figures clean
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,17 @@ bench:
 		echo '"Output":"(no benchmark lines in $(BENCH_OUT))\t"' ; } | \
 		sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//g' | \
 		paste -d '\0' - -
+
+# Run a fresh benchmark pass and diff it against the committed baseline:
+# per-benchmark ns/op and allocs/op deltas via cmd/benchcmp. Benchmarks
+# missing from either log print "-" instead of failing the comparison.
+# Override BENCH_BASELINE to diff against a different recorded log (e.g.
+# BENCH_pr4.json).
+BENCH_BASELINE ?= BENCH_baseline.json
+
+bench-compare:
+	$(GO) test -bench=. -benchmem -run=^$$ -json ./... > BENCH_current.json
+	$(GO) run ./cmd/benchcmp $(BENCH_BASELINE) BENCH_current.json
 
 # Short fuzz pass over every summary-codec harness (satisfies `go test`
 # normally too — the seed corpus runs as ordinary tests). Override

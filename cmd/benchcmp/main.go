@@ -1,0 +1,159 @@
+// Command benchcmp diffs two `go test -json` benchmark logs (the files
+// `make bench` writes) and prints per-benchmark ns/op and allocs/op deltas:
+//
+//	benchcmp BENCH_baseline.json BENCH_current.json
+//
+// Benchmarks present in only one log are reported with "-" on the missing
+// side instead of failing, so partial runs (a narrowed ./pkg/... target, a
+// renamed benchmark) still compare gracefully. Exit status: 0 on success,
+// 2 when a log cannot be read or holds no benchmark results.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// event is the subset of test2json's record benchcmp needs.
+type event struct {
+	Action  string
+	Package string
+	Output  string
+}
+
+// result is one benchmark's measurements.
+type result struct {
+	nsPerOp     float64
+	allocsPerOp int64
+	hasAllocs   bool
+}
+
+// resultRx matches an assembled benchmark result line:
+// "BenchmarkX[-P] <tab> N <tab> T ns/op [<tab> B B/op <tab> A allocs/op]".
+var resultRx = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) allocs/op)?`)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp OLD.json NEW.json\n")
+		os.Exit(2)
+	}
+	oldRes := parse(os.Args[1])
+	newRes := parse(os.Args[2])
+
+	keys := make([]string, 0, len(oldRes)+len(newRes))
+	seen := make(map[string]bool)
+	for k := range oldRes {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range newRes {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs/op\tnew allocs/op\tdelta")
+	for _, k := range keys {
+		o, haveOld := oldRes[k]
+		n, haveNew := newRes[k]
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n", k,
+			ns(o, haveOld), ns(n, haveNew), delta(haveOld && haveNew, o.nsPerOp, n.nsPerOp),
+			allocs(o, haveOld), allocs(n, haveNew),
+			delta(haveOld && haveNew && o.hasAllocs && n.hasAllocs,
+				float64(o.allocsPerOp), float64(n.allocsPerOp)))
+	}
+	w.Flush()
+}
+
+func ns(r result, have bool) string {
+	if !have {
+		return "-"
+	}
+	return strconv.FormatFloat(r.nsPerOp, 'f', -1, 64)
+}
+
+func allocs(r result, have bool) string {
+	if !have || !r.hasAllocs {
+		return "-"
+	}
+	return strconv.FormatInt(r.allocsPerOp, 10)
+}
+
+func delta(comparable bool, old, new float64) string {
+	if !comparable || old == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+// parse reassembles a test2json log's Output stream per package and
+// extracts every benchmark result line.
+func parse(path string) map[string]result {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+
+	// test2json splits one result line across several Output events
+	// ("BenchmarkX \t" then "  24301\t 50589 ns/op...\n"), so concatenate
+	// per package before scanning for assembled lines.
+	byPkg := make(map[string]*strings.Builder)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON lines (truncated logs, build noise)
+		}
+		if ev.Action != "output" || ev.Output == "" {
+			continue
+		}
+		b := byPkg[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			byPkg[ev.Package] = b
+			order = append(order, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+
+	out := make(map[string]result)
+	for _, pkg := range order {
+		for _, line := range strings.Split(byPkg[pkg].String(), "\n") {
+			m := resultRx.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			nsOp, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			r := result{nsPerOp: nsOp}
+			if m[3] != "" {
+				if a, err := strconv.ParseInt(m[3], 10, 64); err == nil {
+					r.allocsPerOp = a
+					r.hasAllocs = true
+				}
+			}
+			out[pkg+"."+m[1]] = r
+		}
+	}
+	if len(out) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: no benchmark results in %s\n", path)
+		os.Exit(2)
+	}
+	return out
+}

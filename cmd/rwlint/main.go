@@ -21,6 +21,7 @@ import (
 	"routerwatch/internal/analysis"
 	"routerwatch/internal/analysis/driver"
 	"routerwatch/internal/analysis/globalrand"
+	"routerwatch/internal/analysis/hotpathalloc"
 	"routerwatch/internal/analysis/load"
 	"routerwatch/internal/analysis/mapyield"
 	"routerwatch/internal/analysis/nilinstrument"
@@ -32,6 +33,7 @@ import (
 // suite is the full analyzer catalogue, in reporting order.
 var suite = []*analysis.Analyzer{
 	globalrand.Analyzer,
+	hotpathalloc.Analyzer,
 	walltime.Analyzer,
 	mapyield.Analyzer,
 	nilinstrument.Analyzer,

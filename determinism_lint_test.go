@@ -6,6 +6,7 @@ import (
 	"routerwatch/internal/analysis"
 	"routerwatch/internal/analysis/driver"
 	"routerwatch/internal/analysis/globalrand"
+	"routerwatch/internal/analysis/hotpathalloc"
 	"routerwatch/internal/analysis/load"
 	"routerwatch/internal/analysis/mapyield"
 	"routerwatch/internal/analysis/nilinstrument"
@@ -29,6 +30,7 @@ func TestDeterminismInvariants(t *testing.T) {
 	}
 	diags, err := driver.Run(l, pkgs, []*analysis.Analyzer{
 		globalrand.Analyzer,
+		hotpathalloc.Analyzer,
 		walltime.Analyzer,
 		mapyield.Analyzer,
 		nilinstrument.Analyzer,

@@ -1,0 +1,16 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"routerwatch/internal/analysis/analysistest"
+	"routerwatch/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "hotpathalloc")
+}
+
+func TestAllowlistedSetupFunctions(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "internal/auth")
+}

@@ -1,0 +1,40 @@
+// Package hotpathalloc exercises the banned hash constructors.
+package hotpathalloc
+
+import (
+	"crypto/hmac"
+	"crypto/md5"
+	"crypto/sha1"
+	"crypto/sha256"
+	"hash"
+	"hash/fnv"
+)
+
+// perMessage models a hot-path function constructing hashes per call.
+func perMessage(key, msg []byte) []byte {
+	mac := hmac.New(sha256.New, key) // want `crypto/hmac\.New constructs a hash per call` `crypto/sha256\.New constructs a hash per call`
+	mac.Write(msg)
+	return mac.Sum(nil)
+}
+
+// otherCtors hits the rest of the banned catalogue.
+func otherCtors() {
+	_ = sha256.New224() // want `crypto/sha256\.New224 constructs a hash per call`
+	_ = sha1.New()      // want `crypto/sha1\.New constructs a hash per call`
+	_ = md5.New()       // want `crypto/md5\.New constructs a hash per call`
+	_ = fnv.New64a()    // want `hash/fnv\.New64a constructs a hash per call`
+}
+
+// reuse is the sanctioned pattern: write into an existing digest and use
+// the one-shot helpers, which construct nothing.
+func reuse(d hash.Hash, msg []byte) [sha256.Size]byte {
+	d.Reset()
+	d.Write(msg)
+	return sha256.Sum256(msg)
+}
+
+// NewService matches an Allow function name but the wrong package path, so
+// it is still flagged.
+func NewService() hash.Hash {
+	return sha256.New() // want `crypto/sha256\.New constructs a hash per call`
+}

@@ -1,0 +1,39 @@
+// Package auth mirrors the real internal/auth allowlist entries: hash
+// construction inside the setup functions is legitimate.
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"hash"
+)
+
+type macState struct{ inner, outer []byte }
+
+// newMACState is allowlisted: pad-state precomputation runs once per key.
+func newMACState(key []byte) *macState {
+	d := sha256.New()
+	d.Write(key)
+	return &macState{inner: d.Sum(nil)}
+}
+
+// derive is allowlisted: key derivation runs once per key.
+func derive(master, label []byte) []byte {
+	mac := hmac.New(sha256.New, master)
+	mac.Write(label)
+	return mac.Sum(nil)
+}
+
+// NewAuthority is allowlisted: the scratch digest is built once per
+// Authority.
+func NewAuthority() hash.Hash {
+	return sha256.New()
+}
+
+// sign is NOT allowlisted — a per-message constructor in an otherwise
+// allowlisted package is still a finding.
+func sign(key, msg []byte) []byte {
+	mac := hmac.New(sha256.New, key) // want `crypto/hmac\.New constructs a hash per call` `crypto/sha256\.New constructs a hash per call`
+	mac.Write(msg)
+	return mac.Sum(nil)
+}

@@ -15,8 +15,10 @@ package auth
 import (
 	"crypto/hmac"
 	"crypto/sha256"
+	"encoding"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"sync"
 
 	"routerwatch/internal/packet"
@@ -45,11 +47,119 @@ func (s Signature) String() string {
 // per-router signing keys, pairwise keys, and fingerprint keys.
 //
 // Authority is safe for concurrent use.
+//
+// Signing and MAC verification run on the simulator's per-message hot path,
+// so the Authority never calls hmac.New per message: it precomputes each
+// key's HMAC inner/outer pad digests once (macState) and restores them into
+// a reusable scratch digest per operation. The scratch state is per-
+// Authority — one Authority per simulated network, never global — so
+// parallel trials stay independent and race-free.
 type Authority struct {
 	mu       sync.RWMutex
 	master   Key
 	signing  map[packet.NodeID]Key
 	pairwise map[pairKey]Key
+
+	// signingSt / pairwiseSt cache the precomputed HMAC pad states for the
+	// corresponding keys, filled lazily alongside them.
+	signingSt  map[packet.NodeID]*macState
+	pairwiseSt map[pairKey]*macState
+
+	// scratch is the reusable SHA-256 digest the pad states are restored
+	// into; scratchU is the same digest's unmarshal view, asserted once.
+	// sumBuf and outBuf receive the inner and outer hash sums so Sum never
+	// allocates. All four are guarded by mu.
+	scratch  hash.Hash
+	scratchU encoding.BinaryUnmarshaler
+	sumBuf   [sha256.Size]byte
+	outBuf   [sha256.Size]byte
+}
+
+// sha256BlockSize is the HMAC block size for SHA-256 (the hash package
+// exposes it only as a method on the digest).
+const sha256BlockSize = 64
+
+// macState is a key's HMAC-SHA256 pads absorbed into SHA-256 states: inner
+// is the marshaled digest state after hashing key⊕ipad, outer after
+// key⊕opad. Computing a MAC restores inner, hashes the message, then
+// restores outer and hashes the inner sum — identical output to
+// crypto/hmac, without a per-message hmac.New.
+type macState struct {
+	inner, outer []byte
+}
+
+func newMACState(k Key) *macState {
+	var ipad, opad [sha256BlockSize]byte
+	for i := range ipad {
+		ipad[i] = 0x36
+		opad[i] = 0x5c
+	}
+	for i, b := range k {
+		ipad[i] ^= b
+		opad[i] ^= b
+	}
+	d := sha256.New()
+	d.Write(ipad[:])
+	inner, err := d.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		panic("auth: sha256 state not marshalable: " + err.Error())
+	}
+	d.Reset()
+	d.Write(opad[:])
+	outer, err := d.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		panic("auth: sha256 state not marshalable: " + err.Error())
+	}
+	return &macState{inner: inner, outer: outer}
+}
+
+// macInto computes HMAC-SHA256(key(st), msg) into out. Callers must hold
+// a.mu; the computation reuses the Authority's scratch digest and buffers,
+// allocating nothing.
+func (a *Authority) macInto(st *macState, msg []byte, out *[sha256.Size]byte) {
+	if err := a.scratchU.UnmarshalBinary(st.inner); err != nil {
+		panic("auth: sha256 state corrupt: " + err.Error())
+	}
+	a.scratch.Write(msg)
+	innerSum := a.scratch.Sum(a.sumBuf[:0])
+	if err := a.scratchU.UnmarshalBinary(st.outer); err != nil {
+		panic("auth: sha256 state corrupt: " + err.Error())
+	}
+	a.scratch.Write(innerSum)
+	a.scratch.Sum(out[:0])
+}
+
+// signingState returns (creating if needed) r's cached pad state. Callers
+// must hold a.mu.
+func (a *Authority) signingState(r packet.NodeID) *macState {
+	st := a.signingSt[r]
+	if st == nil {
+		k, ok := a.signing[r]
+		if !ok {
+			k = a.derive("sign", uint64(uint32(r)))
+			a.signing[r] = k
+		}
+		st = newMACState(k)
+		a.signingSt[r] = st
+	}
+	return st
+}
+
+// pairwiseState returns (creating if needed) the cached pad state for the
+// pair. Callers must hold a.mu.
+func (a *Authority) pairwiseState(x, y packet.NodeID) *macState {
+	p := orderedPair(x, y)
+	st := a.pairwiseSt[p]
+	if st == nil {
+		k, ok := a.pairwise[p]
+		if !ok {
+			k = a.derive("pair", uint64(uint32(p.a)), uint64(uint32(p.b)))
+			a.pairwise[p] = k
+		}
+		st = newMACState(k)
+		a.pairwiseSt[p] = st
+	}
+	return st
 }
 
 type pairKey struct{ a, b packet.NodeID }
@@ -68,11 +178,16 @@ func NewAuthority(seed uint64) *Authority {
 	binary.BigEndian.PutUint64(master[:8], seed)
 	sum := sha256.Sum256(master[:])
 	copy(master[:], sum[:])
-	return &Authority{
-		master:   master,
-		signing:  make(map[packet.NodeID]Key),
-		pairwise: make(map[pairKey]Key),
+	a := &Authority{
+		master:     master,
+		signing:    make(map[packet.NodeID]Key),
+		pairwise:   make(map[pairKey]Key),
+		signingSt:  make(map[packet.NodeID]*macState),
+		pairwiseSt: make(map[pairKey]*macState),
+		scratch:    sha256.New(),
 	}
+	a.scratchU = a.scratch.(encoding.BinaryUnmarshaler)
+	return a
 }
 
 func (a *Authority) derive(label string, parts ...uint64) Key {
@@ -131,33 +246,33 @@ func (a *Authority) SamplingKeys(x, y packet.NodeID) (k0, k1 uint64) {
 	return binary.BigEndian.Uint64(k[:8]), binary.BigEndian.Uint64(k[8:16])
 }
 
-// Sign produces r's signature over msg.
+// Sign produces r's signature over msg. With r's pad state warmed (any
+// prior Sign for r), a call allocates nothing.
 func (a *Authority) Sign(r packet.NodeID, msg []byte) Signature {
-	k := a.SigningKey(r)
-	mac := hmac.New(sha256.New, k[:])
-	mac.Write(msg)
-	var sig Signature
-	sig.Signer = r
-	copy(sig.Tag[:], mac.Sum(nil))
+	a.mu.Lock()
+	a.macInto(a.signingState(r), msg, &a.outBuf)
+	sig := Signature{Signer: r, Tag: a.outBuf}
+	a.mu.Unlock()
 	return sig
 }
 
 // Verify reports whether sig is a valid signature by sig.Signer over msg.
 func (a *Authority) Verify(msg []byte, sig Signature) bool {
-	k := a.SigningKey(sig.Signer)
-	mac := hmac.New(sha256.New, k[:])
-	mac.Write(msg)
-	return hmac.Equal(mac.Sum(nil), sig.Tag[:])
+	a.mu.Lock()
+	a.macInto(a.signingState(sig.Signer), msg, &a.outBuf)
+	ok := hmac.Equal(a.outBuf[:], sig.Tag[:])
+	a.mu.Unlock()
+	return ok
 }
 
 // MAC computes an HMAC over msg under the pairwise key of (x, y); used to
-// authenticate point-to-point summary exchanges.
+// authenticate point-to-point summary exchanges. With the pair's pad state
+// warmed, a call allocates nothing.
 func (a *Authority) MAC(x, y packet.NodeID, msg []byte) [sha256.Size]byte {
-	k := a.PairwiseKey(x, y)
-	mac := hmac.New(sha256.New, k[:])
-	mac.Write(msg)
-	var out [sha256.Size]byte
-	copy(out[:], mac.Sum(nil))
+	a.mu.Lock()
+	a.macInto(a.pairwiseState(x, y), msg, &a.outBuf)
+	out := a.outBuf
+	a.mu.Unlock()
 	return out
 }
 

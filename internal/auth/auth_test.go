@@ -1,10 +1,49 @@
 package auth
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
 	"testing"
 
 	"routerwatch/internal/packet"
 )
+
+// TestMACMatchesCryptoHMAC pins the pad-state fast path to the reference
+// implementation: restoring precomputed inner/outer SHA-256 states must
+// produce bit-identical HMAC-SHA256 output for every key and message
+// length, including the empty message and multi-block messages.
+func TestMACMatchesCryptoHMAC(t *testing.T) {
+	a := NewAuthority(11)
+	for _, n := range []int{0, 1, 31, 32, 55, 56, 63, 64, 65, 127, 128, 1000} {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i * 7)
+		}
+		for r := packet.NodeID(0); r < 4; r++ {
+			k := a.SigningKey(r)
+			ref := hmac.New(sha256.New, k[:])
+			ref.Write(msg)
+			want := ref.Sum(nil)
+			sig := a.Sign(r, msg)
+			if !hmac.Equal(sig.Tag[:], want) {
+				t.Fatalf("Sign(r=%d, len=%d) diverges from crypto/hmac", r, n)
+			}
+			// Repeat to exercise the warmed-state path.
+			sig2 := a.Sign(r, msg)
+			if sig2.Tag != sig.Tag {
+				t.Fatalf("warmed Sign(r=%d, len=%d) not reproducible", r, n)
+			}
+		}
+		pk := a.PairwiseKey(1, 2)
+		ref := hmac.New(sha256.New, pk[:])
+		ref.Write(msg)
+		want := ref.Sum(nil)
+		tag := a.MAC(1, 2, msg)
+		if !hmac.Equal(tag[:], want) {
+			t.Fatalf("MAC(len=%d) diverges from crypto/hmac", n)
+		}
+	}
+}
 
 func TestSignVerify(t *testing.T) {
 	a := NewAuthority(1)
@@ -102,6 +141,25 @@ func TestConcurrentKeyAccess(t *testing.T) {
 	}
 	for i := 0; i < 8; i++ {
 		<-done
+	}
+}
+
+// TestWarmedMACAllocFree guards the tentpole property: once a key's pad
+// state is warmed, Sign and MAC allocate nothing per call.
+func TestWarmedMACAllocFree(t *testing.T) {
+	a := NewAuthority(3)
+	msg := make([]byte, 512)
+	_ = a.Sign(1, msg)
+	_ = a.MAC(1, 2, msg)
+	if n := testing.AllocsPerRun(200, func() { _ = a.Sign(1, msg) }); n != 0 {
+		t.Errorf("warmed Sign allocates %v per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { _ = a.MAC(1, 2, msg) }); n != 0 {
+		t.Errorf("warmed MAC allocates %v per call, want 0", n)
+	}
+	sig := a.Sign(1, msg)
+	if n := testing.AllocsPerRun(200, func() { _ = a.Verify(msg, sig) }); n != 0 {
+		t.Errorf("warmed Verify allocates %v per call, want 0", n)
 	}
 }
 

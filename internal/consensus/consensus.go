@@ -16,6 +16,7 @@ package consensus
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"hash"
 
 	"routerwatch/internal/auth"
 	"routerwatch/internal/network"
@@ -34,27 +35,13 @@ type Msg struct {
 	Sig      auth.Signature
 }
 
-// digest uniquely identifies a flooded message for deduplication. Payload
-// content is included so that equivocating messages (same origin/instance,
-// different payload) both propagate.
-func (m *Msg) digest() [sha256.Size]byte {
-	h := sha256.New()
-	var idb [4]byte
-	binary.BigEndian.PutUint32(idb[:], uint32(m.Origin))
-	h.Write(idb[:])
-	h.Write([]byte(m.Topic))
-	h.Write([]byte{0})
-	h.Write([]byte(m.Instance))
-	h.Write([]byte{0})
-	h.Write(m.Payload)
-	var out [sha256.Size]byte
-	copy(out[:], h.Sum(nil))
-	return out
-}
-
-// SignedBody returns the byte string the origin signs.
-func SignedBody(origin packet.NodeID, topic, instance string, payload []byte) []byte {
-	b := make([]byte, 0, 16+len(topic)+len(instance)+len(payload))
+// AppendSignedBody appends the byte string the origin signs to b and
+// returns the extended slice; the flooding hot path reuses one buffer per
+// Service through it. The encoding doubles as the deduplication identity:
+// its SHA-256 is the message digest, and payload content is included so
+// that equivocating messages (same origin/instance, different payload)
+// both propagate.
+func AppendSignedBody(b []byte, origin packet.NodeID, topic, instance string, payload []byte) []byte {
 	var idb [4]byte
 	binary.BigEndian.PutUint32(idb[:], uint32(origin))
 	b = append(b, idb[:]...)
@@ -66,12 +53,32 @@ func SignedBody(origin packet.NodeID, topic, instance string, payload []byte) []
 	return b
 }
 
+// SignedBody returns the byte string the origin signs.
+func SignedBody(origin packet.NodeID, topic, instance string, payload []byte) []byte {
+	return AppendSignedBody(make([]byte, 0, 16+len(topic)+len(instance)+len(payload)),
+		origin, topic, instance, payload)
+}
+
+// seenKey identifies one (router, message digest) delivery for the flat
+// deduplication map: one map for the whole network instead of a per-router
+// map of 32-byte-array keys, halving the lookup chain on the flood path.
+type seenKey struct {
+	at packet.NodeID
+	d  [sha256.Size]byte
+}
+
 // Service is the network-wide flooding layer. One Service serves all
 // protocols; topics separate them.
 type Service struct {
 	net  *network.Network
 	subs map[packet.NodeID]map[string]func(Msg)
-	seen map[packet.NodeID]map[[sha256.Size]byte]bool
+	seen map[seenKey]struct{}
+
+	// dig, body and digBuf are the flood path's reusable digest scratch
+	// (per-Service, single-threaded like the simulation that drives it).
+	dig    hash.Hash
+	body   []byte
+	digBuf [sha256.Size]byte
 }
 
 // NewService installs flood relays on every router of the network.
@@ -79,11 +86,11 @@ func NewService(net *network.Network) *Service {
 	s := &Service{
 		net:  net,
 		subs: make(map[packet.NodeID]map[string]func(Msg)),
-		seen: make(map[packet.NodeID]map[[sha256.Size]byte]bool),
+		seen: make(map[seenKey]struct{}),
+		dig:  sha256.New(),
 	}
 	for _, r := range net.Routers() {
 		id := r.ID()
-		s.seen[id] = make(map[[sha256.Size]byte]bool)
 		r.HandleControl(KindFlood, func(cm *network.ControlMessage) {
 			msg, ok := cm.Payload.(*Msg)
 			if !ok {
@@ -119,15 +126,20 @@ func (s *Service) Flood(from packet.NodeID, topic, instance string, payload []by
 // receive processes a flooded message at router at, delivering locally and
 // relaying to all neighbors except the one it came from.
 func (s *Service) receive(at packet.NodeID, msg Msg, from packet.NodeID) {
-	d := msg.digest()
-	if s.seen[at][d] {
+	// One pass builds the signed body into the reusable buffer; its hash is
+	// the dedup digest, so the hot path hashes the message exactly once.
+	s.body = AppendSignedBody(s.body[:0], msg.Origin, msg.Topic, msg.Instance, msg.Payload)
+	s.dig.Reset()
+	s.dig.Write(s.body)
+	s.dig.Sum(s.digBuf[:0])
+	key := seenKey{at: at, d: s.digBuf}
+	if _, dup := s.seen[key]; dup {
 		return
 	}
-	s.seen[at][d] = true
+	s.seen[key] = struct{}{}
 	// Correct routers verify the origin signature before delivering (or
 	// re-flooding — unsigned garbage must not propagate).
-	if !s.net.Auth().Verify(SignedBody(msg.Origin, msg.Topic, msg.Instance, msg.Payload), msg.Sig) ||
-		msg.Sig.Signer != msg.Origin {
+	if !s.net.Auth().Verify(s.body, msg.Sig) || msg.Sig.Signer != msg.Origin {
 		return
 	}
 	if fn := s.subs[at][msg.Topic]; fn != nil {

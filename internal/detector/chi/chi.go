@@ -273,15 +273,10 @@ func batchBody(b *Batch) []byte {
 	for _, e := range b.Entries {
 		tf.AddFlow(e.FP, e.Size, e.TS, e.Flow)
 	}
-	body := make([]byte, 0, 24+20*len(b.Entries))
-	var tmp [8]byte
-	binary.BigEndian.PutUint32(tmp[:4], uint32(b.Queue.R))
-	body = append(body, tmp[:4]...)
-	binary.BigEndian.PutUint32(tmp[:4], uint32(b.Queue.RD))
-	body = append(body, tmp[:4]...)
-	binary.BigEndian.PutUint32(tmp[:4], uint32(b.Reporter))
-	body = append(body, tmp[:4]...)
-	binary.BigEndian.PutUint64(tmp[:], uint64(b.Round))
-	body = append(body, tmp[:]...)
-	return append(body, tf.Encode()...)
+	body := make([]byte, 0, 24+tf.EncodedLen())
+	body = binary.BigEndian.AppendUint32(body, uint32(b.Queue.R))
+	body = binary.BigEndian.AppendUint32(body, uint32(b.Queue.RD))
+	body = binary.BigEndian.AppendUint32(body, uint32(b.Reporter))
+	body = binary.BigEndian.AppendUint64(body, uint64(b.Round))
+	return tf.AppendEncode(body)
 }

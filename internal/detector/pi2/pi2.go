@@ -139,9 +139,9 @@ func infoInstance(key topology.SegmentKey, round int) string {
 // summary bytes. The consensus layer signs (origin, topic, instance,
 // payload), binding router, segment, round and content.
 func infoPayload(pos int, s *tvinfo.Summary) []byte {
-	b := make([]byte, 4, 4+64)
+	b := make([]byte, 4, 4+s.EncodedLen())
 	binary.BigEndian.PutUint32(b, uint32(pos))
-	return append(b, s.Encode()...)
+	return s.AppendEncode(b)
 }
 
 // AlertEvidence is the flooded proof of a failed pairwise validation: the

@@ -198,7 +198,8 @@ func (a *agent) exchangeRound(n int) {
 		} else {
 			msg.Summary = s
 		}
-		msg.Sig = a.p.net.Auth().Sign(a.id, signedBody(msg))
+		a.p.bodyBuf = appendSignedBody(a.p.bodyBuf[:0], msg)
+		msg.Sig = a.p.net.Auth().Sign(a.id, a.p.bodyBuf)
 		wire := int64(msg.WireBytes())
 		a.bytesSent += wire
 		a.p.tel.Summaries.Inc()
@@ -236,7 +237,8 @@ func (a *agent) onSummary(cm *network.ControlMessage) {
 	if st == nil || msg.From != st.peer {
 		return
 	}
-	if !a.p.net.Auth().Verify(signedBody(msg), msg.Sig) || msg.Sig.Signer != msg.From {
+	a.p.bodyBuf = appendSignedBody(a.p.bodyBuf[:0], msg)
+	if !a.p.net.Auth().Verify(a.p.bodyBuf, msg.Sig) || msg.Sig.Signer != msg.From {
 		return
 	}
 	st.peerMsgs[msg.Round] = msg

@@ -147,6 +147,12 @@ type Protocol struct {
 	oracle *PathOracle
 	agents map[packet.NodeID]*agent
 	tel    detector.Instruments
+
+	// recPts caches the shared reconciliation points; bodyBuf is the
+	// reusable signed-body scratch all agents encode into (per-Protocol,
+	// single-threaded like the simulation that drives it).
+	recPts  []uint64
+	bodyBuf []byte
 }
 
 // Attach deploys Πk+2 on every router of the network. Monitored segments
@@ -241,8 +247,12 @@ func (p *Protocol) RefreshPaths(paths []topology.Path) {
 
 // reconcilePoints returns the shared evaluation points (public; secrecy is
 // not required, only agreement). One extra point verifies the rational fit.
+// The slice is cached; callers must not mutate it.
 func (p *Protocol) reconcilePoints() []uint64 {
-	return summary.ReconcilePoints(p.opts.ReconcileBudget + 2)
+	if p.recPts == nil {
+		p.recPts = summary.ReconcilePoints(p.opts.ReconcileBudget + 2)
+	}
+	return p.recPts
 }
 
 // BandwidthBytes returns the total summary-exchange payload bytes sent by
@@ -304,42 +314,40 @@ type SummaryMsg struct {
 func (m *SummaryMsg) WireBytes() int {
 	n := 4*len(m.Seg) + 8 /*round*/ + 4 /*from*/ + 32 /*sig*/
 	if m.Summary != nil {
-		n += len(m.Summary.Encode())
+		n += m.Summary.EncodedLen()
 	}
 	n += 8 + 8*len(m.Evals)
 	return n
 }
 
+// appendSignedBody appends the byte string the sender signs — the summary
+// (or its reconciliation evaluations) bound to its segment, round and
+// sender — to b and returns the extended slice. The exchange path reuses
+// one per-Protocol buffer through it.
+func appendSignedBody(b []byte, m *SummaryMsg) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.From))
+	b = binary.BigEndian.AppendUint64(b, uint64(m.Round))
+	b = topology.AppendKey(b, m.Seg)
+	if m.Summary != nil {
+		b = m.Summary.AppendEncode(b)
+	}
+	b = binary.BigEndian.AppendUint64(b, uint64(m.Count))
+	for _, e := range m.Evals {
+		b = binary.BigEndian.AppendUint64(b, e)
+	}
+	return b
+}
+
 // signedBody binds the summary (or its reconciliation evaluations) to its
 // segment, round and sender.
 func signedBody(m *SummaryMsg) []byte {
-	b := make([]byte, 0, 64)
-	var tmp [8]byte
-	binary.BigEndian.PutUint32(tmp[:4], uint32(m.From))
-	b = append(b, tmp[:4]...)
-	binary.BigEndian.PutUint64(tmp[:], uint64(m.Round))
-	b = append(b, tmp[:]...)
-	b = append(b, []byte(topology.Key(m.Seg))...)
-	if m.Summary != nil {
-		b = append(b, m.Summary.Encode()...)
-	}
-	binary.BigEndian.PutUint64(tmp[:], uint64(m.Count))
-	b = append(b, tmp[:]...)
-	for _, e := range m.Evals {
-		binary.BigEndian.PutUint64(tmp[:], e)
-		b = append(b, tmp[:]...)
-	}
-	return b
+	return appendSignedBody(make([]byte, 0, 64), m)
 }
 
 // AlertBody encodes a flooded suspicion for signing.
 func AlertBody(by packet.NodeID, round int, seg topology.Segment) []byte {
 	b := make([]byte, 0, 16+4*len(seg))
-	var tmp [8]byte
-	binary.BigEndian.PutUint32(tmp[:4], uint32(by))
-	b = append(b, tmp[:4]...)
-	binary.BigEndian.PutUint64(tmp[:], uint64(round))
-	b = append(b, tmp[:]...)
-	b = append(b, []byte(topology.Key(seg))...)
-	return b
+	b = binary.BigEndian.AppendUint32(b, uint32(by))
+	b = binary.BigEndian.AppendUint64(b, uint64(round))
+	return topology.AppendKey(b, seg)
 }

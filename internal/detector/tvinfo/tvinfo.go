@@ -89,42 +89,60 @@ func (s *Summary) RecordTimed(fp packet.Fingerprint, size int, ts time.Duration)
 	}
 }
 
-// Encode serializes the summary for signing and for evidence transfer.
-// Layout: counter (16 B) · uint32 FP-section length · FP bytes · uint32
-// order-section length · order bytes. Absent sections encode length
-// 0xFFFFFFFF so decoding can distinguish "empty" from "not collected".
-func (s *Summary) Encode() []byte {
+// AppendEncode appends the summary encoding to b and returns the extended
+// slice. Layout: counter (16 B) · uint32 FP-section length · FP bytes ·
+// uint32 order-section length · order bytes · uint32 timed-section length ·
+// timed bytes. Absent sections encode length 0xFFFFFFFF so decoding can
+// distinguish "empty" from "not collected". Each present section is
+// appended in place and its length backfilled, so one buffer serves the
+// whole encoding.
+func (s *Summary) AppendEncode(b []byte) []byte {
 	const absent = ^uint32(0)
-	b := s.Counter.Encode()
-	var lenBuf [4]byte
+	b = s.Counter.AppendEncode(b)
 	if s.FPs != nil {
-		sec := s.FPs.Encode()
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(sec)))
-		b = append(b, lenBuf[:]...)
-		b = append(b, sec...)
+		at := len(b)
+		b = append(b, 0, 0, 0, 0)
+		b = s.FPs.AppendEncode(b)
+		binary.BigEndian.PutUint32(b[at:], uint32(len(b)-at-4))
 	} else {
-		binary.BigEndian.PutUint32(lenBuf[:], absent)
-		b = append(b, lenBuf[:]...)
+		b = binary.BigEndian.AppendUint32(b, absent)
 	}
 	if s.Ordered != nil {
-		sec := s.Ordered.Encode()
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(sec)))
-		b = append(b, lenBuf[:]...)
-		b = append(b, sec...)
+		at := len(b)
+		b = append(b, 0, 0, 0, 0)
+		b = s.Ordered.AppendEncode(b)
+		binary.BigEndian.PutUint32(b[at:], uint32(len(b)-at-4))
 	} else {
-		binary.BigEndian.PutUint32(lenBuf[:], absent)
-		b = append(b, lenBuf[:]...)
+		b = binary.BigEndian.AppendUint32(b, absent)
 	}
 	if s.Timed != nil {
-		sec := s.Timed.Encode()
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(sec)))
-		b = append(b, lenBuf[:]...)
-		b = append(b, sec...)
+		at := len(b)
+		b = append(b, 0, 0, 0, 0)
+		b = s.Timed.AppendEncode(b)
+		binary.BigEndian.PutUint32(b[at:], uint32(len(b)-at-4))
 	} else {
-		binary.BigEndian.PutUint32(lenBuf[:], absent)
-		b = append(b, lenBuf[:]...)
+		b = binary.BigEndian.AppendUint32(b, absent)
 	}
 	return b
+}
+
+// Encode serializes the summary for signing and for evidence transfer.
+func (s *Summary) Encode() []byte { return s.AppendEncode(make([]byte, 0, s.EncodedLen())) }
+
+// EncodedLen returns len(Encode()) without materializing the encoding, so
+// wire-size accounting never allocates.
+func (s *Summary) EncodedLen() int {
+	n := s.Counter.EncodedLen() + 12
+	if s.FPs != nil {
+		n += s.FPs.EncodedLen()
+	}
+	if s.Ordered != nil {
+		n += s.Ordered.EncodedLen()
+	}
+	if s.Timed != nil {
+		n += s.Timed.EncodedLen()
+	}
+	return n
 }
 
 // DecodeSummary parses an encoded summary. It returns false on malformed

@@ -1,0 +1,34 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"routerwatch/internal/packet"
+)
+
+// TestForwardAllocFree guards the zero-allocation data path: after warmup
+// (pools primed, heap and queue backing arrays grown), forwarding a packet
+// across a router — receive, route, queue, transmit, deliver — allocates
+// nothing.
+func TestForwardAllocFree(t *testing.T) {
+	net := lineNet(3, Options{Seed: 1})
+	delivered := 0
+	net.Router(2).SetLocalHandler(func(p *packet.Packet) { delivered++ })
+
+	p := &packet.Packet{Dst: 2, Size: 1000, Flow: 1}
+	send := func() {
+		p.TTL = 64
+		net.Inject(0, p)
+		net.Run(net.Now() + time.Second)
+	}
+	send() // warm: event pool, heap array, queue rings
+
+	const runs = 100
+	if n := testing.AllocsPerRun(runs, send); n != 0 {
+		t.Errorf("one-hop forward allocates %v per packet, want 0", n)
+	}
+	if delivered < runs {
+		t.Fatalf("delivered %d packets, want at least %d", delivered, runs)
+	}
+}

@@ -97,8 +97,5 @@ func (n *Network) relayControl(m *ControlMessage) {
 		delay = link.Delay
 	}
 	delay += n.opts.ControlDelay
-	n.sched.After(delay, func() {
-		m.hop++
-		n.relayControl(m)
-	})
+	n.sched.CallAfter(delay, n.cbRelay, m, 0)
 }

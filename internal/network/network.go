@@ -101,6 +101,10 @@ type Network struct {
 
 	tel netTel
 
+	// cbRelay advances a control message one hop; bound once so per-hop
+	// relaying schedules through the pooled callback path.
+	cbRelay sim.Callback
+
 	nextPacketID  uint64
 	nextControlID uint64
 }
@@ -137,6 +141,11 @@ func New(g *topology.Graph, opts Options) *Network {
 	}
 	k0, k1 := n.auth.FingerprintKeys()
 	n.hasher = packet.NewHasher(k0, k1)
+	n.cbRelay = func(arg any, _ int64) {
+		m := arg.(*ControlMessage)
+		m.hop++
+		n.relayControl(m)
+	}
 
 	// Resolve instrumentation handles once; with opts.Telemetry == nil the
 	// registry accessors return nil instruments and every site below

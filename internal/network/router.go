@@ -129,6 +129,14 @@ type Router struct {
 	// processing time so jitter never reorders a single input stream.
 	lastProcess map[packet.NodeID]time.Duration
 
+	// cbForward, cbTransmit and cbReceive are the router's per-packet
+	// scheduling callbacks, bound once at construction: the hot path
+	// schedules them through sim.CallAfter with (packet, neighbor) as
+	// arguments instead of allocating a capturing closure per packet.
+	cbForward  sim.Callback
+	cbTransmit sim.Callback
+	cbReceive  sim.Callback
+
 	localHandler    func(*packet.Packet)
 	controlHandlers map[string]func(*ControlMessage)
 }
@@ -153,6 +161,9 @@ func newRouter(n *Network, id packet.NodeID) *Router {
 		lastProcess: make(map[packet.NodeID]time.Duration),
 	}
 	r.view = RouterView{r: r}
+	r.cbForward = func(arg any, from int64) { r.forward(arg.(*packet.Packet), packet.NodeID(from)) }
+	r.cbTransmit = func(arg any, next int64) { r.transmit(arg.(*packet.Packet), packet.NodeID(next)) }
+	r.cbReceive = func(arg any, from int64) { r.receive(arg.(*packet.Packet), packet.NodeID(from)) }
 	if reg := n.tel.set.Registry(); reg != nil {
 		label := strconv.Itoa(int(id))
 		r.tel.received = reg.Counter("rw_packets_received_total", "router", label)
@@ -169,7 +180,9 @@ func newRouter(n *Network, id packet.NodeID) *Router {
 		if n.tel.set.Registry() != nil {
 			q = queue.Instrumented(q, n.tel.queueIns)
 		}
-		r.ifaces[nb] = &iface{r: r, link: link, q: q}
+		ifc := &iface{r: r, link: link, q: q}
+		ifc.cbTxDone = func(arg any, _ int64) { ifc.txDone(arg.(*packet.Packet)) }
+		r.ifaces[nb] = ifc
 	}
 	return r
 }
@@ -279,7 +292,7 @@ func (r *Router) receive(p *packet.Packet, from packet.NodeID) {
 		t = last
 	}
 	r.lastProcess[from] = t
-	r.net.sched.After(t-now, func() { r.forward(p, from) })
+	r.net.sched.CallAfter(t-now, r.cbForward, p, int64(from))
 }
 
 // forward routes and transmits a packet. from is the upstream neighbor (or
@@ -321,8 +334,7 @@ func (r *Router) forward(p *packet.Packet, from packet.NodeID) {
 				next = v.NewNext
 			}
 		case ActDelay:
-			d := v.Delay
-			r.net.sched.After(d, func() { r.transmit(p, next) })
+			r.net.sched.CallAfter(v.Delay, r.cbTransmit, p, int64(next))
 			return
 		case ActModify, ActForward:
 			// Packet already mutated in place for ActModify.
@@ -347,6 +359,10 @@ type iface struct {
 	link topology.Link
 	q    queue.Discipline
 	busy bool
+
+	// cbTxDone fires when a packet finishes serializing onto the link;
+	// bound once at construction (see Router's callback fields).
+	cbTxDone sim.Callback
 }
 
 func (i *iface) enqueue(p *packet.Packet) {
@@ -373,13 +389,13 @@ func (i *iface) drain() {
 	// Dequeue marks the packet's exit from Q: transmission starts now.
 	i.r.emit(Event{Kind: EvDequeue, Packet: p, Peer: i.link.To, QueueBytes: i.q.Bytes()})
 	tx := i.link.TransmissionTime(p.Size)
-	sched := i.r.net.sched
-	sched.After(tx, func() {
-		// Serialization complete: the line is free for the next packet,
-		// and this packet begins propagating.
-		dst := i.r.net.Router(i.link.To)
-		from := i.r.id
-		sched.After(i.link.Delay, func() { dst.receive(p, from) })
-		i.drain()
-	})
+	i.r.net.sched.CallAfter(tx, i.cbTxDone, p, 0)
+}
+
+// txDone runs when p's serialization completes: the line is free for the
+// next packet, and p begins propagating toward the downstream router.
+func (i *iface) txDone(p *packet.Packet) {
+	dst := i.r.net.Router(i.link.To)
+	i.r.net.sched.CallAfter(i.link.Delay, dst.cbReceive, p, int64(i.r.id))
+	i.drain()
 }

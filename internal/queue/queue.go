@@ -75,27 +75,45 @@ type Discipline interface {
 	Limit() int
 }
 
-// fifo is the shared buffered-packet storage.
+// fifo is the shared buffered-packet storage: a ring buffer, so the
+// steady-state enqueue/dequeue cycle reuses one backing array instead of
+// walking an append-and-reslice slice forward through fresh allocations.
 type fifo struct {
-	pkts  []*packet.Packet
+	pkts  []*packet.Packet // ring storage; len(pkts) is the capacity
+	head  int              // index of the oldest packet
+	n     int              // packets buffered
 	bytes int
 	limit int
 }
 
 func (f *fifo) push(p *packet.Packet) {
-	f.pkts = append(f.pkts, p)
+	if f.n == len(f.pkts) {
+		f.grow()
+	}
+	f.pkts[(f.head+f.n)%len(f.pkts)] = p
+	f.n++
 	f.bytes += p.Size
 }
 
 func (f *fifo) pop() *packet.Packet {
-	if len(f.pkts) == 0 {
+	if f.n == 0 {
 		return nil
 	}
-	p := f.pkts[0]
-	f.pkts[0] = nil
-	f.pkts = f.pkts[1:]
+	p := f.pkts[f.head]
+	f.pkts[f.head] = nil // drop the ring's reference: the packet leaves the queue
+	f.head = (f.head + 1) % len(f.pkts)
+	f.n--
 	f.bytes -= p.Size
 	return p
+}
+
+func (f *fifo) grow() {
+	next := make([]*packet.Packet, max(2*len(f.pkts), 8))
+	for i := 0; i < f.n; i++ {
+		next[i] = f.pkts[(f.head+i)%len(f.pkts)]
+	}
+	f.pkts = next
+	f.head = 0
 }
 
 // DropTail is a FIFO queue with a byte limit: a packet is tail-dropped iff
@@ -133,7 +151,7 @@ func (q *DropTail) Dequeue(_ time.Duration) *packet.Packet { return q.f.pop() }
 func (q *DropTail) Bytes() int { return q.f.bytes }
 
 // Len implements Discipline.
-func (q *DropTail) Len() int { return len(q.f.pkts) }
+func (q *DropTail) Len() int { return q.f.n }
 
 // Limit implements Discipline.
 func (q *DropTail) Limit() int { return q.f.limit }
@@ -325,7 +343,7 @@ func (q *RED) Dequeue(now time.Duration) *packet.Packet {
 func (q *RED) Bytes() int { return q.f.bytes }
 
 // Len implements Discipline.
-func (q *RED) Len() int { return len(q.f.pkts) }
+func (q *RED) Len() int { return q.f.n }
 
 // Limit implements Discipline.
 func (q *RED) Limit() int { return q.f.limit }

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestCanceledEventsRecycled is the cancel-path regression: events that are
+// canceled and then swept (by Step or peek) must return to the free list,
+// not leak out of the pool.
+func TestCanceledEventsRecycled(t *testing.T) {
+	s := New()
+	const n = 100
+	handles := make([]Handle, n)
+	for i := range handles {
+		handles[i] = s.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	for _, h := range handles {
+		h.Cancel()
+	}
+	// One live event after the canceled ones forces Step to sweep them all.
+	fired := false
+	s.At(time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("live event did not fire")
+	}
+	if got := s.FreeListLen(); got != n+1 {
+		t.Fatalf("free list holds %d events after run, want %d", got, n+1)
+	}
+}
+
+// TestRunUntilRecyclesCanceled exercises the peek sweep specifically:
+// canceled events ahead of the deadline are dropped and recycled even when
+// nothing fires.
+func TestRunUntilRecyclesCanceled(t *testing.T) {
+	s := New()
+	h := s.At(time.Millisecond, func() { t.Fatal("canceled event fired") })
+	h.Cancel()
+	s.RunUntil(time.Second)
+	if got := s.FreeListLen(); got != 1 {
+		t.Fatalf("free list holds %d events, want 1", got)
+	}
+}
+
+// TestPoolBoundedInSteadyState pins the tentpole property: a
+// schedule-fire-reschedule loop reuses one pooled Event instead of growing
+// the pool or the heap's backing array.
+func TestPoolBoundedInSteadyState(t *testing.T) {
+	s := New()
+	count := 0
+	var cb Callback
+	cb = func(any, int64) {
+		count++
+		if count < 10000 {
+			s.CallAfter(time.Microsecond, cb, nil, 0)
+		}
+	}
+	s.CallAfter(time.Microsecond, cb, nil, 0)
+	s.Run()
+	if count != 10000 {
+		t.Fatalf("fired %d events, want 10000", count)
+	}
+	if got := s.FreeListLen(); got > 1 {
+		t.Fatalf("free list grew to %d, want at most 1", got)
+	}
+}
+
+// TestReleasedEventDoesNotPinArg is the liveness regression for release()
+// clearing fn/cb/arg and for eventHeap.Pop nil-ing the popped slot: once an
+// event has fired, the pooled Event (and any slot the heap's backing array
+// retains) must not keep the scheduled payload reachable.
+func TestReleasedEventDoesNotPinArg(t *testing.T) {
+	s := New()
+	collected := make(chan struct{})
+	payload := &[1 << 16]byte{}
+	runtime.SetFinalizer(payload, func(*[1 << 16]byte) { close(collected) })
+	s.CallAfter(time.Millisecond, func(arg any, _ int64) {
+		_ = arg.(*[1 << 16]byte)[0]
+	}, payload, 0)
+	// Keep the scheduler alive and its pool warm: the Event that carried
+	// payload is now in the free list, and must no longer reference it.
+	s.Run()
+	payload = nil
+	deadline := time.After(2 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			if s.FreeListLen() == 0 {
+				t.Fatal("event was not recycled")
+			}
+			return
+		case <-deadline:
+			t.Fatal("pooled event still pins its arg after firing")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestStaleHandleCannotCancelRecycledEvent pins the generation-stamp
+// contract: a Handle to a fired event must not affect the next event that
+// reuses the same pooled Event object.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	s := New()
+	h1 := s.At(time.Millisecond, func() {})
+	s.Run()
+	if !h1.Canceled() {
+		t.Fatal("handle to fired event should report Canceled")
+	}
+	fired := false
+	h2 := s.At(2*time.Millisecond, func() { fired = true })
+	h1.Cancel() // stale: same *Event, older generation — must be a no-op
+	if h2.Canceled() {
+		t.Fatal("stale Cancel reached the recycled event")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire after stale Cancel")
+	}
+}

@@ -24,18 +24,20 @@ func TestScheduleCancelProperty(t *testing.T) {
 		fired := make(map[uint64]int) // seq -> fire count
 		var order []firing
 		canceled := make(map[uint64]bool)
-		var live []*Event
-		seqOf := make(map[*Event]uint64)
+		var live []Handle
+		seqOf := make(map[Handle]uint64)
 		var nextSeq uint64
 
 		// schedule registers an event at absolute time `at` whose firing is
 		// recorded; fired events may themselves schedule follow-ups (the
 		// common pattern in the network layer's tickers and timeouts).
+		// Handles stay unique per issuance even though the underlying
+		// Events are pooled: the generation stamp distinguishes reuses.
 		var schedule func(at time.Duration)
 		schedule = func(at time.Duration) {
 			// The closure observes its own seq via the map filled right
 			// after At returns (At runs strictly before any firing).
-			var ev *Event
+			var ev Handle
 			ev = s.At(at, func() {
 				fired[seqOf[ev]]++
 				order = append(order, firing{at: s.Now(), seq: seqOf[ev]})

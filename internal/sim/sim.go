@@ -2,12 +2,18 @@
 //
 // All of routerwatch's network experiments run on top of this scheduler:
 // virtual time is a time.Duration measured from the start of the run, events
-// are closures ordered by (time, insertion sequence), and all randomness is
+// are callbacks ordered by (time, insertion sequence), and all randomness is
 // drawn from explicitly seeded sources so that every run is reproducible.
+//
+// The kernel recycles Event objects through a per-Scheduler free list (see
+// DESIGN.md "Hot-path pooling"): steady-state event scheduling allocates
+// nothing, and because the pool is owned by the Scheduler — never a
+// sync.Pool or any other global — recycling order is a pure function of the
+// event sequence, preserving bitwise replay determinism and keeping
+// independent kernels race-free on separate goroutines.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -15,73 +21,163 @@ import (
 	"routerwatch/internal/telemetry"
 )
 
-// Event is a scheduled callback. The zero Event is invalid.
+// Callback is the allocation-free event form: a function bound once (per
+// router, per interface, per flow — never per packet) invoked with the
+// arguments it was scheduled with. arg carries a pointer payload (e.g. the
+// *packet.Packet in flight) and n an integer payload (e.g. the neighbor ID);
+// both fit in an Event without boxing, so scheduling one costs no heap
+// allocation, unlike a closure capturing the same values.
+type Callback func(arg any, n int64)
+
+// Event is a scheduled callback, owned and recycled by its Scheduler. User
+// code never holds an *Event: schedule methods return a Handle whose
+// generation stamp keeps it safe after the event is recycled.
 type Event struct {
 	at  time.Duration
 	seq uint64
+
+	// Exactly one of fn / cb is set; cb carries its arguments inline.
 	fn  func()
+	cb  Callback
+	arg any
+	n   int64
 
 	// index is the heap index, maintained by eventHeap; -1 once removed.
 	index int
 
 	canceled bool
+
+	// gen increments every time the event is released to the free list;
+	// Handles remember the generation they were issued at, so a stale
+	// Handle (to a fired or recycled event) can never cancel a stranger.
+	gen uint64
 }
 
-// Time returns the virtual time at which the event fires.
-func (e *Event) Time() time.Duration { return e.at }
+// Handle refers to a scheduled event. The zero Handle is valid and inert.
+//
+// Handles are value types: they may be copied, retained, and used after the
+// event fires or is recycled — all operations on a stale Handle are no-ops.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen }
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// Time returns the virtual time at which the event fires (zero if the event
+// already fired or was recycled).
+func (h Handle) Time() time.Duration {
+	if !h.live() {
+		return 0
+	}
+	return h.ev.at
+}
 
+// Cancel prevents the event from firing. Canceling an already-fired,
+// already-canceled, or zero Handle is a no-op.
+func (h Handle) Cancel() {
+	if h.live() {
+		h.ev.canceled = true
+	}
+}
+
+// Canceled reports whether the event will not fire: either Cancel was
+// called, or the event already left the scheduler (fired or recycled).
+func (h Handle) Canceled() bool { return !h.live() || h.ev.canceled }
+
+// eventHeap is a binary min-heap ordered by (at, seq). It is specialized
+// rather than wrapping container/heap: heap maintenance dominates the
+// kernel's CPU profile, and the interface-based Less/Swap dispatch
+// roughly doubles its cost. The sift algorithms and comparison mirror
+// container/heap exactly, and (at, seq) is a total order (seq is unique),
+// so the pop sequence — and with it replay determinism — is identical.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+func (h *eventHeap) push(ev *Event) {
 	ev.index = len(*h)
 	*h = append(*h, ev)
+	a := *h
+	j := len(a) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !a.less(j, i) {
+			break
+		}
+		a.swap(i, j)
+		j = i
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+func (h *eventHeap) pop() *Event {
+	a := *h
+	n := len(a) - 1
+	if n > 0 {
+		a.swap(0, n)
+		a.down(0, n)
+	}
+	ev := a[n]
+	// Nil the popped slot: the backing array outlives the pop, and a dead
+	// *Event left behind would pin the event (and its captured packet)
+	// until the slot is overwritten.
+	a[n] = nil
 	ev.index = -1
-	*h = old[:n-1]
+	*h = a[:n]
 	return ev
 }
+
+// down sifts the element at i toward the leaves of the heap prefix h[:n].
+func (h eventHeap) down(i, n int) {
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h.less(j2, j) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
+}
+
+// eventChunk is how many Events a pool grows by when the free list is
+// empty: one bulk allocation instead of 64 singletons.
+const eventChunk = 64
 
 // Scheduler is a discrete-event scheduler. The zero value is ready to use.
 //
 // A single Scheduler is not safe for concurrent use; each simulation is
 // single-threaded by design so that runs are deterministic. Distinct
-// Scheduler instances share no state whatsoever, so any number of
-// independent kernels may run concurrently on separate goroutines — the
-// contract internal/runner's parallel trial fan-out relies on.
+// Scheduler instances share no state whatsoever — including their event
+// pools — so any number of independent kernels may run concurrently on
+// separate goroutines: the contract internal/runner's parallel trial
+// fan-out relies on.
 type Scheduler struct {
 	now    time.Duration
 	seq    uint64
 	events eventHeap
 	fired  uint64
+
+	// free is the LIFO free list of recycled events; chunk is the tail of
+	// the most recent bulk allocation. Both are per-Scheduler by contract.
+	free  []*Event
+	chunk []Event
 
 	// firedCtr, when attached, counts fired events for per-trial sim-event
 	// throughput metrics. Nil (the default) costs one nil-check per event.
@@ -105,38 +201,104 @@ func (s *Scheduler) InstrumentFired(c *telemetry.Counter) { s.firedCtr = c }
 // Pending returns the number of events scheduled but not yet fired.
 func (s *Scheduler) Pending() int { return len(s.events) }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it always indicates a logic error in a deterministic simulation.
-func (s *Scheduler) At(t time.Duration, fn func()) *Event {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+// FreeListLen returns the current size of the event free list (tests and
+// instrumentation; liveness regressions pin this).
+func (s *Scheduler) FreeListLen() int { return len(s.free) }
+
+func (s *Scheduler) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
 	}
-	ev := &Event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, ev)
+	if len(s.chunk) == 0 {
+		s.chunk = make([]Event, eventChunk)
+	}
+	ev := &s.chunk[0]
+	s.chunk = s.chunk[1:]
 	return ev
 }
 
+// release returns a fired or dropped event to the free list. Clearing the
+// callback fields is load-bearing: a pooled Event outlives its firing, and
+// a retained closure or arg would pin the packet it captured for the life
+// of the pool (the liveness regression test guards this).
+func (s *Scheduler) release(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.cb = nil
+	ev.arg = nil
+	s.free = append(s.free, ev)
+}
+
+func (s *Scheduler) schedule(t time.Duration, fn func(), cb Callback, arg any, n int64) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	ev := s.alloc()
+	ev.at = t
+	ev.seq = s.seq
+	ev.fn = fn
+	ev.cb = cb
+	ev.arg = arg
+	ev.n = n
+	ev.canceled = false
+	s.seq++
+	s.events.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a logic error in a deterministic simulation.
+func (s *Scheduler) At(t time.Duration, fn func()) Handle {
+	return s.schedule(t, fn, nil, nil, 0)
+}
+
 // After schedules fn to run d after the current virtual time.
-func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+func (s *Scheduler) After(d time.Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now+d, fn)
+	return s.schedule(s.now+d, fn, nil, nil, 0)
+}
+
+// CallAt schedules cb(arg, n) at absolute virtual time t. Unlike At, it
+// allocates nothing in steady state: bind cb once, pass the per-event state
+// through arg and n.
+func (s *Scheduler) CallAt(t time.Duration, cb Callback, arg any, n int64) Handle {
+	return s.schedule(t, nil, cb, arg, n)
+}
+
+// CallAfter schedules cb(arg, n) to run d after the current virtual time.
+func (s *Scheduler) CallAfter(d time.Duration, cb Callback, arg any, n int64) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(s.now+d, nil, cb, arg, n)
 }
 
 // Step executes the single earliest pending event, advancing virtual time.
 // It returns false if no events remain.
 func (s *Scheduler) Step() bool {
 	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(*Event)
+		ev := s.events.pop()
 		if ev.canceled {
+			s.release(ev)
 			continue
 		}
 		s.now = ev.at
 		s.fired++
 		s.firedCtr.Inc()
-		ev.fn()
+		fn, cb, arg, n := ev.fn, ev.cb, ev.arg, ev.n
+		// Recycle before running: the callback may schedule new work that
+		// reuses this very Event, and any Handle to it is already stale.
+		s.release(ev)
+		if cb != nil {
+			cb(arg, n)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -166,14 +328,16 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 	}
 }
 
-// peek returns the earliest non-canceled event without firing it.
+// peek returns the earliest non-canceled event without firing it, dropping
+// (and recycling) canceled events it skips over.
 func (s *Scheduler) peek() *Event {
 	for len(s.events) > 0 {
 		ev := s.events[0]
 		if !ev.canceled {
 			return ev
 		}
-		heap.Pop(&s.events)
+		s.events.pop()
+		s.release(ev)
 	}
 	return nil
 }
@@ -190,7 +354,8 @@ type Ticker struct {
 	s        *Scheduler
 	interval time.Duration
 	fn       func()
-	next     *Event
+	cb       Callback
+	next     Handle
 	stopped  bool
 }
 
@@ -200,12 +365,9 @@ func (s *Scheduler) NewTicker(interval time.Duration, fn func()) *Ticker {
 		panic("sim: ticker interval must be positive")
 	}
 	t := &Ticker{s: s, interval: interval, fn: fn}
-	t.schedule()
-	return t
-}
-
-func (t *Ticker) schedule() {
-	t.next = t.s.After(t.interval, func() {
+	// One callback for the ticker's lifetime: each tick reschedules through
+	// the pooled CallAfter path instead of allocating a fresh closure.
+	t.cb = func(any, int64) {
 		if t.stopped {
 			return
 		}
@@ -213,13 +375,17 @@ func (t *Ticker) schedule() {
 		if !t.stopped {
 			t.schedule()
 		}
-	})
+	}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.next = t.s.CallAfter(t.interval, t.cb, nil, 0)
 }
 
 // Stop cancels future firings.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.next != nil {
-		t.next.Cancel()
-	}
+	t.next.Cancel()
 }

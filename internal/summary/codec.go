@@ -22,17 +22,23 @@ var ErrCodec = errors.New("summary: malformed encoding")
 // length prefix cannot force an arbitrary allocation.
 const maxBloomBits = 1 << 27
 
-// Encode serializes the filter: k, m, n, then the bit words, all big-endian.
-func (b *Bloom) Encode() []byte {
-	out := make([]byte, 20+8*len(b.bits))
-	binary.BigEndian.PutUint32(out, uint32(b.k))
-	binary.BigEndian.PutUint64(out[4:], b.m)
-	binary.BigEndian.PutUint64(out[12:], uint64(b.n))
-	for i, w := range b.bits {
-		binary.BigEndian.PutUint64(out[20+8*i:], w)
+// AppendEncode appends the filter encoding to out and returns the extended
+// slice.
+func (b *Bloom) AppendEncode(out []byte) []byte {
+	out = binary.BigEndian.AppendUint32(out, uint32(b.k))
+	out = binary.BigEndian.AppendUint64(out, b.m)
+	out = binary.BigEndian.AppendUint64(out, uint64(b.n))
+	for _, w := range b.bits {
+		out = binary.BigEndian.AppendUint64(out, w)
 	}
 	return out
 }
+
+// Encode serializes the filter: k, m, n, then the bit words, all big-endian.
+func (b *Bloom) Encode() []byte { return b.AppendEncode(make([]byte, 0, b.EncodedLen())) }
+
+// EncodedLen returns len(Encode()) without materializing the encoding.
+func (b *Bloom) EncodedLen() int { return 20 + 8*len(b.bits) }
 
 // DecodeBloom parses an encoded filter, validating shape invariants (m a
 // positive multiple of 64 matching the payload length, k in [1,16]).

@@ -213,11 +213,13 @@ func charPoly(set []uint64) poly {
 	return f
 }
 
-// EvaluateCharPoly computes χ_S at each point: the per-round state a router
-// keeps for reconciliation is just these evaluations, updatable
-// incrementally as packets arrive.
-func EvaluateCharPoly(set []uint64, points []uint64) []uint64 {
-	out := make([]uint64, len(points))
+// EvaluateCharPolyInto computes χ_S at each point into out, which must
+// have len(points) elements, and returns out. Round-boundary callers reuse
+// one evaluation buffer through it.
+func EvaluateCharPolyInto(out, set, points []uint64) []uint64 {
+	if len(out) != len(points) {
+		panic("summary: evaluation buffer length mismatch")
+	}
 	for i := range out {
 		out[i] = 1
 	}
@@ -228,6 +230,13 @@ func EvaluateCharPoly(set []uint64, points []uint64) []uint64 {
 		}
 	}
 	return out
+}
+
+// EvaluateCharPoly computes χ_S at each point: the per-round state a router
+// keeps for reconciliation is just these evaluations, updatable
+// incrementally as packets arrive.
+func EvaluateCharPoly(set []uint64, points []uint64) []uint64 {
+	return EvaluateCharPolyInto(make([]uint64, len(points)), set, points)
 }
 
 // ReconcilePoints returns n deterministic evaluation points, chosen high in

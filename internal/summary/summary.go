@@ -34,13 +34,18 @@ func (c *Counter) Merge(o Counter) {
 	c.Bytes += o.Bytes
 }
 
-// Encode serializes the counter for signing.
-func (c Counter) Encode() []byte {
-	b := make([]byte, 16)
-	binary.BigEndian.PutUint64(b, uint64(c.Packets))
-	binary.BigEndian.PutUint64(b[8:], uint64(c.Bytes))
-	return b
+// AppendEncode appends the counter's encoding to b and returns the
+// extended slice; round-boundary paths reuse one buffer through it.
+func (c Counter) AppendEncode(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(c.Packets))
+	return binary.BigEndian.AppendUint64(b, uint64(c.Bytes))
 }
+
+// Encode serializes the counter for signing.
+func (c Counter) Encode() []byte { return c.AppendEncode(make([]byte, 0, c.EncodedLen())) }
+
+// EncodedLen returns len(Encode()) without materializing the encoding.
+func (c Counter) EncodedLen() int { return 16 }
 
 // FPSet is the conservation-of-content summary: the multiset of packet
 // fingerprints observed in a round. Multiplicity matters — a fabricating
@@ -96,18 +101,21 @@ func (s *FPSet) Fingerprints() []packet.Fingerprint {
 	return out
 }
 
-// Encode serializes the multiset for signing: sorted (fp, count) pairs.
-func (s *FPSet) Encode() []byte {
-	fps := s.Fingerprints()
-	b := make([]byte, 0, 12*len(fps))
-	var tmp [12]byte
-	for _, fp := range fps {
-		binary.BigEndian.PutUint64(tmp[:8], uint64(fp))
-		binary.BigEndian.PutUint32(tmp[8:], uint32(s.m[fp]))
-		b = append(b, tmp[:]...)
+// AppendEncode appends the canonical encoding — sorted (fp, count) pairs —
+// to b and returns the extended slice.
+func (s *FPSet) AppendEncode(b []byte) []byte {
+	for _, fp := range s.Fingerprints() {
+		b = binary.BigEndian.AppendUint64(b, uint64(fp))
+		b = binary.BigEndian.AppendUint32(b, uint32(s.m[fp]))
 	}
 	return b
 }
+
+// Encode serializes the multiset for signing: sorted (fp, count) pairs.
+func (s *FPSet) Encode() []byte { return s.AppendEncode(make([]byte, 0, s.EncodedLen())) }
+
+// EncodedLen returns len(Encode()) without materializing the encoding.
+func (s *FPSet) EncodedLen() int { return 12 * len(s.m) }
 
 func sortFPs(fps []packet.Fingerprint) {
 	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
@@ -132,14 +140,20 @@ func (o *OrderedFP) Len() int { return len(o.seq) }
 // Seq returns the underlying sequence (not a copy; callers must not mutate).
 func (o *OrderedFP) Seq() []packet.Fingerprint { return o.seq }
 
-// Encode serializes the sequence for signing.
-func (o *OrderedFP) Encode() []byte {
-	b := make([]byte, 8*len(o.seq))
-	for i, fp := range o.seq {
-		binary.BigEndian.PutUint64(b[8*i:], uint64(fp))
+// AppendEncode appends the sequence encoding to b and returns the
+// extended slice.
+func (o *OrderedFP) AppendEncode(b []byte) []byte {
+	for _, fp := range o.seq {
+		b = binary.BigEndian.AppendUint64(b, uint64(fp))
 	}
 	return b
 }
+
+// Encode serializes the sequence for signing.
+func (o *OrderedFP) Encode() []byte { return o.AppendEncode(make([]byte, 0, o.EncodedLen())) }
+
+// EncodedLen returns len(Encode()) without materializing the encoding.
+func (o *OrderedFP) EncodedLen() int { return 8 * len(o.seq) }
 
 // ReorderAmount implements the §2.2.1 reordering metric [107]: remove from
 // both streams all lost/fabricated/modified packets (i.e. keep the common
@@ -240,19 +254,23 @@ func (t *TimedFP) Len() int { return len(t.entries) }
 // Entries returns the entries (not a copy; callers must not mutate).
 func (t *TimedFP) Entries() []TimedEntry { return t.entries }
 
-// Encode serializes the summary for signing.
-func (t *TimedFP) Encode() []byte {
-	b := make([]byte, 0, 28*len(t.entries))
-	var tmp [28]byte
+// AppendEncode appends the entry encodings to b and returns the extended
+// slice.
+func (t *TimedFP) AppendEncode(b []byte) []byte {
 	for _, e := range t.entries {
-		binary.BigEndian.PutUint64(tmp[:8], uint64(e.FP))
-		binary.BigEndian.PutUint32(tmp[8:], uint32(e.Size))
-		binary.BigEndian.PutUint64(tmp[12:], uint64(e.TS))
-		binary.BigEndian.PutUint64(tmp[20:], uint64(e.Flow))
-		b = append(b, tmp[:]...)
+		b = binary.BigEndian.AppendUint64(b, uint64(e.FP))
+		b = binary.BigEndian.AppendUint32(b, uint32(e.Size))
+		b = binary.BigEndian.AppendUint64(b, uint64(e.TS))
+		b = binary.BigEndian.AppendUint64(b, uint64(e.Flow))
 	}
 	return b
 }
+
+// Encode serializes the summary for signing.
+func (t *TimedFP) Encode() []byte { return t.AppendEncode(make([]byte, 0, t.EncodedLen())) }
+
+// EncodedLen returns len(Encode()) without materializing the encoding.
+func (t *TimedFP) EncodedLen() int { return 28 * len(t.entries) }
 
 // SampleRange is the hash-range sampling of §2.4.1 (trajectory sampling /
 // SATS): a packet is monitored iff a keyed hash of its fingerprint falls

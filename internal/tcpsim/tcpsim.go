@@ -117,9 +117,14 @@ type Flow struct {
 	rto      time.Duration
 	srtt     time.Duration
 	rttvar   time.Duration
-	rtoEvent *sim.Event
+	rtoEvent sim.Handle
 	sendTime map[uint32]time.Duration // for RTT sampling (Karn's rule: first tx only)
 	inFlight map[uint32]bool
+
+	// cbSYN and cbTimeout are the flow's RTO callbacks, bound once at
+	// StartFlow so re-arming the timer never allocates a method value.
+	cbSYN     sim.Callback
+	cbTimeout sim.Callback
 
 	// Receiver state.
 	rcvNxt uint32
@@ -166,12 +171,14 @@ func (m *Manager) StartFlow(cfg FlowConfig) *Flow {
 		inFlight: make(map[uint32]bool),
 		ooo:      make(map[uint32]bool),
 	}
+	f.cbSYN = func(any, int64) { f.sendSYN() }
+	f.cbTimeout = func(any, int64) { f.onTimeout() }
 	m.flows[f.id] = f
 	m.host(cfg.Src)
 	m.host(cfg.Dst)
 	sched := m.net.Scheduler()
 	delay := cfg.Start - sched.Now()
-	sched.After(delay, f.sendSYN)
+	sched.CallAfter(delay, f.cbSYN, nil, 0)
 	return f
 }
 
@@ -210,21 +217,17 @@ func (f *Flow) sendSYN() {
 	f.m.net.Inject(f.cfg.Src, p)
 	// SYN retransmission with exponential backoff (3 s, 6 s, 12 s, ...).
 	backoff := f.cfg.InitialRTO << uint(f.Stats.SynRetries)
-	f.armRTO(backoff, f.sendSYN)
+	f.armRTO(backoff, f.cbSYN)
 }
 
-func (f *Flow) armRTO(d time.Duration, fn func()) {
-	if f.rtoEvent != nil {
-		f.rtoEvent.Cancel()
-	}
-	f.rtoEvent = f.m.net.Scheduler().After(d, fn)
+func (f *Flow) armRTO(d time.Duration, cb sim.Callback) {
+	f.rtoEvent.Cancel()
+	f.rtoEvent = f.m.net.Scheduler().CallAfter(d, cb, nil, 0)
 }
 
 func (f *Flow) disarmRTO() {
-	if f.rtoEvent != nil {
-		f.rtoEvent.Cancel()
-		f.rtoEvent = nil
-	}
+	f.rtoEvent.Cancel()
+	f.rtoEvent = sim.Handle{}
 }
 
 // receiverHandle processes packets arriving at the destination host.
@@ -374,7 +377,7 @@ func (f *Flow) rtoTimeoutRearm() {
 		f.disarmRTO()
 		return
 	}
-	f.armRTO(f.rto, f.onTimeout)
+	f.armRTO(f.rto, f.cbTimeout)
 }
 
 func (f *Flow) onTimeout() {
@@ -390,7 +393,7 @@ func (f *Flow) onTimeout() {
 		f.rto = 60 * time.Second
 	}
 	f.retransmit(f.sndUna)
-	f.armRTO(f.rto, f.onTimeout)
+	f.armRTO(f.rto, f.cbTimeout)
 }
 
 // String summarizes the flow.

@@ -48,6 +48,52 @@ type Graph struct {
 	names []string
 	index map[string]packet.NodeID
 	adj   map[packet.NodeID]map[packet.NodeID]*Link
+
+	// nbrCache[v] is v's neighbors in ascending ID order and adjCache[v]
+	// the matching (to, cost) edges, built lazily on first read and
+	// invalidated (nil) by any topology mutation. They keep Dijkstra's
+	// inner loop and flood-relay iteration off the map-sort path. Shared
+	// slices: readers must not mutate. Like the rest of Graph, lazy
+	// (re)building is not safe under concurrent first reads — warm the
+	// cache (any Neighbors call) before sharing a graph across goroutines.
+	nbrCache [][]packet.NodeID
+	adjCache [][]adjEdge
+}
+
+// adjEdge is one cached outgoing edge.
+type adjEdge struct {
+	to   packet.NodeID
+	cost int64
+}
+
+// invalidate drops the adjacency caches after a topology mutation.
+func (g *Graph) invalidate() {
+	g.nbrCache = nil
+	g.adjCache = nil
+}
+
+// ensureCache (re)builds the adjacency caches.
+func (g *Graph) ensureCache() {
+	if g.nbrCache != nil {
+		return
+	}
+	n := len(g.names)
+	g.nbrCache = make([][]packet.NodeID, n)
+	g.adjCache = make([][]adjEdge, n)
+	for v := 0; v < n; v++ {
+		m := g.adj[packet.NodeID(v)]
+		nbrs := make([]packet.NodeID, 0, len(m))
+		for to := range m {
+			nbrs = append(nbrs, to)
+		}
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		edges := make([]adjEdge, len(nbrs))
+		for i, to := range nbrs {
+			edges[i] = adjEdge{to: to, cost: int64(m[to].Cost)}
+		}
+		g.nbrCache[v] = nbrs
+		g.adjCache[v] = edges
+	}
 }
 
 // NewGraph returns an empty graph.
@@ -68,6 +114,7 @@ func (g *Graph) AddNode(name string) packet.NodeID {
 	g.names = append(g.names, name)
 	g.index[name] = id
 	g.adj[id] = make(map[packet.NodeID]*Link)
+	g.invalidate()
 	return id
 }
 
@@ -111,6 +158,7 @@ func (g *Graph) AddLink(l Link) {
 	}
 	ll := l
 	g.adj[l.From][l.To] = &ll
+	g.invalidate()
 }
 
 // AddDuplex installs both directions of a bidirectional link.
@@ -150,14 +198,14 @@ func (g *Graph) Link(from, to packet.NodeID) (Link, bool) {
 
 // Neighbors returns from's neighbors in ascending ID order. Deterministic
 // ordering matters: routing tie-breaks and iteration order must be stable
-// across runs.
+// across runs. The returned slice is shared cache state valid until the
+// next topology mutation; callers must not mutate it.
 func (g *Graph) Neighbors(from packet.NodeID) []packet.NodeID {
-	out := make([]packet.NodeID, 0, len(g.adj[from]))
-	for to := range g.adj[from] {
-		out = append(out, to)
+	g.ensureCache()
+	if int(from) < 0 || int(from) >= len(g.nbrCache) {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return g.nbrCache[from]
 }
 
 // Degree returns the out-degree of a node.
@@ -227,6 +275,7 @@ func (g *Graph) Clone() *Graph {
 // RemoveLink deletes the directed link from→to if present.
 func (g *Graph) RemoveLink(from, to packet.NodeID) {
 	delete(g.adj[from], to)
+	g.invalidate()
 }
 
 // ---------------------------------------------------------------------------
@@ -269,6 +318,7 @@ func (g *Graph) ShortestPathTree(src packet.NodeID) (parent []packet.NodeID, dis
 	}
 	parent[src] = src
 	dist[src] = 0
+	g.ensureCache()
 	h := &spHeap{{node: src, dist: 0}}
 	for h.Len() > 0 {
 		it := heap.Pop(h).(spItem)
@@ -277,9 +327,9 @@ func (g *Graph) ShortestPathTree(src packet.NodeID) (parent []packet.NodeID, dis
 			continue
 		}
 		done[v] = true
-		for _, to := range g.Neighbors(v) {
-			l := g.adj[v][to]
-			nd := dist[v] + int64(l.Cost)
+		for _, e := range g.adjCache[v] {
+			to := e.to
+			nd := dist[v] + e.cost
 			if nd < dist[to] || (nd == dist[to] && !done[to] && parent[to] != -1 && v < parent[to]) {
 				dist[to] = nd
 				parent[to] = v
@@ -318,45 +368,64 @@ func (p Path) Contains(r packet.NodeID) bool {
 	return false
 }
 
-// PathBetween extracts the path src→dst from a shortest-path tree parent
-// array (as produced by ShortestPathTree with source src). Returns nil if
-// dst is unreachable.
-func PathBetween(parent []packet.NodeID, src, dst packet.NodeID) Path {
+// appendPath appends the path src→dst from a shortest-path tree parent
+// array onto b and returns the extended slice; on an unreachable dst it
+// returns b unchanged. AllPairsPaths uses it to pack every path into
+// shared arena chunks instead of one heap object per pair.
+func appendPath(b Path, parent []packet.NodeID, src, dst packet.NodeID) Path {
 	if int(dst) >= len(parent) || parent[dst] == -1 {
-		return nil
+		return b
 	}
-	var rev Path
+	start := len(b)
 	for v := dst; ; v = parent[v] {
-		rev = append(rev, v)
+		b = append(b, v)
 		if v == src {
 			break
 		}
 		if parent[v] == -1 || parent[v] == v {
-			if v != src {
-				return nil
-			}
-			break
+			return b[:start]
 		}
 	}
-	// Reverse in place.
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	// Reverse the appended tail in place.
+	for i, j := start, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
 	}
-	return rev
+	return b
+}
+
+// PathBetween extracts the path src→dst from a shortest-path tree parent
+// array (as produced by ShortestPathTree with source src). Returns nil if
+// dst is unreachable.
+func PathBetween(parent []packet.NodeID, src, dst packet.NodeID) Path {
+	p := appendPath(nil, parent, src, dst)
+	if len(p) == 0 {
+		return nil
+	}
+	return p
 }
 
 // AllPairsPaths computes the deterministic routing path between every
-// ordered pair of routers.
+// ordered pair of routers. The returned paths share arena-backed storage;
+// callers must not append to or mutate them.
 func (g *Graph) AllPairsPaths() []Path {
-	var out []Path
-	for _, src := range g.Nodes() {
-		parent, _ := g.ShortestPathTree(src)
-		for _, dst := range g.Nodes() {
+	n := g.NumNodes()
+	out := make([]Path, 0, n*(n-1))
+	var arena Path
+	for src := 0; src < n; src++ {
+		parent, _ := g.ShortestPathTree(packet.NodeID(src))
+		for dst := 0; dst < n; dst++ {
 			if src == dst {
 				continue
 			}
-			if p := PathBetween(parent, src, dst); p != nil {
-				out = append(out, p)
+			// A path visits at most n nodes; keep that much headroom so
+			// one path never straddles two chunks.
+			if cap(arena)-len(arena) < n {
+				arena = make(Path, 0, segArenaChunk+n)
+			}
+			start := len(arena)
+			arena = appendPath(arena, parent, packet.NodeID(src), packet.NodeID(dst))
+			if len(arena) > start {
+				out = append(out, arena[start:len(arena):len(arena)])
 			}
 		}
 	}

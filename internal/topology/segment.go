@@ -16,13 +16,20 @@ type Segment = Path
 // map keys and set membership.
 type SegmentKey string
 
+// AppendKey appends the segment's key encoding (4-byte big-endian node
+// IDs) to b and returns the extended slice. Hot paths keep one scratch
+// buffer and probe set membership with all[SegmentKey(kb)] — the compiler
+// elides the string copy for map lookups, so a duplicate probe is free.
+func AppendKey(b []byte, s Segment) []byte {
+	for _, id := range s {
+		b = binary.BigEndian.AppendUint32(b, uint32(id))
+	}
+	return b
+}
+
 // Key encodes the segment.
 func Key(s Segment) SegmentKey {
-	b := make([]byte, 4*len(s))
-	for i, id := range s {
-		binary.BigEndian.PutUint32(b[4*i:], uint32(id))
-	}
-	return SegmentKey(b)
+	return SegmentKey(AppendKey(make([]byte, 0, 4*len(s)), s))
 }
 
 // DecodeKey recovers the segment from its key.
@@ -75,17 +82,59 @@ const (
 	ModeEnds
 )
 
-// MonitorSets computes Pr — the set of path-segments each router monitors —
-// for the given routing paths, adjacent-fault bound k, and protocol rule.
-// It returns the per-router monitoring sets and the global deduplicated
-// segment universe.
-func MonitorSets(paths []Path, k int, mode MonitorMode) (pr map[packet.NodeID][]Segment, all SegmentSet) {
-	if k < 1 {
-		k = 1
-	}
-	target := k + 2
+// segArenaChunk sizes the bulk node-ID allocations backing deduplicated
+// segments: unique segments are copied into shared arena chunks instead of
+// one heap object per segment.
+const segArenaChunk = 16 * 1024
 
-	all = make(SegmentSet)
+// monitorArena accumulates the deduplicated segment universe. The sliding
+// windows over the routing paths overlap enormously (every duplicate window
+// previously cost a fresh segment copy plus two key allocations); the arena
+// probes membership with a reusable key buffer — free for duplicates — and
+// pays one key copy plus amortized arena space only for unique segments.
+type monitorArena struct {
+	all   SegmentSet
+	segs  []Segment       // unique segments, later sorted into key order
+	arena []packet.NodeID // chunked backing store for segs
+	kb    []byte          // reusable key scratch
+}
+
+func (m *monitorArena) add(w []packet.NodeID) {
+	m.kb = AppendKey(m.kb[:0], w)
+	if _, dup := m.all[SegmentKey(m.kb)]; dup {
+		return
+	}
+	if cap(m.arena)-len(m.arena) < len(w) {
+		m.arena = make([]packet.NodeID, 0, segArenaChunk+len(w))
+	}
+	start := len(m.arena)
+	m.arena = append(m.arena, w...)
+	seg := Segment(m.arena[start:len(m.arena):len(m.arena)])
+	m.all[SegmentKey(m.kb)] = struct{}{}
+	m.segs = append(m.segs, seg)
+}
+
+// segLess orders segments identically to sort.Strings over their encoded
+// keys: element-wise by unsigned node ID, with a proper prefix first.
+func segLess(a, b Segment) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return uint32(a[i]) < uint32(b[i])
+		}
+	}
+	return len(a) < len(b)
+}
+
+// forEachWindow enumerates the sliding windows the monitoring-set rule
+// derives from the routing paths: for ModeNodes every (exactly)
+// target-length window plus every shorter whole path of length ≥ 3, for
+// ModeEnds every window of length 3..target. Windows are sub-slices of
+// the paths — visit must not retain or mutate them.
+func forEachWindow(paths []Path, target int, mode MonitorMode, visit func(w []packet.NodeID)) {
 	switch mode {
 	case ModeNodes:
 		for _, p := range paths {
@@ -93,11 +142,11 @@ func MonitorSets(paths []Path, k int, mode MonitorMode) (pr map[packet.NodeID][]
 				continue
 			}
 			if len(p) < target {
-				all.Add(append(Segment(nil), p...))
+				visit(p)
 				continue
 			}
 			for i := 0; i+target <= len(p); i++ {
-				all.Add(append(Segment(nil), p[i:i+target]...))
+				visit(p[i : i+target])
 			}
 		}
 	case ModeEnds:
@@ -107,16 +156,33 @@ func MonitorSets(paths []Path, k int, mode MonitorMode) (pr map[packet.NodeID][]
 					break
 				}
 				for i := 0; i+x <= len(p); i++ {
-					all.Add(append(Segment(nil), p[i:i+x]...))
+					visit(p[i : i+x])
 				}
 			}
 		}
 	default:
 		panic("topology: unknown monitor mode")
 	}
+}
+
+// MonitorSets computes Pr — the set of path-segments each router monitors —
+// for the given routing paths, adjacent-fault bound k, and protocol rule.
+// It returns the per-router monitoring sets and the global deduplicated
+// segment universe. The returned segments share arena-backed storage;
+// callers must not mutate them.
+func MonitorSets(paths []Path, k int, mode MonitorMode) (pr map[packet.NodeID][]Segment, all SegmentSet) {
+	if k < 1 {
+		k = 1
+	}
+	m := monitorArena{all: make(SegmentSet)}
+	forEachWindow(paths, k+2, mode, m.add)
+
+	// Sort into encoded-key order: the same deterministic order the
+	// previous SegmentSet.Slice pass produced, without re-decoding keys.
+	sort.Slice(m.segs, func(i, j int) bool { return segLess(m.segs[i], m.segs[j]) })
 
 	pr = make(map[packet.NodeID][]Segment)
-	for _, seg := range all.Slice() {
+	for _, seg := range m.segs {
 		switch mode {
 		case ModeNodes:
 			for _, r := range seg {
@@ -130,7 +196,47 @@ func MonitorSets(paths []Path, k int, mode MonitorMode) (pr map[packet.NodeID][]
 			}
 		}
 	}
-	return pr, all
+	return pr, m.all
+}
+
+// MonitorSetSizes computes |Pr| per router — len(pr[r]) for the pr that
+// MonitorSets would return, indexed by router ID over [0, n) — without
+// materializing the sets. The figure-5 k-sweeps need only these sizes;
+// skipping the arena copies, the per-router segment slices and the
+// deterministic sort leaves one dedup-map probe per window, which is most
+// of the difference between the sweep and the raw window enumeration.
+// Routers with IDs ≥ n are ignored.
+func MonitorSetSizes(paths []Path, k int, mode MonitorMode, n int) []int {
+	if k < 1 {
+		k = 1
+	}
+	sizes := make([]int, n)
+	seen := make(SegmentSet)
+	var kb []byte
+	forEachWindow(paths, k+2, mode, func(w []packet.NodeID) {
+		kb = AppendKey(kb[:0], w)
+		if _, dup := seen[SegmentKey(kb)]; dup {
+			return
+		}
+		seen[SegmentKey(kb)] = struct{}{}
+		switch mode {
+		case ModeNodes:
+			for _, r := range w {
+				if int(r) < n {
+					sizes[r]++
+				}
+			}
+		case ModeEnds:
+			first, last := w[0], w[len(w)-1]
+			if int(first) < n {
+				sizes[first]++
+			}
+			if last != first && int(last) < n {
+				sizes[last]++
+			}
+		}
+	})
+	return sizes
 }
 
 // PrStats summarizes the distribution of |Pr| across routers, the quantity
@@ -146,11 +252,7 @@ type PrStats struct {
 // ComputePrStats computes |Pr| statistics over all routers in the graph
 // (routers monitoring zero segments count as zero).
 func ComputePrStats(g *Graph, paths []Path, k int, mode MonitorMode) PrStats {
-	pr, _ := MonitorSets(paths, k, mode)
-	sizes := make([]int, g.NumNodes())
-	for r, segs := range pr {
-		sizes[r] = len(segs)
-	}
+	sizes := MonitorSetSizes(paths, k, mode, g.NumNodes())
 	sort.Ints(sizes)
 	st := PrStats{K: k, Routers: g.NumNodes()}
 	total := 0

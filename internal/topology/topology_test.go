@@ -235,6 +235,26 @@ func TestMonitorSetsShortPathsIncluded(t *testing.T) {
 	}
 }
 
+func TestMonitorSetSizesMatchMonitorSets(t *testing.T) {
+	// MonitorSetSizes is the allocation-light fast path behind
+	// ComputePrStats; it must agree exactly with len(pr[r]) from the full
+	// MonitorSets construction, for both rules across k.
+	g := Generate(GeneratorSpec{Name: "t", Nodes: 40, Links: 70, MaxDegree: 8, Seed: 7})
+	paths := g.AllPairsPaths()
+	for _, mode := range []MonitorMode{ModeNodes, ModeEnds} {
+		for k := 1; k <= 6; k++ {
+			pr, _ := MonitorSets(paths, k, mode)
+			sizes := MonitorSetSizes(paths, k, mode, g.NumNodes())
+			for r := 0; r < g.NumNodes(); r++ {
+				if sizes[r] != len(pr[packet.NodeID(r)]) {
+					t.Fatalf("mode %d k=%d router %d: size %d, want %d",
+						mode, k, r, sizes[r], len(pr[packet.NodeID(r)]))
+				}
+			}
+		}
+	}
+}
+
 func TestEndsMonitorsFewerThanNodes(t *testing.T) {
 	// On a realistic topology, Πk+2's per-router monitoring load must be
 	// much smaller than Π2's (the Fig 5.2 vs Fig 5.4 claim).
