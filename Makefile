@@ -55,12 +55,14 @@ bench:
 # per-benchmark ns/op and allocs/op deltas via cmd/benchcmp. Benchmarks
 # missing from either log print "-" instead of failing the comparison.
 # Override BENCH_BASELINE to diff against a different recorded log (e.g.
-# BENCH_pr4.json).
+# BENCH_pr4.json). Set BENCHCMP_FLAGS="-threshold 20" to turn the diff
+# into a gate: exit 1 when ns/op or allocs/op regresses beyond 20%.
 BENCH_BASELINE ?= BENCH_baseline.json
+BENCHCMP_FLAGS ?=
 
 bench-compare:
 	$(GO) test -bench=. -benchmem -run=^$$ -json ./... > BENCH_current.json
-	$(GO) run ./cmd/benchcmp $(BENCH_BASELINE) BENCH_current.json
+	$(GO) run ./cmd/benchcmp $(BENCHCMP_FLAGS) $(BENCH_BASELINE) BENCH_current.json
 
 # Short fuzz pass over every summary-codec harness (satisfies `go test`
 # normally too — the seed corpus runs as ordinary tests). Override

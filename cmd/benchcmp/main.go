@@ -2,16 +2,24 @@
 // `make bench` writes) and prints per-benchmark ns/op and allocs/op deltas:
 //
 //	benchcmp BENCH_baseline.json BENCH_current.json
+//	benchcmp -threshold 15 BENCH_baseline.json BENCH_current.json
+//
+// With -threshold P, any benchmark whose ns/op or allocs/op grew by more
+// than P percent is a regression: each one is listed on stderr and the
+// exit status is 1 — the CI gate. Without it the comparison is purely
+// informational.
 //
 // Benchmarks present in only one log are reported with "-" on the missing
 // side instead of failing, so partial runs (a narrowed ./pkg/... target, a
 // renamed benchmark) still compare gracefully. Exit status: 0 on success,
-// 2 when a log cannot be read or holds no benchmark results.
+// 1 when -threshold finds a regression, 2 when a log cannot be read or
+// holds no benchmark results.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -41,12 +49,19 @@ var resultRx = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) allocs/op)?`)
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintf(os.Stderr, "usage: benchcmp OLD.json NEW.json\n")
+	threshold := flag.Float64("threshold", 0,
+		"fail (exit 1) when ns/op or allocs/op regresses by more than this percentage (0 = report only)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp [-threshold pct] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	oldRes := parse(os.Args[1])
-	newRes := parse(os.Args[2])
+	oldRes := parse(flag.Arg(0))
+	newRes := parse(flag.Arg(1))
 
 	keys := make([]string, 0, len(oldRes)+len(newRes))
 	seen := make(map[string]bool)
@@ -73,6 +88,36 @@ func main() {
 				float64(o.allocsPerOp), float64(n.allocsPerOp)))
 	}
 	w.Flush()
+
+	if *threshold > 0 {
+		var regressions []string
+		for _, k := range keys {
+			o, haveOld := oldRes[k]
+			n, haveNew := newRes[k]
+			if !haveOld || !haveNew {
+				continue
+			}
+			if o.nsPerOp > 0 {
+				if pct := (n.nsPerOp - o.nsPerOp) / o.nsPerOp * 100; pct > *threshold {
+					regressions = append(regressions,
+						fmt.Sprintf("%s: ns/op %+.1f%% (%.0f -> %.0f)", k, pct, o.nsPerOp, n.nsPerOp))
+				}
+			}
+			if o.hasAllocs && n.hasAllocs && o.allocsPerOp > 0 {
+				if pct := float64(n.allocsPerOp-o.allocsPerOp) / float64(o.allocsPerOp) * 100; pct > *threshold {
+					regressions = append(regressions,
+						fmt.Sprintf("%s: allocs/op %+.1f%% (%d -> %d)", k, pct, o.allocsPerOp, n.allocsPerOp))
+				}
+			}
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchcmp: %d regression(s) beyond %.1f%%:\n", len(regressions), *threshold)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+	}
 }
 
 func ns(r result, have bool) string {

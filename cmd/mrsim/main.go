@@ -6,6 +6,13 @@
 //	go run ./cmd/mrsim -protocol chi -attack masked90
 //	go run ./cmd/mrsim -protocol watchers -attack drop
 //	go run ./cmd/mrsim -protocol fatih -trace fatih.json
+//	go run ./cmd/mrsim -list-protocols
+//	go run ./cmd/mrsim -scenario myrun.json
+//
+// Protocols are resolved through the internal/protocol registry
+// (-list-protocols enumerates them), and every run — flag-driven or from
+// a -scenario JSON file — goes through protocol.Run, so mrsim contains no
+// protocol-specific wiring of its own.
 //
 // -protocol fatih runs the full Abilene/Fatih scenario (§5.3, Fig 5.7):
 // OSPF convergence, the Kansas City compromise, Πk+2 detection and the
@@ -28,25 +35,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 	"time"
 
-	"routerwatch/internal/attack"
-	"routerwatch/internal/baseline"
 	"routerwatch/internal/detector"
-	"routerwatch/internal/detector/chi"
-	"routerwatch/internal/detector/pi2"
-	"routerwatch/internal/detector/pik2"
-	"routerwatch/internal/detector/tvinfo"
 	"routerwatch/internal/fatih"
-	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
+	_ "routerwatch/internal/protocol/catalog"
 	"routerwatch/internal/runner"
 	"routerwatch/internal/stats"
-	"routerwatch/internal/tcpsim"
 	"routerwatch/internal/telemetry"
-	"routerwatch/internal/topology"
 )
 
 // outcome is one trial's result.
@@ -61,15 +60,30 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mrsim: ")
 
-	protocol := flag.String("protocol", "pik2", "pik2 | pi2 | chi | watchers | fatih")
+	protoName := flag.String("protocol", "pik2", "pik2 | pi2 | chi | watchers | fatih (see -list-protocols)")
 	attackName := flag.String("attack", "drop", "drop | modify | reorder | fabricate | syn | masked90 | none")
 	rate := flag.Float64("rate", 1, "drop probability for the drop attack")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	dur := flag.Duration("duration", 30*time.Second, "simulated duration")
 	trials := flag.Int("trials", 1, "independent trials (per-trial derived seeds)")
 	parallel := flag.Int("parallel", 0, "worker pool size for -trials (0 = GOMAXPROCS, 1 = serial)")
+	scenario := flag.String("scenario", "", "run a declarative scenario file (JSON Spec) instead of the flag-built one")
+	list := flag.Bool("list-protocols", false, "list the registered protocols and exit")
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *list {
+		for _, name := range protocol.Names() {
+			d, _ := protocol.Lookup(name)
+			fmt.Printf("%-14s %s\n", name, d.Summary)
+		}
+		return
+	}
+
+	spec, err := buildSpec(*scenario, *protoName, *attackName, *rate, *seed, *dur)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if tf.CPUProfile != "" {
 		stop, err := telemetry.StartCPUProfile(tf.CPUProfile)
@@ -81,7 +95,7 @@ func main() {
 
 	if *trials <= 1 {
 		tel := tf.NewSet()
-		logbook, faulty := runScenario(*protocol, *attackName, *rate, *seed, *dur, true, tel)
+		logbook, faulty := runSpec(spec, true, tel)
 		report(logbook, faulty)
 		if err := tf.Finish(tel); err != nil {
 			log.Fatal(err)
@@ -100,13 +114,15 @@ func main() {
 		foldReg = telemetry.NewRegistry()
 	}
 	agg := stats.NewSharded(shardCount(*parallel))
-	outs, rep := runner.MapFold(runner.Config{Workers: *parallel, BaseSeed: *seed}, *trials, foldReg,
+	outs, rep := runner.MapFold(runner.Config{Workers: *parallel, BaseSeed: spec.Seed}, *trials, foldReg,
 		func(tr runner.Trial, reg *telemetry.Registry) outcome {
 			var tel *telemetry.Set
 			if reg != nil {
 				tel = &telemetry.Set{Metrics: reg}
 			}
-			logbook, faulty := runScenario(*protocol, *attackName, *rate, tr.Seed, *dur, false, tel)
+			s := *spec
+			s.Seed = tr.Seed
+			logbook, faulty := runSpec(&s, false, tel)
 			o := summarize(logbook, faulty)
 			if o.firstAt > 0 {
 				agg.Shard(tr.Worker).Observe(tr.Index, o.firstAt.Seconds())
@@ -124,7 +140,7 @@ func main() {
 		}
 	}
 	first := agg.Fold()
-	fmt.Printf("%d trials of %s/%s (base seed %d):\n", *trials, *protocol, *attackName, *seed)
+	fmt.Printf("%d trials of %s/%s (base seed %d):\n", *trials, spec.Protocol, *attackName, spec.Seed)
 	fmt.Printf("  detected:        %d/%d\n", detected, *trials)
 	fmt.Printf("  faulty implicated: %d/%d\n", implicated, *trials)
 	if first.N() > 0 {
@@ -147,168 +163,132 @@ func shardCount(parallel int) int {
 	return 64 // generous cover for GOMAXPROCS; unused shards cost nothing
 }
 
-// runScenario executes one trial and returns its suspicion log and the
-// compromised router. verbose enables the single-run narration.
-func runScenario(protocol, attackName string, rate float64, seed int64, dur time.Duration, verbose bool, tel *telemetry.Set) (*detector.Log, packet.NodeID) {
-	switch protocol {
+// buildSpec assembles the declarative scenario: from a -scenario file when
+// given, otherwise from the flag set. The flag-built specs reproduce the
+// historical hard-wired harnesses exactly.
+func buildSpec(file, protoName, attackName string, rate float64, seed int64, dur time.Duration) (*protocol.Spec, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.DecodeSpec(data)
+	}
+
+	switch protoName {
 	case "chi":
-		return runChi(attackName, seed, dur, verbose, tel)
+		spec := &protocol.Spec{
+			Name: "chi", Protocol: "chi", Seed: seed,
+			Duration: protocol.Duration(dur),
+			Topology: protocol.TopologySpec{Kind: "simple-chi", N: 3, M: 2},
+		}
+		switch attackName {
+		case "none":
+		case "drop":
+			// The canonical χ drop experiment uses a fixed 20% rate; -rate
+			// tunes the path-segment scenarios only.
+			spec.Attack = &protocol.AttackSpec{Kind: "drop", Rate: 0.2}
+		default:
+			// masked90, syn — and anything the scenario will reject itself.
+			spec.Attack = &protocol.AttackSpec{Kind: attackName}
+		}
+		return spec, nil
+
 	case "fatih":
-		return runFatih(seed, dur, verbose, tel)
+		// Durations below a minute fall back to the scenario's canonical
+		// 240 s (the attack only starts at 117 s).
+		spec := &protocol.Spec{
+			Name: "fatih", Protocol: "fatih", Seed: seed,
+			Topology: protocol.TopologySpec{Kind: "abilene"},
+		}
+		if dur >= time.Minute {
+			spec.Duration = protocol.Duration(dur)
+		}
+		if attackName == "none" {
+			spec.Attack = &protocol.AttackSpec{Kind: "none"}
+		}
+		return spec, nil
 	}
 
 	// Path-segment protocols run on a 5-router line with the middle
 	// router compromised.
-	g := topology.Line(5)
-	net := network.New(g, network.Options{
-		Seed: seed, ProcessingJitter: 100 * time.Microsecond, Telemetry: tel,
-	})
-	logbook := detector.NewLog()
-	sink := detector.LogSink(logbook)
-
-	switch protocol {
+	spec := &protocol.Spec{
+		Name: protoName, Protocol: protoName, Seed: seed,
+		Duration: protocol.Duration(dur),
+		Jitter:   protocol.Duration(100 * time.Microsecond),
+		Topology: protocol.TopologySpec{Kind: "line", N: 5},
+		Traffic: []protocol.TrafficSpec{{
+			Kind: "pair", Src: 0, Dst: 4, Count: int(dur.Seconds() * 500),
+			Interval: protocol.Duration(2 * time.Millisecond),
+			Offset:   protocol.Duration(time.Microsecond),
+			Size:     500, Flow: 1, ReverseFlow: 2,
+		}},
+	}
+	switch protoName {
 	case "pik2":
-		pik2.Attach(net, pik2.Options{
-			K: 1, Round: time.Second, Timeout: 250 * time.Millisecond,
-			LossThreshold: 2, FabricationThreshold: 2, Sink: sink,
-		})
+		spec.Options = protocol.Params{
+			"k": "1", "round": "1s", "timeout": "250ms",
+			"loss-threshold": "2", "fabrication-threshold": "2",
+		}
 	case "pi2":
-		pi2.Attach(net, pi2.Options{
-			K: 1, Round: time.Second, Settle: 250 * time.Millisecond,
-			Thresholds: tvinfo.Thresholds{Loss: 2, Fabrication: 2}, Sink: sink,
-		})
+		spec.Options = protocol.Params{
+			"k": "1", "round": "1s", "settle": "250ms",
+			"loss-threshold": "2", "fabrication-threshold": "2",
+		}
 	case "watchers":
-		baseline.AttachWatchers(net, baseline.WatchersOptions{
-			Round: time.Second, Threshold: 5000, Fixed: true, Sink: sink,
-		})
+		spec.Options = protocol.Params{
+			"round": "1s", "threshold": "5000", "fixed": "true",
+		}
 	default:
-		log.Fatalf("unknown protocol %q", protocol)
+		// Let the registry produce the self-explaining error.
+		if _, err := protocol.Lookup(protoName); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("protocol %q has no flag-built scenario; use -scenario", protoName)
 	}
-
-	faulty := packet.NodeID(2)
 	switch attackName {
 	case "drop":
-		net.Router(faulty).SetBehavior(&attack.Dropper{
-			Select: attack.All, P: rate, Rng: rand.New(rand.NewSource(seed)),
-			Start: 5 * time.Second,
-		})
+		spec.Attack = &protocol.AttackSpec{
+			Kind: "drop", Node: 2, Rate: rate,
+			Start: protocol.Duration(5 * time.Second),
+		}
 	case "modify":
-		net.Router(faulty).SetBehavior(&attack.Modifier{Select: attack.All, Start: 5 * time.Second})
+		spec.Attack = &protocol.AttackSpec{
+			Kind: "modify", Node: 2, Start: protocol.Duration(5 * time.Second),
+		}
 	case "reorder":
-		net.Router(faulty).SetBehavior(&attack.Delayer{
-			Select: attack.DataOnly, Jitter: 10 * time.Millisecond,
-			Rng: rand.New(rand.NewSource(seed)),
-		})
+		spec.Attack = &protocol.AttackSpec{
+			Kind: "reorder", Node: 2, Select: "data",
+			Jitter: protocol.Duration(10 * time.Millisecond),
+		}
 	case "fabricate":
-		attack.NewFabricator(net, faulty, 0, 4, 700, 20*time.Millisecond)
+		spec.Attack = &protocol.AttackSpec{Kind: "fabricate", Node: 2, Src: 0, Dst: 4}
 	case "none":
 	default:
-		log.Fatalf("attack %q not available for path-segment protocols", attackName)
+		return nil, fmt.Errorf("attack %q not available for path-segment protocols", attackName)
 	}
-
-	// Bidirectional traffic across the line.
-	for i := 0; i < int(dur.Seconds()*500); i++ {
-		i := i
-		net.Scheduler().At(time.Duration(i)*2*time.Millisecond+time.Microsecond, func() {
-			net.Inject(0, &packet.Packet{Dst: 4, Size: 500, Flow: 1, Seq: uint32(i), Payload: uint64(i)})
-			net.Inject(4, &packet.Packet{Dst: 0, Size: 500, Flow: 2, Seq: uint32(i), Payload: uint64(i)})
-		})
-	}
-	net.Run(dur)
-	return logbook, faulty
+	return spec, nil
 }
 
-// runFatih runs the Abilene/Fatih scenario (§5.3, Fig 5.7): OSPF
-// convergence, the Kansas City compromise, Πk+2 detection and the
-// alert-driven reroute. Durations below a minute fall back to the
-// scenario's canonical 240 s (the attack only starts at 117 s).
-func runFatih(seed int64, dur time.Duration, verbose bool, tel *telemetry.Set) (*detector.Log, packet.NodeID) {
-	opts := fatih.ScenarioOptions{Seed: seed, Telemetry: tel}
-	if dur >= time.Minute {
-		opts.Duration = dur
-	}
-	res := fatih.RunAbilene(opts)
-	g := res.System.Net.Graph()
-	kc, _ := g.Lookup("KansasCity")
+// runSpec executes one trial and returns its suspicion log and the
+// compromised router. verbose enables the single-run narration.
+func runSpec(spec *protocol.Spec, verbose bool, tel *telemetry.Set) (*detector.Log, packet.NodeID) {
+	run := protocol.RunOptions{Telemetry: tel}
 	if verbose {
-		fmt.Printf("routing converged at %v\n", res.ConvergedAt)
-		fmt.Printf("attack at %v: KansasCity drops 20%% of transit traffic\n", res.AttackAt)
-		fmt.Printf("first detection at %v, first reroute at %v\n", res.FirstDetectionAt, res.RerouteAt)
+		run.Progress = func(format string, args ...any) { fmt.Printf(format, args...) }
 	}
-	return res.System.Log, kc
-}
-
-func runChi(attackName string, seed int64, dur time.Duration, verbose bool, tel *telemetry.Set) (*detector.Log, packet.NodeID) {
-	st := topology.SimpleChi(3, 2)
-	buildNet := func(seed int64, opts chi.Options, tel *telemetry.Set) (*network.Network, *chi.Protocol, *tcpsim.Manager) {
-		net := network.New(st.Graph, network.Options{
-			Seed: seed, ProcessingJitter: 2 * time.Millisecond, Telemetry: tel,
-		})
-		opts.Queues = []chi.QueueID{{R: st.R, RD: st.RD}}
-		p := chi.Attach(net, opts)
-		return net, p, tcpsim.NewManager(net)
+	res, err := protocol.Run(spec, run)
+	if err != nil {
+		log.Fatal(err)
 	}
-
 	if verbose {
-		fmt.Println("learning period (60 s simulated)...")
+		if sres, ok := res.Extra.(*fatih.ScenarioResult); ok {
+			fmt.Printf("routing converged at %v\n", sres.ConvergedAt)
+			fmt.Printf("attack at %v: KansasCity drops 20%% of transit traffic\n", sres.AttackAt)
+			fmt.Printf("first detection at %v, first reroute at %v\n", sres.FirstDetectionAt, sres.RerouteAt)
+		}
 	}
-	// The learning run is calibration machinery, not the scenario under
-	// observation: it runs uninstrumented.
-	lnet, lproto, lman := buildNet(seed, chi.Options{Learning: true, Round: time.Second}, nil)
-	var flows []*tcpsim.Flow
-	for i := 0; i < 3; i++ {
-		flows = append(flows, lman.StartFlow(tcpsim.FlowConfig{
-			Src: st.Sources[i], Dst: st.Sinks[i%2],
-			Start: time.Duration(i) * 200 * time.Millisecond,
-		}))
-	}
-	lnet.Run(60 * time.Second)
-	cal := lproto.Validator(chi.QueueID{R: st.R, RD: st.RD}).Calibrate()
-	if verbose {
-		fmt.Printf("calibrated: mu=%.0f sigma=%.0f\n", cal.Mu, cal.Sigma)
-	}
-
-	logbook := detector.NewLog()
-	net, _, man := buildNet(seed+1, chi.Options{
-		Round: time.Second, Calibration: cal,
-		SingleThreshold: 0.999, CombinedThreshold: 0.99,
-		FabricationTolerance: 2, Sink: detector.LogSink(logbook),
-	}, tel)
-	flows = flows[:0]
-	for i := 0; i < 3; i++ {
-		flows = append(flows, man.StartFlow(tcpsim.FlowConfig{
-			Src: st.Sources[i], Dst: st.Sinks[i%2],
-			Start: time.Duration(i) * 200 * time.Millisecond,
-		}))
-	}
-	attackAt := 10 * time.Second
-	net.Run(attackAt)
-	switch attackName {
-	case "drop":
-		net.Router(st.R).SetBehavior(&attack.Dropper{
-			Select: attack.And(attack.ByFlow(flows[0].ID()), attack.DataOnly),
-			P:      0.2, Rng: rand.New(rand.NewSource(seed)), Start: attackAt,
-		})
-	case "masked90":
-		net.Router(st.R).SetBehavior(&attack.Dropper{
-			Select: attack.And(attack.ByFlow(flows[1].ID()), attack.DataOnly),
-			P:      1, MinQueueFrac: 0.9, Start: attackAt,
-		})
-	case "syn":
-		net.Router(st.R).SetBehavior(&attack.Dropper{Select: attack.SYNOnly, P: 1, Start: attackAt})
-		man.StartFlow(tcpsim.FlowConfig{
-			Src: st.Sources[2], Dst: st.Sinks[0],
-			Start: attackAt + 500*time.Millisecond, MaxPackets: 10,
-		})
-	case "none":
-	default:
-		log.Fatalf("attack %q not available for chi", attackName)
-	}
-	if dur < 30*time.Second {
-		dur = 30 * time.Second
-	}
-	net.Run(dur)
-	return logbook, st.R
+	return res.Log, res.Faulty
 }
 
 // summarize condenses a trial's log into the aggregate-mode outcome.

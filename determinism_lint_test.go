@@ -28,6 +28,25 @@ func TestDeterminismInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// The protocol runtime is the layer third-party Env backends plug
+	// into; it must be in the analyzed set so they inherit the
+	// determinism contract (no global math/rand, no wall clock) from day
+	// one. Pin its presence: a loader change that silently skipped it
+	// would turn the analyzers below into a false green.
+	analyzed := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		analyzed[p.Path] = true
+	}
+	for _, want := range []string{
+		"routerwatch/internal/protocol",
+		"routerwatch/internal/protocol/catalog",
+	} {
+		if !analyzed[want] {
+			t.Errorf("package %s missing from the analyzed set", want)
+		}
+	}
+
 	diags, err := driver.Run(l, pkgs, []*analysis.Analyzer{
 		globalrand.Analyzer,
 		hotpathalloc.Analyzer,

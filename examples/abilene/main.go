@@ -5,21 +5,37 @@
 // the segments — the New York↔Sunnyvale RTT jumps from ≈50 ms (northern
 // path) to ≈56 ms (southern path), and Kansas City ends up isolated.
 //
+// The experiment runs as a declarative scenario through the
+// internal/protocol registry; the Fatih-specific timeline comes back in
+// Result.Extra.
+//
 //	go run ./examples/abilene
 package main
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"time"
 
 	"routerwatch/internal/fatih"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
+	_ "routerwatch/internal/protocol/catalog"
 )
 
 func main() {
-	res := fatih.RunAbilene(fatih.ScenarioOptions{Seed: 5})
-	g := res.System.Net.Graph()
+	result, err := protocol.Run(&protocol.Spec{
+		Name:     "fatih-abilene",
+		Protocol: "fatih",
+		Seed:     5,
+		Topology: protocol.TopologySpec{Kind: "abilene"},
+	}, protocol.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := result.Extra.(*fatih.ScenarioResult)
+	g := result.Net.Graph()
 
 	fmt.Println("Fatih on Abilene — timeline:")
 	fmt.Printf("  %-32s %8.1fs\n", "routing converged", res.ConvergedAt.Seconds())
@@ -42,7 +58,7 @@ func main() {
 	fmt.Printf("Kansas City transit packets in the final eighth of the run: %d\n\n", res.KCTransitTail)
 
 	fmt.Println("suspected path-segments:")
-	for _, seg := range res.System.Log.Segments() {
+	for _, seg := range result.Log.Segments() {
 		names := ""
 		for i, id := range seg {
 			if i > 0 {

@@ -5,6 +5,9 @@
 // only dropping when the queue is ≥90% full. No static threshold can catch
 // it (§6.4.3), but χ's queue replay knows the buffer still had room.
 //
+// The phases drive the shared internal/experiments harness, which deploys
+// χ and the threshold baselines through the internal/protocol registry.
+//
 //	go run ./examples/congestion
 package main
 

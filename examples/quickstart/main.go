@@ -1,76 +1,87 @@
 // Quickstart: build a small network, compromise a router, and watch
 // Protocol Πk+2 detect it and the routing fabric route around it.
 //
+// The whole experiment is one declarative scenario spec executed by the
+// internal/protocol runtime — the same path cmd/mrsim -scenario takes.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
-	"math/rand"
+	"log"
 	"time"
 
-	"routerwatch/internal/attack"
-	"routerwatch/internal/detector"
-	"routerwatch/internal/detector/pik2"
-	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
+	_ "routerwatch/internal/protocol/catalog"
 	"routerwatch/internal/routing"
-	"routerwatch/internal/topology"
 )
 
 func main() {
 	// A diamond topology: a—b—d is the short path, a—c—d the detour.
-	g := topology.NewGraph()
-	a, b := g.AddNode("a"), g.AddNode("b")
-	c, d := g.AddNode("c"), g.AddNode("d")
-	fast := topology.LinkAttrs{Bandwidth: 100e6, Delay: 2 * time.Millisecond, QueueLimit: 64 << 10, Cost: 1}
+	fast := protocol.LinkSpec{
+		Bandwidth: 100e6, Delay: protocol.Duration(2 * time.Millisecond),
+		QueueLimit: 64 << 10, Cost: 1,
+	}
 	slow := fast
 	slow.Cost = 5
-	g.AddDuplex(a, b, fast)
-	g.AddDuplex(b, d, fast)
-	g.AddDuplex(a, c, slow)
-	g.AddDuplex(c, d, slow)
+	link := func(attrs protocol.LinkSpec, from, to string) protocol.LinkSpec {
+		attrs.From, attrs.To = from, to
+		return attrs
+	}
 
-	net := network.New(g, network.Options{Seed: 42, ProcessingJitter: 100 * time.Microsecond})
+	spec := &protocol.Spec{
+		Name:     "quickstart-diamond",
+		Protocol: "pik2",
+		// Deploy Πk+2: every router validates the 3-path-segments it ends.
+		Options: protocol.Params{
+			"k": "1", "round": "1s", "timeout": "250ms",
+			"loss-threshold": "2", "fabrication-threshold": "2",
+		},
+		Seed:     42,
+		Duration: protocol.Duration(12 * time.Second),
+		Jitter:   protocol.Duration(100 * time.Microsecond),
+		Topology: protocol.TopologySpec{
+			Kind:  "custom",
+			Nodes: []string{"a", "b", "c", "d"},
+			Links: []protocol.LinkSpec{
+				link(fast, "a", "b"), link(fast, "b", "d"),
+				link(slow, "a", "c"), link(slow, "c", "d"),
+			},
+		},
+		// Routing with the paper's response mechanism: suspected
+		// path-segments are excised from the forwarding fabric.
+		Routing: &protocol.RoutingSpec{
+			Delay: protocol.Duration(time.Second), Hold: protocol.Duration(2 * time.Second),
+			Converge: protocol.Duration(30 * time.Second), Respond: true,
+		},
+		// Compromise b: after t=3s it drops 30% of transit traffic.
+		Attack: &protocol.AttackSpec{
+			Kind: "drop", Node: 1, Rate: 0.3, Seed: 7,
+			Start: protocol.Duration(3 * time.Second),
+		},
+		// Hosts behind a send to hosts behind d.
+		Traffic: []protocol.TrafficSpec{{
+			Kind: "stream", Src: 0, Dst: 3, Count: 10_000,
+			Interval: protocol.Duration(time.Millisecond), Flow: 1,
+		}},
+	}
 
-	// Routing with the paper's response mechanism: suspected path-segments
-	// are excised from the forwarding fabric.
-	routed := routing.Attach(net, routing.Timers{Delay: time.Second, Hold: 2 * time.Second})
-	routed.RunUntilConverged(30 * time.Second)
-
-	// Deploy Πk+2: every router validates the 3-path-segments it ends.
-	log := detector.NewLog()
-	pik2.Attach(net, pik2.Options{
-		K:             1,
-		Round:         time.Second,
-		Timeout:       250 * time.Millisecond,
-		LossThreshold: 2, FabricationThreshold: 2,
-		Sink: detector.LogSink(log),
-		Responder: func(by packet.NodeID, seg topology.Segment) {
-			routed.Daemon(by).AnnounceSuspicion(seg)
+	a, b, d := packet.NodeID(0), packet.NodeID(1), packet.NodeID(3)
+	delivered := 0
+	res, err := protocol.Run(spec, protocol.RunOptions{
+		BeforeRun: func(res *protocol.Result) {
+			res.Net.Router(d).SetLocalHandler(func(*packet.Packet) { delivered++ })
 		},
 	})
-
-	// Compromise b: after t=3s it drops 30% of transit traffic.
-	net.Router(b).SetBehavior(&attack.Dropper{
-		Select: attack.All, P: 0.3,
-		Rng: rand.New(rand.NewSource(7)), Start: 3 * time.Second,
-	})
-
-	// Hosts behind a send to hosts behind d.
-	delivered := 0
-	net.Router(d).SetLocalHandler(func(*packet.Packet) { delivered++ })
-	for i := 0; i < 10_000; i++ {
-		i := i
-		net.Scheduler().At(net.Now()+time.Duration(i)*time.Millisecond, func() {
-			net.Inject(a, &packet.Packet{Dst: d, Size: 500, Flow: 1, Seq: uint32(i), Payload: uint64(i)})
-		})
+	if err != nil {
+		log.Fatal(err)
 	}
-	net.Run(net.Now() + 12*time.Second)
 
 	fmt.Printf("delivered %d of 10000 packets\n\n", delivered)
-	fmt.Printf("suspicions (%d):\n", log.Len())
-	for i, s := range log.All() {
+	fmt.Printf("suspicions (%d):\n", res.Log.Len())
+	for i, s := range res.Log.All() {
 		if i == 6 {
 			fmt.Printf("  ...\n")
 			break
@@ -78,6 +89,7 @@ func main() {
 		fmt.Printf("  %v\n", s)
 	}
 
+	routed := res.Routing
 	fmt.Printf("\nexclusions at router a: %v\n", routed.Daemon(a).Exclusions().Segments())
 
 	// After the response, a's traffic takes the detour a—c—d.

@@ -11,6 +11,9 @@
 //     "cleared" frames a correct downstream pair.
 //
 //     go run ./examples/watchers
+//
+// The tables come from the shared internal/experiments harness, which
+// deploys WATCHERS through the internal/protocol registry.
 package main
 
 import (

@@ -26,6 +26,7 @@ import (
 	"routerwatch/internal/detector/tvinfo"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
 	"routerwatch/internal/queue"
 	"routerwatch/internal/stats"
 	"routerwatch/internal/summary"
@@ -193,7 +194,7 @@ type RoundReport struct {
 
 // Protocol is a running χ deployment.
 type Protocol struct {
-	net    *network.Network
+	env    protocol.Env
 	opts   Options
 	oracle *tvinfo.PathOracle
 
@@ -201,16 +202,22 @@ type Protocol struct {
 	tel        detector.Instruments
 }
 
-// Attach deploys χ validators and reporters for the selected queues.
+// Attach deploys χ on the simulated network; it is AttachEnv over the
+// network's environment adapter.
 func Attach(net *network.Network, opts Options) *Protocol {
+	return AttachEnv(protocol.NewSimEnv(net), opts)
+}
+
+// AttachEnv deploys χ validators and reporters for the selected queues.
+func AttachEnv(env protocol.Env, opts Options) *Protocol {
 	opts.fill()
-	g := net.Graph()
+	g := env.Graph()
 	p := &Protocol{
-		net:        net,
+		env:        env,
 		opts:       opts,
 		oracle:     tvinfo.NewPathOracle(g),
 		validators: make(map[QueueID]*queueValidator),
-		tel:        detector.NewInstruments(net.Telemetry(), "chi"),
+		tel:        detector.NewInstruments(env.Telemetry(), "chi"),
 	}
 	queues := opts.Queues
 	if queues == nil {
@@ -223,6 +230,9 @@ func Attach(net *network.Network, opts Options) *Protocol {
 	}
 	return p
 }
+
+// Round returns the validation interval τ.
+func (p *Protocol) Round() time.Duration { return p.opts.Round }
 
 // Validator returns the validator for a queue (tests, experiments).
 func (p *Protocol) Validator(q QueueID) *Validator {

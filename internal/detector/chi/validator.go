@@ -106,7 +106,7 @@ type redRound struct {
 }
 
 func newQueueValidator(p *Protocol, q QueueID) *queueValidator {
-	g := p.net.Graph()
+	g := p.env.Graph()
 	link, ok := g.Link(q.R, q.RD)
 	if !ok {
 		panic(fmt.Sprintf("chi: no link for %v", q))
@@ -145,51 +145,48 @@ func newQueueValidator(p *Protocol, q QueueID) *queueValidator {
 		inLink, _ := g.Link(rs, q.R)
 		rep := &reporter{v: v, rs: rs, inLink: inLink}
 		v.reporters = append(v.reporters, rep)
-		router := p.net.Router(rs)
-		router.AddTap(rep.onEvent)
+		p.env.Tap(rs, rep.onEvent)
 	}
 
 	// rd records departures from Q: a packet received over ⟨r, rd⟩ exited
 	// Q one transmission + propagation earlier.
-	rdRouter := p.net.Router(q.RD)
-	rdRouter.AddTap(func(ev network.Event) {
+	p.env.Tap(q.RD, func(ev network.Event) {
 		if ev.Kind != network.EvReceive || ev.Peer != q.R {
 			return
 		}
 		exit := ev.Time - link.Delay - link.TransmissionTime(ev.Packet.Size)
-		fp := p.net.Hasher().Fingerprint(ev.Packet)
+		fp := p.env.Hasher().Fingerprint(ev.Packet)
 		v.outs = append(v.outs, summary.TimedEntry{FP: fp, Size: ev.Packet.Size, TS: exit})
 		v.outAvail[fp]++
 		p.tel.Fingerprints.Inc()
 	})
-	rdRouter.HandleControl(KindBatch, v.onBatch)
+	p.env.HandleControl(q.RD, KindBatch, v.onBatch)
 
 	// Learning instrumentation: ground-truth occupancy at r (§6.2.1's
 	// learning period runs in a controlled environment where the real
 	// queue is observable).
 	if p.opts.Learning {
 		v.truthQ = make(map[packet.Fingerprint]int)
-		p.net.Router(q.R).AddTap(func(ev network.Event) {
+		p.env.Tap(q.R, func(ev network.Event) {
 			// Dequeue instants are known exactly to the validator (the
 			// replayed exit time equals the actual transmission start), so
 			// comparing occupancies there measures X = qact − qpred at the
 			// same instant ts, as §6.2.1 defines it.
 			if ev.Kind == network.EvDequeue && ev.Peer == q.RD {
-				v.truthQ[p.net.Hasher().Fingerprint(ev.Packet)] = ev.QueueBytes
+				v.truthQ[p.env.Hasher().Fingerprint(ev.Packet)] = ev.QueueBytes
 			}
 		})
 	}
 
 	// Round machinery: reporters flush at each boundary; the checkpoint
 	// runs µ later at rd.
-	sched := p.net.Scheduler()
-	sched.NewTicker(p.opts.Round, func() {
+	p.env.Every(p.opts.Round, func() {
 		n := v.round
 		v.round++
 		for _, rep := range v.reporters {
 			rep.flush(n)
 		}
-		sched.After(p.opts.Timeout, func() { v.checkpoint(n) })
+		p.env.After(p.opts.Timeout, func() { v.checkpoint(n) })
 	})
 	return v
 }
@@ -206,7 +203,7 @@ func (r *reporter) onEvent(ev network.Event) {
 		return
 	}
 	enq := ev.Time + r.inLink.TransmissionTime(ev.Packet.Size) + r.inLink.Delay
-	fp := r.v.p.net.Hasher().Fingerprint(ev.Packet)
+	fp := r.v.p.env.Hasher().Fingerprint(ev.Packet)
 	r.pending = append(r.pending, summary.TimedEntry{
 		FP: fp, Size: ev.Packet.Size, TS: enq, Flow: ev.Packet.Flow,
 	})
@@ -244,10 +241,10 @@ func (r *reporter) flush(n int) {
 
 	b := &Batch{Queue: r.v.q, Reporter: r.rs, Round: n, Entries: send}
 	body := batchBody(b)
-	b.Sig = r.v.p.net.Auth().Sign(r.rs, body)
+	b.Sig = r.v.p.env.Auth().Sign(r.rs, body)
 	r.v.p.tel.Summaries.Inc()
 	r.v.p.tel.SummaryBytes.Add(int64(len(body)))
-	r.v.p.net.SendControl(&network.ControlMessage{
+	r.v.p.env.SendControl(&network.ControlMessage{
 		From: r.rs, To: r.v.q.RD, Kind: KindBatch, Payload: b,
 	})
 }
@@ -258,7 +255,7 @@ func (v *queueValidator) onBatch(cm *network.ControlMessage) {
 	if !ok || b.Queue != v.q {
 		return
 	}
-	if !v.p.net.Auth().Verify(batchBody(b), b.Sig) || b.Sig.Signer != b.Reporter {
+	if !v.p.env.Auth().Verify(batchBody(b), b.Sig) || b.Sig.Signer != b.Reporter {
 		return
 	}
 	if v.received == nil {
@@ -301,7 +298,7 @@ func (v *queueValidator) checkpoint(n int) {
 		}
 	}
 
-	v.report = RoundReport{Queue: v.q, Round: n, At: v.p.net.Now()}
+	v.report = RoundReport{Queue: v.q, Round: n, At: v.p.env.Now()}
 	horizon := time.Duration(n+1)*v.p.opts.Round - v.guard
 	v.processUntil(horizon)
 	v.finishRound(n)
@@ -604,13 +601,13 @@ func (v *queueValidator) finishRound(n int) {
 		v.p.opts.Observer(v.report)
 	}
 	v.p.tel.Rounds.Inc()
-	v.p.tel.RoundSpan("chi round", n, v.p.opts.Round, v.p.net.Now(), int32(v.q.RD))
+	v.p.tel.RoundSpan("chi round", n, v.p.opts.Round, v.p.env.Now(), int32(v.q.RD))
 }
 
 // suspect raises a suspicion at rd.
 func (v *queueValidator) suspect(seg topology.Segment, kind detector.Kind, conf float64, detail string) {
 	s := detector.Suspicion{
-		By: v.q.RD, Segment: seg, Round: v.round - 1, At: v.p.net.Now(),
+		By: v.q.RD, Segment: seg, Round: v.round - 1, At: v.p.env.Now(),
 		Kind: kind, Confidence: conf, Detail: detail,
 	}
 	v.p.opts.Sink(s)

@@ -35,9 +35,8 @@ type segState struct {
 
 // agent is the per-router Π2 engine.
 type agent struct {
-	p      *Protocol
-	id     packet.NodeID
-	router *network.Router
+	p  *Protocol
+	id packet.NodeID
 
 	segs     map[topology.SegmentKey]*segState
 	segOrder []*segState
@@ -48,15 +47,14 @@ type agent struct {
 	suspected map[topology.SegmentKey]bool
 }
 
-func newAgent(p *Protocol, r *network.Router, monitored []topology.Segment) *agent {
+func newAgent(p *Protocol, id packet.NodeID, monitored []topology.Segment) *agent {
 	a := &agent{
 		p:         p,
-		id:        r.ID(),
-		router:    r,
+		id:        id,
 		segs:      make(map[topology.SegmentKey]*segState),
 		suspected: make(map[topology.SegmentKey]bool),
 	}
-	g := p.net.Graph()
+	g := p.env.Graph()
 	for _, seg := range monitored {
 		pos := -1
 		for i, v := range seg {
@@ -85,17 +83,16 @@ func newAgent(p *Protocol, r *network.Router, monitored []topology.Segment) *age
 		a.segOrder = append(a.segOrder, st)
 	}
 
-	r.AddTap(a.onEvent)
+	p.env.Tap(a.id, a.onEvent)
 	p.flood.Subscribe(a.id, TopicInfo, a.onInfo)
 	p.flood.Subscribe(a.id, TopicAlert, a.onAlert)
 
-	sched := p.net.Scheduler()
 	round := 0
-	sched.NewTicker(p.opts.Round, func() {
+	p.env.Every(p.opts.Round, func() {
 		n := round
 		round++
 		a.publishRound(n)
-		sched.After(p.opts.Settle, func() { a.judgeRound(n) })
+		p.env.After(p.opts.Settle, func() { a.judgeRound(n) })
 	})
 	return a
 }
@@ -145,7 +142,7 @@ func (a *agent) record(st *segState, p *packet.Packet, sinkTS time.Duration) {
 		s = tvinfo.NewSummary(a.p.opts.Policy)
 		st.cur[n] = s
 	}
-	s.RecordTimed(a.p.net.Hasher().Fingerprint(p), p.Size, sinkTS)
+	s.RecordTimed(a.p.env.Hasher().Fingerprint(p), p.Size, sinkTS)
 	a.p.tel.Fingerprints.Inc()
 }
 
@@ -262,7 +259,7 @@ func (a *agent) judgeRound(n int) {
 		}
 	}
 	if len(a.segOrder) > 0 {
-		a.p.tel.RoundSpan("pi2 round", n, a.p.opts.Round, a.p.net.Now(), int32(a.id))
+		a.p.tel.RoundSpan("pi2 round", n, a.p.opts.Round, a.p.env.Now(), int32(a.id))
 	}
 }
 
@@ -283,7 +280,7 @@ func (a *agent) suspect(st *segState, pair topology.Segment, n int, kind detecto
 	}
 	a.suspected[key] = true
 	s := detector.Suspicion{
-		By: a.id, Segment: pair, Round: n, At: a.p.net.Now(),
+		By: a.id, Segment: pair, Round: n, At: a.p.env.Now(),
 		Kind: kind, Confidence: 1, Detail: detail,
 	}
 	a.p.opts.Sink(s)
@@ -324,7 +321,7 @@ func (a *agent) onAlert(m consensus.Msg) {
 	}
 	a.suspected[key] = true
 	s := detector.Suspicion{
-		By: a.id, Segment: ev.Pair, Round: ev.Round, At: a.p.net.Now(),
+		By: a.id, Segment: ev.Pair, Round: ev.Round, At: a.p.env.Now(),
 		Kind: ev.Kind, Confidence: 1,
 		Detail: fmt.Sprintf("announced by %v: %s", ev.Announce, ev.Detail),
 	}
@@ -337,7 +334,7 @@ func (a *agent) onAlert(m consensus.Msg) {
 
 // verifyEvidence checks the two signed summaries and re-runs TV.
 func (a *agent) verifyEvidence(ev *AlertEvidence) bool {
-	au := a.p.net.Auth()
+	au := a.p.env.Auth()
 	inst := infoInstance(topology.Key(ev.Seg), ev.Round)
 	for _, m := range []consensus.Msg{ev.Up, ev.Dn} {
 		if m.Topic != TopicInfo || m.Instance != inst {

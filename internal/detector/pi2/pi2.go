@@ -28,6 +28,7 @@ import (
 	"routerwatch/internal/detector/tvinfo"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
 	"routerwatch/internal/topology"
 )
 
@@ -84,7 +85,7 @@ type Corruptor func(seg topology.Segment, round int, s *tvinfo.Summary) *tvinfo.
 
 // Protocol is a running Π2 deployment.
 type Protocol struct {
-	net    *network.Network
+	env    protocol.Env
 	opts   Options
 	flood  *consensus.Service
 	oracle *tvinfo.PathOracle
@@ -92,26 +93,35 @@ type Protocol struct {
 	tel    detector.Instruments
 }
 
-// Attach deploys Π2 on every router.
+// Attach deploys Π2 on every router of the simulated network; it is
+// AttachEnv over the network's environment adapter.
 func Attach(net *network.Network, opts Options) *Protocol {
+	return AttachEnv(protocol.NewSimEnv(net), opts)
+}
+
+// AttachEnv deploys Π2 on every router of the environment.
+func AttachEnv(env protocol.Env, opts Options) *Protocol {
 	opts.fill()
-	g := net.Graph()
+	g := env.Graph()
 	paths := g.AllPairsPaths()
 	pr, _ := topology.MonitorSets(paths, opts.K, topology.ModeNodes)
 
 	p := &Protocol{
-		net:    net,
+		env:    env,
 		opts:   opts,
-		flood:  consensus.NewService(net),
+		flood:  env.Flood(),
 		oracle: tvinfo.NewPathOracle(g),
 		agents: make(map[packet.NodeID]*agent),
-		tel:    detector.NewInstruments(net.Telemetry(), "pi2"),
+		tel:    detector.NewInstruments(env.Telemetry(), "pi2"),
 	}
-	for _, r := range net.Routers() {
-		p.agents[r.ID()] = newAgent(p, r, pr[r.ID()])
+	for _, id := range env.Nodes() {
+		p.agents[id] = newAgent(p, id, pr[id])
 	}
 	return p
 }
+
+// Round returns the validation interval τ.
+func (p *Protocol) Round() time.Duration { return p.opts.Round }
 
 // SetCorruptor installs protocol-faulty reporting at router r.
 func (p *Protocol) SetCorruptor(r packet.NodeID, c Corruptor) { p.agents[r].corrupt = c }

@@ -45,9 +45,8 @@ type segState struct {
 
 // agent is the per-router protocol engine.
 type agent struct {
-	p      *Protocol
-	id     packet.NodeID
-	router *network.Router
+	p  *Protocol
+	id packet.NodeID
 
 	segs     map[topology.SegmentKey]*segState
 	segOrder []*segState
@@ -62,15 +61,14 @@ type agent struct {
 	bytesSent int64
 }
 
-func newAgent(p *Protocol, r *network.Router, monitored []topology.Segment) *agent {
+func newAgent(p *Protocol, id packet.NodeID, monitored []topology.Segment) *agent {
 	a := &agent{
 		p:         p,
-		id:        r.ID(),
-		router:    r,
+		id:        id,
 		segs:      make(map[topology.SegmentKey]*segState),
 		suspected: make(map[topology.SegmentKey]bool),
 	}
-	g := p.net.Graph()
+	g := p.env.Graph()
 	for _, seg := range monitored {
 		st := &segState{
 			seg:       seg,
@@ -92,7 +90,7 @@ func newAgent(p *Protocol, r *network.Router, monitored []topology.Segment) *age
 			}
 		}
 		if f := p.opts.Sampling; f > 0 && f < 1 {
-			k0, k1 := p.net.Auth().SamplingKeys(seg[0], seg[len(seg)-1])
+			k0, k1 := p.env.Auth().SamplingKeys(seg[0], seg[len(seg)-1])
 			st.sample = summary.SampleRange{K0: k0, K1: k1, Fraction: f}
 		} else {
 			st.sample = summary.SampleRange{Fraction: 1}
@@ -101,18 +99,17 @@ func newAgent(p *Protocol, r *network.Router, monitored []topology.Segment) *age
 		a.segOrder = append(a.segOrder, st)
 	}
 
-	r.AddTap(a.onEvent)
-	r.HandleControl(KindSummary, a.onSummary)
+	p.env.Tap(a.id, a.onEvent)
+	p.env.HandleControl(a.id, KindSummary, a.onSummary)
 	p.flood.Subscribe(a.id, TopicAlert, a.onAlert)
 
 	// Round ticks: snapshot/exchange at each boundary, judge at boundary+µ.
-	sched := p.net.Scheduler()
 	round := 0
-	sched.NewTicker(p.opts.Round, func() {
+	p.env.Every(p.opts.Round, func() {
 		n := round
 		round++
 		a.exchangeRound(n)
-		sched.After(p.opts.Timeout, func() { a.judgeRound(n) })
+		p.env.After(p.opts.Timeout, func() { a.judgeRound(n) })
 	})
 	return a
 }
@@ -160,7 +157,7 @@ func (a *agent) onEvent(ev network.Event) {
 }
 
 func (a *agent) record(st *segState, p *packet.Packet, sinkTS time.Duration) {
-	fp := a.p.net.Hasher().Fingerprint(p)
+	fp := a.p.env.Hasher().Fingerprint(p)
 	if !st.sample.Selects(fp) {
 		return
 	}
@@ -199,7 +196,7 @@ func (a *agent) exchangeRound(n int) {
 			msg.Summary = s
 		}
 		a.p.bodyBuf = appendSignedBody(a.p.bodyBuf[:0], msg)
-		msg.Sig = a.p.net.Auth().Sign(a.id, a.p.bodyBuf)
+		msg.Sig = a.p.env.Auth().Sign(a.id, a.p.bodyBuf)
 		wire := int64(msg.WireBytes())
 		a.bytesSent += wire
 		a.p.tel.Summaries.Inc()
@@ -213,7 +210,7 @@ func (a *agent) exchangeRound(n int) {
 				path[i], path[j] = path[j], path[i]
 			}
 		}
-		a.p.net.SendControl(&network.ControlMessage{
+		a.p.env.SendControl(&network.ControlMessage{
 			From: a.id, To: st.peer, Kind: KindSummary,
 			Payload: msg, Path: path,
 		})
@@ -238,7 +235,7 @@ func (a *agent) onSummary(cm *network.ControlMessage) {
 		return
 	}
 	a.p.bodyBuf = appendSignedBody(a.p.bodyBuf[:0], msg)
-	if !a.p.net.Auth().Verify(a.p.bodyBuf, msg.Sig) || msg.Sig.Signer != msg.From {
+	if !a.p.env.Auth().Verify(a.p.bodyBuf, msg.Sig) || msg.Sig.Signer != msg.From {
 		return
 	}
 	st.peerMsgs[msg.Round] = msg
@@ -285,7 +282,7 @@ func (a *agent) judgeRound(n int) {
 		}
 	}
 	if len(a.segOrder) > 0 {
-		a.p.tel.RoundSpan("pik2 round", n, a.p.opts.Round, a.p.net.Now(), int32(a.id))
+		a.p.tel.RoundSpan("pik2 round", n, a.p.opts.Round, a.p.env.Now(), int32(a.id))
 	}
 }
 
@@ -361,7 +358,7 @@ func (a *agent) suspect(st *segState, round int, kind detector.Kind, conf float6
 	a.suspected[st.key] = true
 	s := detector.Suspicion{
 		By: a.id, Segment: st.seg, Round: round,
-		At: a.p.net.Now(), Kind: kind, Confidence: conf, Detail: detail,
+		At: a.p.env.Now(), Kind: kind, Confidence: conf, Detail: detail,
 	}
 	a.p.opts.Sink(s)
 	a.p.tel.ObserveSuspicion(s, detector.RoundEnd(round, a.p.opts.Round))
@@ -392,7 +389,7 @@ func (a *agent) onAlert(m consensus.Msg) {
 	}
 	a.suspected[key] = true
 	s := detector.Suspicion{
-		By: a.id, Segment: seg, Round: round, At: a.p.net.Now(),
+		By: a.id, Segment: seg, Round: round, At: a.p.env.Now(),
 		Kind: detector.KindTrafficValidation, Confidence: 1,
 		Detail: fmt.Sprintf("announced by %v", by),
 	}

@@ -24,6 +24,7 @@ import (
 	"routerwatch/internal/detector/tvinfo"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
 	"routerwatch/internal/summary"
 	"routerwatch/internal/topology"
 )
@@ -141,7 +142,7 @@ type Corruptor func(seg topology.Segment, round int, s *Summary) *Summary
 
 // Protocol is a running Πk+2 deployment.
 type Protocol struct {
-	net    *network.Network
+	env    protocol.Env
 	opts   Options
 	flood  *consensus.Service
 	oracle *PathOracle
@@ -155,25 +156,31 @@ type Protocol struct {
 	bodyBuf []byte
 }
 
-// Attach deploys Πk+2 on every router of the network. Monitored segments
-// are derived from the deterministic routing paths of the current topology
-// (§4.1: paths are predictable in the stable state).
+// Attach deploys Πk+2 on every router of the simulated network; it is
+// AttachEnv over the network's environment adapter.
 func Attach(net *network.Network, opts Options) *Protocol {
+	return AttachEnv(protocol.NewSimEnv(net), opts)
+}
+
+// AttachEnv deploys Πk+2 on every router of the environment. Monitored
+// segments are derived from the deterministic routing paths of the current
+// topology (§4.1: paths are predictable in the stable state).
+func AttachEnv(env protocol.Env, opts Options) *Protocol {
 	opts.fill()
-	g := net.Graph()
+	g := env.Graph()
 	paths := g.AllPairsPaths()
 	pr, _ := topology.MonitorSets(paths, opts.K, topology.ModeEnds)
 
 	p := &Protocol{
-		net:    net,
+		env:    env,
 		opts:   opts,
-		flood:  consensus.NewService(net),
+		flood:  env.Flood(),
 		oracle: NewPathOracle(g),
 		agents: make(map[packet.NodeID]*agent),
-		tel:    detector.NewInstruments(net.Telemetry(), "pik2"),
+		tel:    detector.NewInstruments(env.Telemetry(), "pik2"),
 	}
-	for _, r := range net.Routers() {
-		p.agents[r.ID()] = newAgent(p, r, pr[r.ID()])
+	for _, id := range env.Nodes() {
+		p.agents[id] = newAgent(p, id, pr[id])
 	}
 	return p
 }
@@ -184,8 +191,13 @@ func Attach(net *network.Network, opts Options) *Protocol {
 // choices the routers make, so both segment ends classify every packet
 // identically.
 func AttachECMP(net *network.Network, e *topology.ECMP, flows []packet.FlowID, opts Options) *Protocol {
+	return AttachECMPEnv(protocol.NewSimEnv(net), e, flows, opts)
+}
+
+// AttachECMPEnv is AttachECMP for any environment backend.
+func AttachECMPEnv(env protocol.Env, e *topology.ECMP, flows []packet.FlowID, opts Options) *Protocol {
 	opts.fill()
-	g := net.Graph()
+	g := env.Graph()
 	pathSet := make(map[string]topology.Path)
 	for _, src := range g.Nodes() {
 		for _, dst := range g.Nodes() {
@@ -211,15 +223,15 @@ func AttachECMP(net *network.Network, e *topology.ECMP, flows []packet.FlowID, o
 	pr, _ := topology.MonitorSets(paths, opts.K, topology.ModeEnds)
 
 	p := &Protocol{
-		net:    net,
+		env:    env,
 		opts:   opts,
-		flood:  consensus.NewService(net),
+		flood:  env.Flood(),
 		oracle: tvinfo.NewECMPPathOracle(e),
 		agents: make(map[packet.NodeID]*agent),
-		tel:    detector.NewInstruments(net.Telemetry(), "pik2"),
+		tel:    detector.NewInstruments(env.Telemetry(), "pik2"),
 	}
-	for _, r := range net.Routers() {
-		p.agents[r.ID()] = newAgent(p, r, pr[r.ID()])
+	for _, id := range env.Nodes() {
+		p.agents[id] = newAgent(p, id, pr[id])
 	}
 	return p
 }
@@ -254,6 +266,9 @@ func (p *Protocol) reconcilePoints() []uint64 {
 	}
 	return p.recPts
 }
+
+// Round returns the validation interval τ.
+func (p *Protocol) Round() time.Duration { return p.opts.Round }
 
 // BandwidthBytes returns the total summary-exchange payload bytes sent by
 // all routers so far (§5.2.1/§7 overhead accounting).

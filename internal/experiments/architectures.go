@@ -15,6 +15,8 @@ import (
 	"routerwatch/internal/detector/tvinfo"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
+	"routerwatch/internal/protocol/catalog"
 	"routerwatch/internal/topology"
 )
 
@@ -82,24 +84,26 @@ func RunArchitectures(seed int64) *ArchitecturesResult {
 		res.Rows = append(res.Rows, row)
 	}
 
+	// Every architecture deploys through the protocol registry — the point
+	// of the comparison is that they are all instances of one framework.
 	// Centralized replica (Fig 2.1): the ideal reference.
 	{
 		net := buildNet(seed)
-		log := detector.NewLog()
-		replica.Attach(net, faulty, replica.Options{
-			Round: 500 * time.Millisecond, Tolerance: 3, Sink: detector.LogSink(log),
-		})
+		hooks, log := protocol.LogHooks()
+		protocol.MustAttach(protocol.NewSimEnv(net), "replica", catalog.ReplicaConfig{
+			Observed: faulty,
+			Options:  replica.Options{Round: 500 * time.Millisecond, Tolerance: 3},
+		}, hooks)
 		drive(net)
 		judge("centralized replica (Fig 2.1)", "active replication", log)
 	}
 	// Per router (Fig 2.2/3.2): WATCHERS.
 	{
 		net := buildNet(seed + 1)
-		log := detector.NewLog()
-		baseline.AttachWatchers(net, baseline.WatchersOptions{
+		hooks, log := protocol.LogHooks()
+		protocol.MustAttach(protocol.NewSimEnv(net), "watchers", baseline.WatchersOptions{
 			Round: 500 * time.Millisecond, Threshold: 5000, Fixed: true,
-			Sink: detector.LogSink(log),
-		})
+		}, hooks)
 		drive(net)
 		judge("per router (Fig 2.2)", "WATCHERS (fixed)", log)
 	}
@@ -107,10 +111,10 @@ func RunArchitectures(seed int64) *ArchitecturesResult {
 	{
 		// Learning pass.
 		lnet := buildNet(seed + 100)
-		lproto := chi.Attach(lnet, chi.Options{
+		linst := protocol.MustAttach(protocol.NewSimEnv(lnet), "chi", chi.Options{
 			Learning: true, Round: 500 * time.Millisecond,
 			Queues: []chi.QueueID{{R: faulty, RD: 3}},
-		})
+		}, protocol.Hooks{})
 		for i := 0; i < 4000; i++ {
 			i := i
 			lnet.Scheduler().At(time.Duration(i)*time.Millisecond+time.Microsecond, func() {
@@ -118,40 +122,38 @@ func RunArchitectures(seed int64) *ArchitecturesResult {
 			})
 		}
 		lnet.Run(4 * time.Second)
-		cal := lproto.Validator(chi.QueueID{R: faulty, RD: 3}).Calibrate()
+		cal := linst.Engine().(*chi.Protocol).Validator(chi.QueueID{R: faulty, RD: 3}).Calibrate()
 
 		net := buildNet(seed + 2)
-		log := detector.NewLog()
-		chi.Attach(net, chi.Options{
+		hooks, log := protocol.LogHooks()
+		protocol.MustAttach(protocol.NewSimEnv(net), "chi", chi.Options{
 			Round: 500 * time.Millisecond, Calibration: cal,
 			SingleThreshold: 0.999, CombinedThreshold: 0.99,
 			FabricationTolerance: 2,
 			Queues:               []chi.QueueID{{R: faulty, RD: 3}},
-			Sink:                 detector.LogSink(log),
-		})
+		}, hooks)
 		drive(net)
 		judge("per interface (Fig 2.3)", "Protocol χ", log)
 	}
 	// Per path-segment ends (Fig 2.4): Πk+2.
 	{
 		net := buildNet(seed + 3)
-		log := detector.NewLog()
-		pik2.Attach(net, pik2.Options{
+		hooks, log := protocol.LogHooks()
+		protocol.MustAttach(protocol.NewSimEnv(net), "pik2", pik2.Options{
 			K: 1, Round: 500 * time.Millisecond, Timeout: 100 * time.Millisecond,
-			LossThreshold: 2, FabricationThreshold: 2, Sink: detector.LogSink(log),
-		})
+			LossThreshold: 2, FabricationThreshold: 2,
+		}, hooks)
 		drive(net)
 		judge("per path-segment ends (Fig 2.4)", "Protocol Πk+2", log)
 	}
 	// Per path-segment nodes (Fig 2.5): Π2.
 	{
 		net := buildNet(seed + 4)
-		log := detector.NewLog()
-		pi2.Attach(net, pi2.Options{
+		hooks, log := protocol.LogHooks()
+		protocol.MustAttach(protocol.NewSimEnv(net), "pi2", pi2.Options{
 			K: 1, Round: 500 * time.Millisecond, Settle: 150 * time.Millisecond,
 			Thresholds: tvinfo.Thresholds{Loss: 2, Fabrication: 2},
-			Sink:       detector.LogSink(log),
-		})
+		}, hooks)
 		drive(net)
 		judge("per path-segment nodes (Fig 2.5)", "Protocol Π2", log)
 	}

@@ -10,6 +10,7 @@ import (
 	"routerwatch/internal/detector/chi"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
 	"routerwatch/internal/queue"
 	"routerwatch/internal/stats"
 	"routerwatch/internal/tcpsim"
@@ -77,8 +78,8 @@ func buildChiNet(seed int64, opts chi.Options, red bool) (*network.Network, *top
 	net := network.New(st.Graph, netOpts)
 	opts.Queues = []chi.QueueID{{R: st.R, RD: st.RD}}
 	opts.RED = redCfg
-	proto := chi.Attach(net, opts)
-	return net, st, proto
+	inst := protocol.MustAttach(protocol.NewSimEnv(net), "chi", opts, protocol.Hooks{})
+	return net, st, inst.Engine().(*chi.Protocol)
 }
 
 func startFlows(man *tcpsim.Manager, st *topology.SimpleChiTopology, n int) []*tcpsim.Flow {

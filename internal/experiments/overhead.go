@@ -8,6 +8,7 @@ import (
 	"routerwatch/internal/detector/pik2"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
 	"routerwatch/internal/summary"
 	"routerwatch/internal/topology"
 )
@@ -55,11 +56,11 @@ func SummarySizeTable(packetsPerRound []int, reconcileBudget int) *Table {
 func ExchangeBandwidthTable(seed int64) *Table {
 	run := func(mode pik2.ExchangeMode) int64 {
 		net := network.New(topology.Line(3), network.Options{Seed: seed})
-		p := pik2.Attach(net, pik2.Options{
+		inst := protocol.MustAttach(protocol.NewSimEnv(net), "pik2", pik2.Options{
 			K: 1, Round: 500 * time.Millisecond, Timeout: 100 * time.Millisecond,
 			LossThreshold: 2, FabricationThreshold: 2, Exchange: mode,
-			Sink: func(detector.Suspicion) {},
-		})
+		}, protocol.Hooks{Sink: func(detector.Suspicion) {}})
+		p := inst.Engine().(*pik2.Protocol)
 		for i := 0; i < 3000; i++ {
 			i := i
 			net.Scheduler().At(time.Duration(i)*time.Millisecond+time.Microsecond, func() {

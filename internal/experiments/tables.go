@@ -9,6 +9,8 @@ import (
 	"routerwatch/internal/detector"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
+	"routerwatch/internal/protocol/catalog"
 	"routerwatch/internal/tcpsim"
 	"routerwatch/internal/topology"
 )
@@ -43,9 +45,12 @@ func RunChiVsThreshold(seed int64) *ChiVsThresholdResult {
 	runMonitor := func(threshold int, attacked bool) (*baseline.QueueMonitor, *attack.Dropper) {
 		st := topology.SimpleChi(3, 2)
 		net := network.New(st.Graph, network.Options{Seed: seed, ProcessingJitter: 2 * time.Millisecond})
-		mon := baseline.AttachQueueMonitor(net, st.R, st.RD, baseline.QueueMonitorOptions{
-			Mode: baseline.ModeStatic, StaticThreshold: threshold,
-		})
+		mon := protocol.MustAttach(protocol.NewSimEnv(net), "queue-monitor", catalog.QueueMonitorConfig{
+			R: st.R, RD: st.RD,
+			Options: baseline.QueueMonitorOptions{
+				Mode: baseline.ModeStatic, StaticThreshold: threshold,
+			},
+		}, protocol.Hooks{}).Engine().(*baseline.QueueMonitor)
 		man := tcpsim.NewManager(net)
 		var flows []*tcpsim.Flow
 		for i := 0; i < 3; i++ {
@@ -140,11 +145,10 @@ func WatchersFlawTable(seed int64) *Table {
 	run := func(fixed bool) (detected bool, accurate bool) {
 		g, ids := consortingTopology()
 		net := network.New(g, network.Options{Seed: seed})
-		log := detector.NewLog()
-		w := baseline.AttachWatchers(net, baseline.WatchersOptions{
+		hooks, log := protocol.LogHooks()
+		w := protocol.MustAttach(protocol.NewSimEnv(net), "watchers", baseline.WatchersOptions{
 			Round: 500 * time.Millisecond, Threshold: 5000, Fixed: fixed,
-			Sink: detector.LogSink(log),
-		})
+		}, hooks).Engine().(*baseline.Watchers)
 		sel := attack.And(attack.ByDst(ids["e"]), attack.All)
 		net.Router(ids["c"]).SetBehavior(&attack.Dropper{Select: sel, P: 1})
 		net.Router(ids["d"]).SetBehavior(&attack.Dropper{Select: sel, P: 1})

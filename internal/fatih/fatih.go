@@ -14,6 +14,7 @@ import (
 	"routerwatch/internal/detector/pik2"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
 	"routerwatch/internal/routing"
 	"routerwatch/internal/topology"
 )
@@ -95,6 +96,7 @@ type RerouteEvent struct {
 // Deploy attaches the full Fatih stack to the network.
 func Deploy(net *network.Network, opts Options) *System {
 	opts.fill()
+	env := protocol.NewSimEnv(net)
 	s := &System{Net: net, Log: detector.NewLog(), opts: opts}
 
 	// Time synchronization (§5.3.1): NTP keeps router clocks within a few
@@ -123,7 +125,7 @@ func Deploy(net *network.Network, opts Options) *System {
 			dirty = true
 		})
 	}
-	net.Scheduler().NewTicker(time.Second, func() {
+	env.Every(time.Second, func() {
 		if !dirty {
 			return
 		}
@@ -133,7 +135,7 @@ func Deploy(net *network.Network, opts Options) *System {
 
 	// The Coordinator + Traffic Validators: Πk+2 with the response loop
 	// wired into the routing daemons.
-	s.Detector = pik2.Attach(net, pik2.Options{
+	s.Detector = pik2.AttachEnv(env, pik2.Options{
 		K:                    opts.K,
 		Round:                opts.Round,
 		Timeout:              opts.Timeout,

@@ -191,6 +191,11 @@ func (n *Network) Now() time.Duration { return n.sched.Now() }
 // Graph returns the topology.
 func (n *Network) Graph() *topology.Graph { return n.graph }
 
+// Seed returns the base seed the network was built with. Protocol layers
+// derive their own RNG streams from it (sim.DeriveSeed) instead of holding
+// private seed copies, which keeps replay deterministic across backends.
+func (n *Network) Seed() int64 { return n.opts.Seed }
+
 // Auth returns the key-distribution authority shared by all routers.
 func (n *Network) Auth() *auth.Authority { return n.auth }
 

@@ -1,0 +1,33 @@
+// Package catalog registers every detection protocol with the
+// internal/protocol registry, following the database/sql driver pattern:
+// the runtime package defines the Descriptor contract and never imports a
+// protocol package; this package imports all of them and registers their
+// adapters from init(). Callers that construct protocols by name
+// blank-import it:
+//
+//	import _ "routerwatch/internal/protocol/catalog"
+//
+// Each adapter translates between the runtime's textual Params and the
+// protocol's native typed Options, merges the runtime Hooks into the
+// options' sinks (never replacing caller-supplied ones), and wraps the
+// attached engine as a protocol.Instance.
+package catalog
+
+import (
+	"fmt"
+
+	"routerwatch/internal/network"
+	"routerwatch/internal/protocol"
+)
+
+// simNetwork unwraps the simulated network behind an Env, for protocols
+// and baselines whose implementation is still simulator-only (WATCHERS'
+// counter model, the replica's shadow queues, queue monitors reading
+// ground truth).
+func simNetwork(env protocol.Env, name string) (*network.Network, error) {
+	type backed interface{ Network() *network.Network }
+	if b, ok := env.(backed); ok {
+		return b.Network(), nil
+	}
+	return nil, fmt.Errorf("protocol %q requires a simulator-backed environment", name)
+}

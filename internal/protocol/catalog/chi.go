@@ -1,0 +1,192 @@
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"routerwatch/internal/attack"
+	"routerwatch/internal/detector/chi"
+	"routerwatch/internal/network"
+	"routerwatch/internal/protocol"
+	"routerwatch/internal/tcpsim"
+	"routerwatch/internal/telemetry"
+)
+
+func init() {
+	protocol.Register(protocol.Descriptor{
+		Name:         "chi",
+		Summary:      "χ (Ch. 6): queue replay + statistical loss attribution, no static congestion threshold",
+		ParseOptions: parseChiOptions,
+		Attach:       attachChi,
+		Scenario:     runChiScenario,
+		DefaultSpec:  chiDefaultSpec,
+	})
+}
+
+func parseChiOptions(p protocol.Params) (any, error) {
+	d := protocol.NewParamDecoder(p)
+	o := chi.Options{
+		Round:                d.Duration("round", 0),
+		Timeout:              d.Duration("timeout", 0),
+		SingleThreshold:      d.Float("single-threshold", 0),
+		CombinedThreshold:    d.Float("combined-threshold", 0),
+		FabricationTolerance: d.Int("fabrication-tolerance", 0),
+		Learning:             d.Bool("learning", false),
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func attachChi(env protocol.Env, opts any, hooks protocol.Hooks) (protocol.Instance, error) {
+	var o chi.Options
+	if opts != nil {
+		var ok bool
+		if o, ok = opts.(chi.Options); !ok {
+			return nil, fmt.Errorf("chi: options are %T, want chi.Options", opts)
+		}
+	}
+	o.Sink = protocol.MergeSink(o.Sink, hooks.Sink)
+	o.Responder = protocol.MergeResponder(o.Responder, hooks.Responder)
+	p := chi.AttachEnv(env, o)
+	return protocol.NewInstance(protocol.Info{
+		Name: "chi", Round: p.Round(), Log: hooks.Log,
+		Telemetry: env.Telemetry(), Engine: p,
+	}), nil
+}
+
+// runChiScenario is χ's canonical end-to-end scenario (Fig 6.4 topology):
+// a learning pass estimates the queue-prediction-error distribution
+// (§6.2.1), then the calibrated detector watches TCP traffic through the
+// validated queue under the spec's attack. The generic runner cannot
+// express it because of the two-pass calibration and the TCP sources.
+func runChiScenario(spec *protocol.Spec, run protocol.RunOptions) (*protocol.Result, error) {
+	st := spec.Topology.BuildChi()
+	jitter := spec.Jitter.D()
+	if jitter == 0 {
+		jitter = 2 * time.Millisecond
+	}
+	nSrc, nSink := len(st.Sources), len(st.Sinks)
+
+	buildNet := func(seed int64, opts chi.Options, hooks protocol.Hooks, tel *telemetry.Set) (*network.Network, *protocol.SimEnv, protocol.Instance, *tcpsim.Manager, error) {
+		net := network.New(st.Graph, network.Options{
+			Seed: seed, ProcessingJitter: jitter, Telemetry: tel,
+		})
+		env := protocol.NewSimEnv(net)
+		opts.Queues = []chi.QueueID{{R: st.R, RD: st.RD}}
+		inst, err := attachChi(env, opts, hooks)
+		return net, env, inst, tcpsim.NewManager(net), err
+	}
+	startFlows := func(man *tcpsim.Manager) []*tcpsim.Flow {
+		flows := make([]*tcpsim.Flow, 0, nSrc)
+		for i := 0; i < nSrc; i++ {
+			flows = append(flows, man.StartFlow(tcpsim.FlowConfig{
+				Src: st.Sources[i], Dst: st.Sinks[i%nSink],
+				Start: time.Duration(i) * 200 * time.Millisecond,
+			}))
+		}
+		return flows
+	}
+
+	progress := run.Progress
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+
+	// The learning run is calibration machinery, not the scenario under
+	// observation: it runs uninstrumented.
+	progress("learning period (60 s simulated)...\n")
+	lnet, _, linst, lman, err := buildNet(spec.Seed,
+		chi.Options{Learning: true, Round: time.Second}, protocol.Hooks{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	startFlows(lman)
+	lnet.Run(60 * time.Second)
+	cal := linst.Engine().(*chi.Protocol).Validator(chi.QueueID{R: st.R, RD: st.RD}).Calibrate()
+	progress("calibrated: mu=%.0f sigma=%.0f\n", cal.Mu, cal.Sigma)
+
+	hooks := run.Hooks
+	var res protocol.Result
+	if hooks.Log == nil && hooks.Sink == nil && hooks.Responder == nil {
+		hooks, res.Log = protocol.LogHooks()
+	} else {
+		res.Log = hooks.Log
+	}
+	net, env, inst, man, err := buildNet(spec.Seed+1, chi.Options{
+		Round: time.Second, Calibration: cal,
+		SingleThreshold: 0.999, CombinedThreshold: 0.99,
+		FabricationTolerance: 2,
+	}, hooks, run.Telemetry)
+	if err != nil {
+		return nil, err
+	}
+	res.Spec, res.Env, res.Net, res.Instance = spec, env, net, inst
+	res.Faulty, res.Extra = -1, cal
+	flows := startFlows(man)
+
+	attackAt := 10 * time.Second
+	kind, rate := "none", 0.0
+	aseed := spec.Seed
+	if a := spec.Attack; a != nil {
+		kind, rate = a.Kind, a.Rate
+		if a.Start != 0 {
+			attackAt = a.Start.D()
+		}
+		if a.Seed != 0 {
+			aseed = a.Seed
+		}
+	}
+	net.Run(attackAt)
+	switch kind {
+	case "drop":
+		net.Router(st.R).SetBehavior(&attack.Dropper{
+			Select: attack.And(attack.ByFlow(flows[0].ID()), attack.DataOnly),
+			P:      rate, Rng: rand.New(rand.NewSource(aseed)), Start: attackAt,
+		})
+		res.Faulty = st.R
+	case "masked90":
+		net.Router(st.R).SetBehavior(&attack.Dropper{
+			Select: attack.And(attack.ByFlow(flows[1].ID()), attack.DataOnly),
+			P:      1, MinQueueFrac: 0.9, Start: attackAt,
+		})
+		res.Faulty = st.R
+	case "syn":
+		net.Router(st.R).SetBehavior(&attack.Dropper{Select: attack.SYNOnly, P: 1, Start: attackAt})
+		man.StartFlow(tcpsim.FlowConfig{
+			Src: st.Sources[nSrc-1], Dst: st.Sinks[0],
+			Start: attackAt + 500*time.Millisecond, MaxPackets: 10,
+		})
+		res.Faulty = st.R
+	case "", "none":
+	default:
+		return nil, fmt.Errorf("attack %q not available for chi", kind)
+	}
+	dur := spec.Duration.D()
+	if dur < 30*time.Second {
+		dur = 30 * time.Second
+	}
+	if run.BeforeRun != nil {
+		run.BeforeRun(&res)
+	}
+	net.Run(dur)
+	return &res, nil
+}
+
+func chiDefaultSpec(seed int64, clean bool) *protocol.Spec {
+	spec := &protocol.Spec{
+		Name:     "chi-simple",
+		Protocol: "chi",
+		Seed:     seed,
+		Duration: protocol.Duration(30 * time.Second),
+		Topology: protocol.TopologySpec{Kind: "simple-chi", N: 3, M: 2},
+	}
+	if !clean {
+		// Node is informational here: the scenario always compromises the
+		// topology's validated router R.
+		spec.Attack = &protocol.AttackSpec{Kind: "drop", Rate: 0.2}
+	}
+	return spec
+}

@@ -1,0 +1,140 @@
+package catalog
+
+import (
+	"testing"
+	"time"
+
+	"routerwatch/internal/detector"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
+)
+
+// accuracyBound is the a-Accuracy precision bound (§4.2.2) each protocol
+// claims: replica pinpoints one router, Π2/WATCHERS/χ name pairs (χ's
+// queue suspicion spans ⟨R−1, R, RD⟩), Πk+2 and Fatih name k+2 = 3
+// segment ends.
+var accuracyBound = map[string]int{
+	"pi2":      2,
+	"watchers": 2,
+	"chi":      3,
+	"pik2":     3,
+	"fatih":    3,
+}
+
+// floods marks the protocols whose suspicions reach every correct router
+// (Π2/Πk+2 flood via the consensus service, Fatih via link-state
+// announcements) — only they owe strong completeness. WATCHERS and χ make
+// local detections.
+var floods = map[string]bool{"pi2": true, "pik2": true, "fatih": true}
+
+// TestRegistryCoversPaperProtocols pins the acceptance criterion that the
+// dissertation's four detection protocols are constructible by name.
+func TestRegistryCoversPaperProtocols(t *testing.T) {
+	for _, name := range []string{"pi2", "pik2", "chi", "watchers", "fatih"} {
+		if _, err := protocol.Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+}
+
+// trimmed returns the protocol's canonical scenario, shortened where that
+// loses nothing: the line protocols detect a 30% dropper within a few
+// rounds of its t=5s start, and Fatih's timeline is settled well before
+// the canonical 240s mark (attack at 117s, reroute within seconds).
+func trimmed(d protocol.Descriptor, seed int64, clean bool) *protocol.Spec {
+	spec := d.DefaultSpec(seed, clean)
+	switch spec.Topology.Kind {
+	case "line":
+		spec.Duration = protocol.Duration(15 * time.Second)
+		for i := range spec.Traffic {
+			spec.Traffic[i].Count = int(spec.Duration.D().Seconds() * 500)
+		}
+	case "abilene":
+		if clean {
+			spec.Duration = protocol.Duration(90 * time.Second)
+		} else {
+			spec.Duration = protocol.Duration(150 * time.Second)
+		}
+	}
+	return spec
+}
+
+// TestConformance is the refactor's regression net: every registered
+// protocol with a canonical scenario runs it clean and under a single
+// dropping router, and the §4.2.2 property checkers judge the suspicion
+// log — no false accusations ever, the faulty router implicated within
+// the precision bound when attacked, and strong completeness for the
+// flooding protocols.
+func TestConformance(t *testing.T) {
+	ran := 0
+	for _, name := range protocol.Names() {
+		d, err := protocol.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.DefaultSpec == nil {
+			// replica and queue-monitor are deployment-bound baselines
+			// (they watch one configured router/queue); they have no
+			// self-contained canonical scenario.
+			continue
+		}
+		ran++
+		bound, ok := accuracyBound[name]
+		if !ok {
+			t.Fatalf("protocol %q has a DefaultSpec but no accuracy bound registered in this test", name)
+		}
+
+		t.Run(name+"/clean", func(t *testing.T) {
+			t.Parallel()
+			res, err := protocol.Run(trimmed(d, 1, true), protocol.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Faulty != -1 {
+				t.Errorf("clean scenario reports faulty router %v", res.Faulty)
+			}
+			// With nothing faulty, any suspicion is a false accusation.
+			gt := detector.NewGroundTruth(nil, nil)
+			if v := detector.CheckAccuracy(res.Log, gt, bound); len(v) != 0 {
+				t.Errorf("clean run: %d false accusation(s), first %v", len(v), v[0])
+			}
+		})
+
+		t.Run(name+"/drop", func(t *testing.T) {
+			t.Parallel()
+			res, err := protocol.Run(trimmed(d, 1, false), protocol.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Faulty < 0 {
+				t.Fatal("attacked scenario reports no faulty router")
+			}
+			if res.Log.Len() == 0 {
+				t.Fatal("dropping router went undetected")
+			}
+			implicated := false
+			for _, seg := range res.Log.Segments() {
+				if seg.Contains(res.Faulty) {
+					implicated = true
+					break
+				}
+			}
+			if !implicated {
+				t.Errorf("no suspicion implicates the faulty router %v", res.Faulty)
+			}
+			gt := detector.NewGroundTruth([]packet.NodeID{res.Faulty}, nil)
+			if v := detector.CheckAccuracy(res.Log, gt, bound); len(v) != 0 {
+				t.Errorf("%d accuracy violation(s) at bound %d, first %v", len(v), bound, v[0])
+			}
+			if floods[name] {
+				missing := detector.CheckCompleteness(res.Log, gt, res.Faulty, res.Net.Graph().Nodes())
+				if len(missing) != 0 {
+					t.Errorf("completeness: correct routers %v never suspected %v", missing, res.Faulty)
+				}
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no registered protocol offers a DefaultSpec")
+	}
+}

@@ -1,0 +1,112 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"routerwatch/internal/protocol"
+)
+
+func lineTestSpec(opts protocol.Params) *protocol.Spec {
+	return &protocol.Spec{
+		Protocol: "pik2",
+		Options:  opts,
+		Seed:     1,
+		Duration: protocol.Duration(2 * time.Second),
+		Topology: protocol.TopologySpec{Kind: "line", N: 3},
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	_, err := protocol.Run(&protocol.Spec{
+		Protocol: "nope",
+		Topology: protocol.TopologySpec{Kind: "line"},
+	}, protocol.RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), `unknown protocol "nope"`) {
+		t.Fatalf("err = %v, want unknown-protocol", err)
+	}
+	// The error is self-explaining: it lists what IS registered.
+	if !strings.Contains(err.Error(), "pik2") || !strings.Contains(err.Error(), "chi") {
+		t.Errorf("err %v does not list the registered protocols", err)
+	}
+}
+
+func TestRunBadOptions(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    protocol.Params
+		wantErr string
+	}{
+		{"unknown key", protocol.Params{"bogus": "1"}, `unknown options ["bogus"]`},
+		{"bad duration", protocol.Params{"round": "fast"}, `option "round"`},
+		{"bad int", protocol.Params{"k": "one"}, `option "k"`},
+		{"bad exchange mode", protocol.Params{"exchange": "psychic"}, `unknown exchange mode`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := protocol.Run(lineTestSpec(tc.opts), protocol.RunOptions{})
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want mention of %s", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunBadAttackAndTraffic(t *testing.T) {
+	spec := lineTestSpec(nil)
+	spec.Attack = &protocol.AttackSpec{Kind: "melt", Node: 1}
+	if _, err := protocol.Run(spec, protocol.RunOptions{}); err == nil ||
+		!strings.Contains(err.Error(), `unknown attack kind "melt"`) {
+		t.Errorf("bad attack kind: err = %v", err)
+	}
+
+	spec = lineTestSpec(nil)
+	spec.Attack = &protocol.AttackSpec{Kind: "drop", Node: 1, Select: "every-other"}
+	if _, err := protocol.Run(spec, protocol.RunOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown attack selector") {
+		t.Errorf("bad attack selector: err = %v", err)
+	}
+
+	spec = lineTestSpec(nil)
+	spec.Traffic = []protocol.TrafficSpec{{Kind: "burst", Count: 1}}
+	if _, err := protocol.Run(spec, protocol.RunOptions{}); err == nil ||
+		!strings.Contains(err.Error(), `unknown traffic kind "burst"`) {
+		t.Errorf("bad traffic kind: err = %v", err)
+	}
+}
+
+// TestScenarioFileRuns decodes the committed golden scenario and executes
+// it end to end — the mrsim -scenario path minus the CLI.
+func TestScenarioFileRuns(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "testdata", "line-drop.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := protocol.DecodeSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trim the canonical 30s to keep the test snappy; the shape is what
+	// matters here.
+	spec.Duration = protocol.Duration(10 * time.Second)
+	spec.Traffic[0].Count = 5000
+	res, err := protocol.Run(spec, protocol.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Routing == nil {
+		t.Error("spec requested routing but Result.Routing is nil")
+	}
+	if res.Faulty != 2 {
+		t.Errorf("faulty = %v, want 2", res.Faulty)
+	}
+	if res.Log.Len() == 0 {
+		t.Error("scenario raised no suspicions")
+	}
+	if got := res.Instance.ProtocolName(); got != "pik2" {
+		t.Errorf("instance protocol = %q, want pik2", got)
+	}
+}

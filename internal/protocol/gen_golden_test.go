@@ -1,0 +1,25 @@
+package protocol
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegenerateGoldens rewrites the testdata scenario files from the
+// in-memory specs when RW_UPDATE_GOLDEN=1 — the maintained way to pick up
+// an intentional format change.
+func TestRegenerateGoldens(t *testing.T) {
+	if os.Getenv("RW_UPDATE_GOLDEN") == "" {
+		t.Skip("set RW_UPDATE_GOLDEN=1 to rewrite testdata")
+	}
+	for name, spec := range goldenSpecs() {
+		enc, err := spec.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join("testdata", name+".json"), enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

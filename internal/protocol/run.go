@@ -1,0 +1,250 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"routerwatch/internal/attack"
+	"routerwatch/internal/detector"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/routing"
+	"routerwatch/internal/telemetry"
+	"routerwatch/internal/topology"
+)
+
+// RunOptions carries the per-run wiring a Spec cannot express as data.
+type RunOptions struct {
+	// Telemetry instruments the network and the protocol (nil = disabled).
+	Telemetry *telemetry.Set
+	// Hooks overrides the runtime's default suspicion wiring. The zero
+	// value means "give me a fresh suspicion log" (LogHooks).
+	Hooks Hooks
+	// Progress, when non-nil, receives human-readable narration from
+	// scenario descriptors (χ's learning-phase announcements).
+	Progress func(format string, args ...any)
+	// BeforeRun is called after the scenario is fully assembled — protocol
+	// attached, attack installed, traffic scheduled — and before the
+	// simulation runs. Callers use it to add measurement probes (delivery
+	// counters, local handlers) without re-opening the assembly sequence.
+	BeforeRun func(*Result)
+}
+
+// Result is a completed (or, inside BeforeRun, fully assembled) scenario.
+type Result struct {
+	Spec *Spec
+	// Env is the environment the protocol attached to; Net is its backing
+	// simulated network.
+	Env *SimEnv
+	Net *network.Network
+	// Routing is the link-state fabric, when the spec asked for one.
+	Routing *routing.Protocol
+	// Instance is the attached protocol deployment (nil for descriptors
+	// whose Scenario composes differently and reports via Extra).
+	Instance Instance
+	// Log is the suspicion log behind the run's hooks (nil when the caller
+	// supplied pure custom hooks with no log).
+	Log *detector.Log
+	// Faulty is the compromised router, -1 when the spec had no attack.
+	Faulty packet.NodeID
+	// Extra carries protocol-specific scenario results (χ calibration,
+	// Fatih's *ScenarioResult).
+	Extra any
+}
+
+// Run executes a declarative scenario. Protocols with a canonical custom
+// scenario (χ's learning pass, Fatih's Abilene composition) dispatch to
+// their descriptor's Scenario; everything else runs through the generic
+// topology → routing → protocol → attack → traffic sequence below.
+func Run(spec *Spec, run RunOptions) (*Result, error) {
+	d, err := Lookup(spec.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	if d.Scenario != nil {
+		return d.Scenario(spec, run)
+	}
+	return RunGeneric(spec, run)
+}
+
+// RunGeneric is the shared scenario sequence. The assembly order is fixed
+// — topology, network, routing convergence, protocol attach, attack
+// install, traffic schedule, BeforeRun, run — because event-insertion
+// order at equal virtual times is part of the determinism contract.
+func RunGeneric(spec *Spec, run RunOptions) (*Result, error) {
+	d, err := Lookup(spec.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	if d.Attach == nil {
+		return nil, fmt.Errorf("protocol %q only runs as a full scenario", spec.Protocol)
+	}
+
+	g, err := spec.Topology.Build()
+	if err != nil {
+		return nil, err
+	}
+	net := network.New(g, network.Options{
+		Seed:             spec.Seed,
+		ProcessingJitter: spec.Jitter.D(),
+		Telemetry:        run.Telemetry,
+	})
+	env := NewSimEnv(net)
+	res := &Result{Spec: spec, Env: env, Net: net, Faulty: -1}
+
+	if spec.Routing != nil {
+		res.Routing = routing.Attach(net, routing.Timers{
+			Delay: spec.Routing.Delay.D(), Hold: spec.Routing.Hold.D(),
+		})
+		if c := spec.Routing.Converge.D(); c > 0 {
+			res.Routing.RunUntilConverged(c)
+		}
+	}
+
+	hooks := run.Hooks
+	if hooks.Log == nil && hooks.Sink == nil && hooks.Responder == nil {
+		hooks, res.Log = LogHooks()
+	} else {
+		res.Log = hooks.Log
+	}
+	if spec.Routing != nil && spec.Routing.Respond {
+		rt := res.Routing
+		hooks.Responder = MergeResponder(hooks.Responder,
+			func(by packet.NodeID, seg topology.Segment) {
+				rt.Daemon(by).AnnounceSuspicion(seg)
+			})
+	}
+
+	var opts any
+	if len(spec.Options) > 0 {
+		if d.ParseOptions == nil {
+			return nil, fmt.Errorf("protocol %q takes no options", spec.Protocol)
+		}
+		if opts, err = d.ParseOptions(spec.Options); err != nil {
+			return nil, fmt.Errorf("protocol %q: %v", spec.Protocol, err)
+		}
+	}
+	if res.Instance, err = d.Attach(env, opts, hooks); err != nil {
+		return nil, fmt.Errorf("protocol %q: %v", spec.Protocol, err)
+	}
+
+	if err := installAttack(net, spec, res); err != nil {
+		return nil, err
+	}
+
+	// Traffic offsets are relative to the post-convergence time so specs
+	// read the same with and without a routing warm-up.
+	base := net.Now()
+	if err := scheduleTraffic(net, spec, base); err != nil {
+		return nil, err
+	}
+
+	if run.BeforeRun != nil {
+		run.BeforeRun(res)
+	}
+	net.Run(base + spec.Duration.D())
+	return res, nil
+}
+
+// installAttack compromises the spec's router. The attacker's RNG is
+// private (never shared with the network's streams) so adding or removing
+// an attack cannot shift unrelated random draws.
+func installAttack(net *network.Network, spec *Spec, res *Result) error {
+	a := spec.Attack
+	if a == nil || a.Kind == "" || a.Kind == "none" {
+		return nil
+	}
+	sel, err := attackSelector(a.Select)
+	if err != nil {
+		return err
+	}
+	seed := a.Seed
+	if seed == 0 {
+		seed = spec.Seed
+	}
+	node := packet.NodeID(a.Node)
+	switch a.Kind {
+	case "drop":
+		net.Router(node).SetBehavior(&attack.Dropper{
+			Select: sel, P: a.Rate, Rng: rand.New(rand.NewSource(seed)),
+			Start: a.Start.D(), MinQueueFrac: a.MinQueueFrac,
+		})
+	case "modify":
+		net.Router(node).SetBehavior(&attack.Modifier{Select: sel, Start: a.Start.D()})
+	case "reorder":
+		net.Router(node).SetBehavior(&attack.Delayer{
+			Select: sel, Jitter: a.Jitter.D(), Rng: rand.New(rand.NewSource(seed)),
+		})
+	case "fabricate":
+		size, every := a.Size, a.Every.D()
+		if size == 0 {
+			size = 700
+		}
+		if every == 0 {
+			every = 20 * time.Millisecond
+		}
+		attack.NewFabricator(net, node, packet.NodeID(a.Src), packet.NodeID(a.Dst), size, every)
+	default:
+		return fmt.Errorf("unknown attack kind %q", a.Kind)
+	}
+	res.Faulty = node
+	return nil
+}
+
+func attackSelector(name string) (attack.Selector, error) {
+	switch name {
+	case "", "all":
+		return attack.All, nil
+	case "data":
+		return attack.DataOnly, nil
+	case "syn":
+		return attack.SYNOnly, nil
+	default:
+		return nil, fmt.Errorf("unknown attack selector %q", name)
+	}
+}
+
+// scheduleTraffic inserts the spec's workloads. A "pair" injects the
+// forward and reverse packets from one scheduled closure — the event count
+// and order then match the historical bidirectional harnesses exactly.
+func scheduleTraffic(net *network.Network, spec *Spec, base time.Duration) error {
+	sched := net.Scheduler()
+	for ti := range spec.Traffic {
+		t := &spec.Traffic[ti]
+		size := t.Size
+		if size == 0 {
+			size = 500
+		}
+		src, dst := packet.NodeID(t.Src), packet.NodeID(t.Dst)
+		switch t.Kind {
+		case "", "stream":
+			for i := 0; i < t.Count; i++ {
+				i := i
+				sched.At(base+time.Duration(i)*t.Interval.D()+t.Offset.D(), func() {
+					net.Inject(src, &packet.Packet{
+						Dst: dst, Size: size, Flow: t.Flow,
+						Seq: uint32(i), Payload: uint64(i),
+					})
+				})
+			}
+		case "pair":
+			for i := 0; i < t.Count; i++ {
+				i := i
+				sched.At(base+time.Duration(i)*t.Interval.D()+t.Offset.D(), func() {
+					net.Inject(src, &packet.Packet{
+						Dst: dst, Size: size, Flow: t.Flow,
+						Seq: uint32(i), Payload: uint64(i),
+					})
+					net.Inject(dst, &packet.Packet{
+						Dst: src, Size: size, Flow: t.ReverseFlow,
+						Seq: uint32(i), Payload: uint64(i),
+					})
+				})
+			}
+		default:
+			return fmt.Errorf("unknown traffic kind %q", t.Kind)
+		}
+	}
+	return nil
+}

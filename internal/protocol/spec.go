@@ -1,0 +1,237 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"routerwatch/internal/packet"
+	"routerwatch/internal/topology"
+)
+
+// Duration is a time.Duration that encodes as a human-readable string in
+// JSON ("250ms", "30s"), so scenario files stay legible and diffable.
+// Decoding also accepts a bare number of nanoseconds.
+type Duration time.Duration
+
+// D returns the native duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON parses either a duration string or nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		dur, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("invalid duration %q: %v", s, err)
+		}
+		*d = Duration(dur)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("invalid duration %s", b)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Spec is a declarative scenario: which protocol to deploy (by registry
+// name, with textual options), on what topology, against which attack,
+// under what traffic, for how long, from which seed. Run executes it.
+type Spec struct {
+	// Name labels the scenario (documentation only).
+	Name string `json:"name,omitempty"`
+	// Protocol is the registry name to deploy.
+	Protocol string `json:"protocol"`
+	// Options are the protocol's textual options (ParseOptions input).
+	Options Params `json:"options,omitempty"`
+	// Seed drives every RNG stream of the run.
+	Seed int64 `json:"seed"`
+	// Duration is how long the scenario runs past routing convergence.
+	Duration Duration `json:"duration,omitempty"`
+	// Jitter is the per-hop processing jitter of the network.
+	Jitter Duration `json:"jitter,omitempty"`
+
+	Topology TopologySpec  `json:"topology"`
+	Routing  *RoutingSpec  `json:"routing,omitempty"`
+	Attack   *AttackSpec   `json:"attack,omitempty"`
+	Traffic  []TrafficSpec `json:"traffic,omitempty"`
+}
+
+// TopologySpec selects a named topology builder or describes a custom
+// graph.
+type TopologySpec struct {
+	// Kind is "line" (N routers), "abilene", "simple-chi" (N sources, M
+	// sinks) or "custom" (Nodes + Links).
+	Kind string `json:"kind"`
+	N    int    `json:"n,omitempty"`
+	M    int    `json:"m,omitempty"`
+	// Nodes and Links describe a custom topology; links are duplex.
+	Nodes []string   `json:"nodes,omitempty"`
+	Links []LinkSpec `json:"links,omitempty"`
+}
+
+// LinkSpec is one duplex link of a custom topology; zero attribute fields
+// take topology.DefaultLinkAttrs.
+type LinkSpec struct {
+	From       string   `json:"from"`
+	To         string   `json:"to"`
+	Bandwidth  int64    `json:"bandwidth,omitempty"` // bits/s
+	Delay      Duration `json:"delay,omitempty"`
+	QueueLimit int      `json:"queue-limit,omitempty"` // bytes
+	Cost       int      `json:"cost,omitempty"`
+}
+
+// Build constructs the topology.
+func (t TopologySpec) Build() (*topology.Graph, error) {
+	switch t.Kind {
+	case "line":
+		n := t.N
+		if n == 0 {
+			n = 5
+		}
+		return topology.Line(n), nil
+	case "abilene":
+		return topology.Abilene(), nil
+	case "simple-chi":
+		return t.BuildChi().Graph, nil
+	case "custom":
+		if len(t.Nodes) == 0 {
+			return nil, fmt.Errorf("custom topology needs nodes")
+		}
+		g := topology.NewGraph()
+		ids := make(map[string]bool, len(t.Nodes))
+		for _, name := range t.Nodes {
+			g.AddNode(name)
+			ids[name] = true
+		}
+		for _, l := range t.Links {
+			if !ids[l.From] || !ids[l.To] {
+				return nil, fmt.Errorf("link %s-%s references unknown node", l.From, l.To)
+			}
+			a, _ := g.Lookup(l.From)
+			b, _ := g.Lookup(l.To)
+			attrs := topology.DefaultLinkAttrs()
+			if l.Bandwidth != 0 {
+				attrs.Bandwidth = l.Bandwidth
+			}
+			if l.Delay != 0 {
+				attrs.Delay = l.Delay.D()
+			}
+			if l.QueueLimit != 0 {
+				attrs.QueueLimit = l.QueueLimit
+			}
+			if l.Cost != 0 {
+				attrs.Cost = l.Cost
+			}
+			g.AddDuplex(a, b, attrs)
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("unknown topology kind %q", t.Kind)
+	}
+}
+
+// BuildChi constructs the Fig 6.4 star topology with its distinguished
+// validated queue (only meaningful for Kind "simple-chi").
+func (t TopologySpec) BuildChi() *topology.SimpleChiTopology {
+	sources, sinks := t.N, t.M
+	if sources == 0 {
+		sources = 3
+	}
+	if sinks == 0 {
+		sinks = 2
+	}
+	return topology.SimpleChi(sources, sinks)
+}
+
+// RoutingSpec attaches the link-state routing fabric before the protocol.
+type RoutingSpec struct {
+	// Delay and Hold are the OSPF-style timers (zero = routing defaults).
+	Delay Duration `json:"delay,omitempty"`
+	Hold  Duration `json:"hold,omitempty"`
+	// Converge runs the simulation until the fabric converges (bounded by
+	// this budget) before traffic starts.
+	Converge Duration `json:"converge,omitempty"`
+	// Respond wires the protocol's Responder to AnnounceSuspicion at the
+	// suspecting router's daemon — the paper's response mechanism.
+	Respond bool `json:"respond,omitempty"`
+}
+
+// AttackSpec compromises one router.
+type AttackSpec struct {
+	// Kind is "drop", "modify", "reorder", "fabricate", or "none" (the
+	// χ scenario additionally understands "masked90" and "syn").
+	Kind string `json:"kind"`
+	// Node is the compromised router.
+	Node int `json:"node"`
+	// Rate is the drop probability for "drop".
+	Rate float64 `json:"rate,omitempty"`
+	// Start is when the behaviour begins.
+	Start Duration `json:"start,omitempty"`
+	// Jitter is the reorder delay spread for "reorder".
+	Jitter Duration `json:"jitter,omitempty"`
+	// Seed seeds the attacker's private RNG; 0 uses the scenario seed.
+	Seed int64 `json:"seed,omitempty"`
+	// MinQueueFrac masks drops below this output-queue occupancy.
+	MinQueueFrac float64 `json:"min-queue-frac,omitempty"`
+	// Select restricts targeted packets: "all" (default), "data", "syn".
+	Select string `json:"select,omitempty"`
+	// Src, Dst, Size and Every shape fabricated traffic ("fabricate").
+	Src   int      `json:"src,omitempty"`
+	Dst   int      `json:"dst,omitempty"`
+	Size  int      `json:"size,omitempty"`
+	Every Duration `json:"every,omitempty"`
+}
+
+// TrafficSpec is one injected workload.
+type TrafficSpec struct {
+	// Kind is "stream" (Src→Dst) or "pair" (both directions per tick,
+	// the reverse direction under ReverseFlow). Default "stream".
+	Kind string `json:"kind,omitempty"`
+	Src  int    `json:"src"`
+	Dst  int    `json:"dst"`
+	// Count packets are injected, one per Interval, offset by Offset from
+	// the scenario's traffic base (post-convergence time).
+	Count    int      `json:"count"`
+	Interval Duration `json:"interval"`
+	Offset   Duration `json:"offset,omitempty"`
+	// Size is the packet size in bytes (default 500).
+	Size int `json:"size,omitempty"`
+	// Flow and ReverseFlow label the forward and reverse flows.
+	Flow        packet.FlowID `json:"flow,omitempty"`
+	ReverseFlow packet.FlowID `json:"reverse-flow,omitempty"`
+}
+
+// Encode renders the spec as indented JSON (the scenario file format).
+func (s *Spec) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSpec parses a scenario file. Unknown fields are errors — a
+// misspelled field must not silently vanish.
+func DecodeSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	if s.Protocol == "" {
+		return nil, fmt.Errorf("scenario: missing protocol")
+	}
+	return &s, nil
+}

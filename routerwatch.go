@@ -36,6 +36,8 @@ import (
 	"routerwatch/internal/fatih"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
+	_ "routerwatch/internal/protocol/catalog"
 	"routerwatch/internal/routing"
 	"routerwatch/internal/topology"
 )
@@ -63,6 +65,14 @@ type (
 	SuspicionLog = detector.Log
 	// Dropper is the packet-dropping adversary.
 	Dropper = attack.Dropper
+	// Scenario is a declarative experiment spec (topology, protocol +
+	// options, attack, traffic, seed) executed by RunScenario.
+	Scenario = protocol.Spec
+	// ScenarioResult is a completed scenario run.
+	ScenarioResult = protocol.Result
+	// ProtocolInstance is a running protocol deployment as seen by the
+	// unified runtime (name, round, suspicion log, native engine).
+	ProtocolInstance = protocol.Instance
 )
 
 // NewGraph returns an empty topology.
@@ -80,14 +90,36 @@ func NewNetwork(g *Graph, opts NetworkOptions) *Network { return network.New(g, 
 // NewLog returns an empty suspicion log.
 func NewLog() *SuspicionLog { return detector.NewLog() }
 
+// Protocols lists the registered detection protocols, sorted by name.
+func Protocols() []string { return protocol.Names() }
+
+// AttachProtocol deploys a registered protocol by name on a simulated
+// network; opts is the protocol's native options value (nil = defaults).
+func AttachProtocol(net *Network, name string, opts any) (ProtocolInstance, error) {
+	hooks, _ := protocol.LogHooks()
+	return protocol.Attach(protocol.NewSimEnv(net), name, opts, hooks)
+}
+
+// RunScenario executes a declarative scenario through the protocol
+// registry — the library-level equivalent of `mrsim -scenario`.
+func RunScenario(spec *Scenario, opts protocol.RunOptions) (*ScenarioResult, error) {
+	return protocol.Run(spec, opts)
+}
+
 // AttachPiK2 deploys Protocol Πk+2 (per path-segment ends, precision k+2).
-func AttachPiK2(net *Network, opts pik2.Options) *pik2.Protocol { return pik2.Attach(net, opts) }
+func AttachPiK2(net *Network, opts pik2.Options) *pik2.Protocol {
+	return protocol.MustAttach(protocol.NewSimEnv(net), "pik2", opts, protocol.Hooks{}).Engine().(*pik2.Protocol)
+}
 
 // AttachPi2 deploys Protocol Π2 (per path-segment nodes, precision 2).
-func AttachPi2(net *Network, opts pi2.Options) *pi2.Protocol { return pi2.Attach(net, opts) }
+func AttachPi2(net *Network, opts pi2.Options) *pi2.Protocol {
+	return protocol.MustAttach(protocol.NewSimEnv(net), "pi2", opts, protocol.Hooks{}).Engine().(*pi2.Protocol)
+}
 
 // AttachChi deploys Protocol χ (per-interface queue replay).
-func AttachChi(net *Network, opts chi.Options) *chi.Protocol { return chi.Attach(net, opts) }
+func AttachChi(net *Network, opts chi.Options) *chi.Protocol {
+	return protocol.MustAttach(protocol.NewSimEnv(net), "chi", opts, protocol.Hooks{}).Engine().(*chi.Protocol)
+}
 
 // AttachRouting deploys the link-state routing substrate with alert-driven
 // path-segment exclusion.
@@ -97,7 +129,9 @@ func AttachRouting(net *Network, timers routing.Timers) *routing.Protocol {
 
 // DeployFatih assembles the full Fatih system (detector + routing response
 // + clock sync) on a network.
-func DeployFatih(net *Network, opts fatih.Options) *fatih.System { return fatih.Deploy(net, opts) }
+func DeployFatih(net *Network, opts fatih.Options) *fatih.System {
+	return protocol.MustAttach(protocol.NewSimEnv(net), "fatih", opts, protocol.Hooks{}).Engine().(*fatih.System)
+}
 
 // RunAbileneScenario executes the Fig 5.7 Fatih experiment.
 func RunAbileneScenario(opts fatih.ScenarioOptions) *fatih.ScenarioResult {
