@@ -12,7 +12,7 @@ GO ?= go
 # `make bench-compare` (cmd/benchcmp) to spot regressions.
 BENCH_OUT ?= BENCH_baseline.json
 
-.PHONY: build test race vet lint verify bench bench-compare fuzz figures clean
+.PHONY: build test race vet lint verify bench bench-compare fuzz campaign-smoke figures clean
 
 build:
 	$(GO) build ./...
@@ -64,9 +64,10 @@ bench-compare:
 	$(GO) test -bench=. -benchmem -run=^$$ -json ./... > BENCH_current.json
 	$(GO) run ./cmd/benchcmp $(BENCHCMP_FLAGS) $(BENCH_BASELINE) BENCH_current.json
 
-# Short fuzz pass over every summary-codec harness (satisfies `go test`
-# normally too — the seed corpus runs as ordinary tests). Override
-# FUZZTIME for quicker smokes: make fuzz FUZZTIME=2s.
+# Short fuzz pass over every fuzz harness (satisfies `go test` normally
+# too — the seed corpus runs as ordinary tests): the summary codecs plus
+# the mutation-campaign spec round-trip. Override FUZZTIME for quicker
+# smokes: make fuzz FUZZTIME=2s.
 FUZZTIME ?= 10s
 
 fuzz:
@@ -75,6 +76,18 @@ fuzz:
 	          FuzzCharPolyMultiplicative; do \
 		$(GO) test ./internal/summary/ -run='^$$' -fuzz=$$f -fuzztime=$(FUZZTIME) || exit 1; \
 	done
+	$(GO) test ./internal/mutation/ -run='^$$' -fuzz=FuzzMutantSpecRoundTrip -fuzztime=$(FUZZTIME)
+
+# Bounded adversary-mutation campaign (cmd/campaign): one operator axis per
+# family would be too narrow, so the smoke sweeps the full catalog with a
+# small budget and asserts bitwise determinism across worker counts — the
+# property the frontier report stakes its claims on.
+campaign-smoke:
+	$(GO) run ./cmd/campaign -budget 14 -seed 1 -parallel 1 -quiet -json campaign-a.json > /dev/null
+	$(GO) run ./cmd/campaign -budget 14 -seed 1 -parallel 4 -quiet -json campaign-b.json > /dev/null
+	cmp campaign-a.json campaign-b.json
+	@rm -f campaign-a.json campaign-b.json
+	@echo "campaign smoke: deterministic across -parallel"
 
 figures:
 	$(GO) run ./cmd/figures

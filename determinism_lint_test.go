@@ -41,6 +41,12 @@ func TestDeterminismInvariants(t *testing.T) {
 	for _, want := range []string{
 		"routerwatch/internal/protocol",
 		"routerwatch/internal/protocol/catalog",
+		// The adversary layers: injected-RNG discipline in the attack
+		// behaviours and the mutation campaign is what makes fixed-seed
+		// campaigns bitwise reproducible, so both stay pinned under the
+		// globalrand/walltime analyzers.
+		"routerwatch/internal/attack",
+		"routerwatch/internal/mutation",
 	} {
 		if !analyzed[want] {
 			t.Errorf("package %s missing from the analyzed set", want)

@@ -8,6 +8,12 @@
 // composable: the §6.4.2 attacker drops selected flows only when the queue
 // is nearly full, hiding inside congestion — built here from a selector
 // plus a queue condition.
+//
+// Determinism contract: behaviours never draw from package-level math/rand
+// state (the globalrand analyzer pins this). Probabilistic behaviours take
+// an injected *rand.Rand — construct it with NewRand from a seed derived
+// off the scenario seed — so a mutated attack replayed under the campaign
+// runner is bitwise-identical regardless of worker count or trial order.
 package attack
 
 import (
@@ -17,6 +23,20 @@ import (
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
 )
+
+// NewRand is the package's injected-randomness constructor: every attack
+// RNG in the tree is built from an explicit seed through it, never from
+// shared generators. Derive per-attack seeds with sim.DeriveSeed so
+// adding an attacker cannot shift any other stream's draws.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Victims is implemented by every behaviour: it reports how many packets
+// (or control messages) the behaviour actually attacked. The mutation
+// campaign uses it to tell a genuine evasion from an inert mutant whose
+// trigger conditions never fired.
+type Victims interface {
+	VictimCount() int
+}
 
 // Selector picks victim packets.
 type Selector func(*packet.Packet) bool
@@ -94,6 +114,13 @@ type Dropper struct {
 	// Start/Stop bound the attack window (Stop 0 = forever).
 	Start, Stop time.Duration
 
+	// Period and Duty shape a periodic burst pattern: when Period > 0 the
+	// dropper only fires during the first Duty fraction of each period
+	// (measured from Start). Duty 0 with a positive Period means a
+	// degenerate always-off attacker — inert by construction.
+	Period time.Duration
+	Duty   float64
+
 	// Rng drives probabilistic drops; required when P < 1.
 	Rng *rand.Rand
 
@@ -102,22 +129,15 @@ type Dropper struct {
 }
 
 var _ network.Behavior = (*Dropper)(nil)
+var _ Victims = (*Dropper)(nil)
 
 // OnForward implements network.Behavior.
 func (d *Dropper) OnForward(rv *network.RouterView, p *packet.Packet, next packet.NodeID) network.Verdict {
-	if !d.active(rv) || (d.Select != nil && !d.Select(p)) {
+	if !d.active(rv.Now()) || (d.Select != nil && !d.Select(p)) {
 		return network.Verdict{Action: network.ActForward}
 	}
-	if d.MinQueueFrac > 0 {
-		qb, ql := rv.QueueBytes(next), rv.QueueLimit(next)
-		if ql <= 0 || float64(qb) < d.MinQueueFrac*float64(ql) {
-			return network.Verdict{Action: network.ActForward}
-		}
-	}
-	if d.MinREDAvg > 0 {
-		if avg := rv.REDAvg(next); avg < d.MinREDAvg {
-			return network.Verdict{Action: network.ActForward}
-		}
+	if !d.gateOpen(rv.QueueBytes(next), rv.QueueLimit(next), func() float64 { return rv.REDAvg(next) }) {
+		return network.Verdict{Action: network.ActForward}
 	}
 	if d.P < 1 {
 		if d.Rng == nil || d.Rng.Float64() >= d.P {
@@ -128,13 +148,43 @@ func (d *Dropper) OnForward(rv *network.RouterView, p *packet.Packet, next packe
 	return network.Verdict{Action: network.ActDrop}
 }
 
-func (d *Dropper) active(rv *network.RouterView) bool {
-	now := rv.Now()
+// active reports whether the attack window — Start/Stop bounds plus the
+// optional Period/Duty burst phase — covers the instant now.
+func (d *Dropper) active(now time.Duration) bool {
 	if now < d.Start {
 		return false
 	}
-	return d.Stop == 0 || now < d.Stop
+	if d.Stop != 0 && now >= d.Stop {
+		return false
+	}
+	if d.Period > 0 {
+		phase := (now - d.Start) % d.Period
+		if float64(phase) >= d.Duty*float64(d.Period) {
+			return false
+		}
+	}
+	return true
 }
+
+// gateOpen evaluates the queue-state gates against the instantaneous
+// occupancy qb of the queue (capacity ql) and — lazily, it touches RED
+// state — the average queue size redAvg. A MinQueueFrac gate on a
+// missing queue (ql <= 0) never opens: an attacker cannot hide inside
+// congestion that cannot exist.
+func (d *Dropper) gateOpen(qb, ql int, redAvg func() float64) bool {
+	if d.MinQueueFrac > 0 {
+		if ql <= 0 || float64(qb) < d.MinQueueFrac*float64(ql) {
+			return false
+		}
+	}
+	if d.MinREDAvg > 0 && redAvg() < d.MinREDAvg {
+		return false
+	}
+	return true
+}
+
+// VictimCount implements Victims.
+func (d *Dropper) VictimCount() int { return d.Dropped }
 
 // Modifier corrupts the payload of selected packets in flight, the
 // conservation-of-content violation.
@@ -161,6 +211,9 @@ func (m *Modifier) OnForward(rv *network.RouterView, p *packet.Packet, _ packet.
 	return network.Verdict{Action: network.ActModify}
 }
 
+// VictimCount implements Victims.
+func (m *Modifier) VictimCount() int { return m.Modified }
+
 // Delayer holds selected packets for Delay before forwarding them
 // (conservation-of-timeliness violation); with a jittered delay it also
 // reorders.
@@ -170,15 +223,21 @@ type Delayer struct {
 	Delay  time.Duration
 	// Jitter, if positive, adds uniform extra delay in [0, Jitter),
 	// producing reordering.
-	Jitter  time.Duration
-	Rng     *rand.Rand
-	Delayed int
+	Jitter time.Duration
+	// Start/Stop bound the attack window (Stop 0 = forever).
+	Start, Stop time.Duration
+	Rng         *rand.Rand
+	Delayed     int
 }
 
 var _ network.Behavior = (*Delayer)(nil)
 
 // OnForward implements network.Behavior.
-func (d *Delayer) OnForward(_ *network.RouterView, p *packet.Packet, _ packet.NodeID) network.Verdict {
+func (d *Delayer) OnForward(rv *network.RouterView, p *packet.Packet, _ packet.NodeID) network.Verdict {
+	now := rv.Now()
+	if now < d.Start || (d.Stop != 0 && now >= d.Stop) {
+		return network.Verdict{Action: network.ActForward}
+	}
 	if d.Select != nil && !d.Select(p) {
 		return network.Verdict{Action: network.ActForward}
 	}
@@ -189,6 +248,9 @@ func (d *Delayer) OnForward(_ *network.RouterView, p *packet.Packet, _ packet.No
 	d.Delayed++
 	return network.Verdict{Action: network.ActDelay, Delay: delay}
 }
+
+// VictimCount implements Victims.
+func (d *Delayer) VictimCount() int { return d.Delayed }
 
 // Misrouter diverts selected packets to the wrong neighbor.
 type Misrouter struct {
@@ -208,6 +270,9 @@ func (m *Misrouter) OnForward(_ *network.RouterView, p *packet.Packet, _ packet.
 	m.Misrouted++
 	return network.Verdict{Action: network.ActDivert, NewNext: m.To}
 }
+
+// VictimCount implements Victims.
+func (m *Misrouter) VictimCount() int { return m.Misrouted }
 
 // Fabricator periodically injects bogus packets claiming a legitimate
 // source (packet fabrication, §2.2.1). Construct with NewFabricator so it
@@ -246,6 +311,9 @@ func (f *Fabricator) OnForward(_ *network.RouterView, _ *packet.Packet, _ packet
 	return network.Verdict{Action: network.ActForward}
 }
 
+// VictimCount implements Victims.
+func (f *Fabricator) VictimCount() int { return f.Fabricated }
+
 // ControlDropper is a purely protocol-faulty behaviour: it forwards all
 // data correctly but suppresses transiting control messages of the given
 // kinds (empty = all kinds).
@@ -269,6 +337,9 @@ func (c *ControlDropper) OnControl(_ *network.RouterView, m *network.ControlMess
 	}
 	return network.CtrlForward
 }
+
+// VictimCount implements Victims.
+func (c *ControlDropper) VictimCount() int { return c.Dropped }
 
 // Compose chains behaviours: the first non-forward data verdict wins; a
 // control message is dropped if any component drops it.
@@ -296,4 +367,15 @@ func (c *Compose) OnControl(rv *network.RouterView, m *network.ControlMessage) n
 		}
 	}
 	return network.CtrlForward
+}
+
+// VictimCount implements Victims: the sum over components that count.
+func (c *Compose) VictimCount() int {
+	total := 0
+	for _, b := range c.Behaviors {
+		if v, ok := b.(Victims); ok {
+			total += v.VictimCount()
+		}
+	}
+	return total
 }

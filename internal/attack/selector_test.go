@@ -1,0 +1,151 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+)
+
+// TestSelectors pins the selector combinators against a packet matrix:
+// each case is a selector and the subset of probe packets it must match.
+func TestSelectors(t *testing.T) {
+	probes := map[string]*packet.Packet{
+		"flow1-data": {Flow: 1, Dst: 4},
+		"flow2-data": {Flow: 2, Dst: 5},
+		"flow1-syn":  {Flow: 1, Dst: 4, Flags: packet.FlagSYN},
+		"flow3-syn":  {Flow: 3, Dst: 6, Flags: packet.FlagSYN},
+	}
+	cases := []struct {
+		name string
+		sel  Selector
+		want map[string]bool
+	}{
+		{"all", All,
+			map[string]bool{"flow1-data": true, "flow2-data": true, "flow1-syn": true, "flow3-syn": true}},
+		{"by-flow-single", ByFlow(1),
+			map[string]bool{"flow1-data": true, "flow1-syn": true}},
+		{"by-flow-multi", ByFlow(2, 3),
+			map[string]bool{"flow2-data": true, "flow3-syn": true}},
+		{"by-flow-empty", ByFlow(),
+			map[string]bool{}},
+		{"by-dst", ByDst(5),
+			map[string]bool{"flow2-data": true}},
+		{"syn-only", SYNOnly,
+			map[string]bool{"flow1-syn": true, "flow3-syn": true}},
+		{"data-only", DataOnly,
+			map[string]bool{"flow1-data": true, "flow2-data": true}},
+		{"and-flow-syn", And(ByFlow(1), SYNOnly),
+			map[string]bool{"flow1-syn": true}},
+		{"and-empty", And(),
+			map[string]bool{"flow1-data": true, "flow2-data": true, "flow1-syn": true, "flow3-syn": true}},
+		{"and-contradiction", And(SYNOnly, DataOnly),
+			map[string]bool{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for name, p := range probes {
+				if got := tc.sel(p); got != tc.want[name] {
+					t.Errorf("%s(%s) = %v, want %v", tc.name, name, got, tc.want[name])
+				}
+			}
+		})
+	}
+}
+
+// TestDropperActive pins the attack-window arithmetic: Start/Stop bounds
+// and the Period/Duty burst phase, including the edges (window boundaries
+// are half-open [Start, Stop); a period's burst is [0, Duty·Period)).
+func TestDropperActive(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Dropper
+		now  time.Duration
+		want bool
+	}{
+		{"before-start", Dropper{Start: time.Second}, 999 * time.Millisecond, false},
+		{"at-start", Dropper{Start: time.Second}, time.Second, true},
+		{"open-ended", Dropper{Start: time.Second}, time.Hour, true},
+		{"before-stop", Dropper{Start: time.Second, Stop: 2 * time.Second}, 1999 * time.Millisecond, true},
+		{"at-stop", Dropper{Start: time.Second, Stop: 2 * time.Second}, 2 * time.Second, false},
+		{"period-burst-head", Dropper{Period: time.Second, Duty: 0.25}, 0, true},
+		{"period-burst-tail", Dropper{Period: time.Second, Duty: 0.25}, 249 * time.Millisecond, true},
+		{"period-burst-edge", Dropper{Period: time.Second, Duty: 0.25}, 250 * time.Millisecond, false},
+		{"period-off-phase", Dropper{Period: time.Second, Duty: 0.25}, 700 * time.Millisecond, false},
+		{"period-second-cycle", Dropper{Period: time.Second, Duty: 0.25}, 1100 * time.Millisecond, true},
+		{"period-phase-from-start", Dropper{Start: 600 * time.Millisecond, Period: time.Second, Duty: 0.25},
+			700 * time.Millisecond, true},
+		{"period-zero-duty", Dropper{Period: time.Second, Duty: 0}, 0, false},
+		{"period-full-duty", Dropper{Period: time.Second, Duty: 1}, 999 * time.Millisecond, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.d.active(tc.now); got != tc.want {
+				t.Fatalf("active(%v) = %v, want %v", tc.now, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDropperGateOpen pins the queue-masked gates: occupancy fraction
+// against the instantaneous queue, the missing-queue edge (a gate on a
+// queue that cannot congest never opens), and the RED-average gate. The
+// RED observer is instrumented to prove laziness: the gate must not touch
+// RED state unless MinREDAvg is armed.
+func TestDropperGateOpen(t *testing.T) {
+	cases := []struct {
+		name       string
+		d          Dropper
+		qb, ql     int
+		redAvg     float64
+		want       bool
+		wantREDUse bool
+	}{
+		{name: "ungated", qb: 0, ql: 100, want: true},
+		{name: "frac-below", d: Dropper{MinQueueFrac: 0.9}, qb: 89, ql: 100, want: false},
+		{name: "frac-at", d: Dropper{MinQueueFrac: 0.9}, qb: 90, ql: 100, want: true},
+		{name: "frac-full", d: Dropper{MinQueueFrac: 1}, qb: 100, ql: 100, want: true},
+		{name: "frac-no-queue", d: Dropper{MinQueueFrac: 0.5}, qb: 0, ql: 0, want: false},
+		{name: "frac-negative-limit", d: Dropper{MinQueueFrac: 0.5}, qb: 0, ql: -1, want: false},
+		{name: "red-below", d: Dropper{MinREDAvg: 45000}, ql: 100, redAvg: 44999, want: false, wantREDUse: true},
+		{name: "red-at", d: Dropper{MinREDAvg: 45000}, ql: 100, redAvg: 45000, want: true, wantREDUse: true},
+		{name: "both-frac-closes-first", d: Dropper{MinQueueFrac: 0.9, MinREDAvg: 1}, qb: 0, ql: 100,
+			want: false, wantREDUse: false},
+		{name: "both-open", d: Dropper{MinQueueFrac: 0.5, MinREDAvg: 100}, qb: 60, ql: 100, redAvg: 200,
+			want: true, wantREDUse: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			redUsed := false
+			got := tc.d.gateOpen(tc.qb, tc.ql, func() float64 { redUsed = true; return tc.redAvg })
+			if got != tc.want {
+				t.Fatalf("gateOpen(%d, %d) = %v, want %v", tc.qb, tc.ql, got, tc.want)
+			}
+			if redUsed != tc.wantREDUse {
+				t.Fatalf("RED average consulted = %v, want %v", redUsed, tc.wantREDUse)
+			}
+		})
+	}
+}
+
+// TestComposeVictimCount pins victim aggregation across composed
+// behaviours, including components that track no victims.
+func TestComposeVictimCount(t *testing.T) {
+	comp := &Compose{}
+	comp.Behaviors = append(comp.Behaviors,
+		&Dropper{Dropped: 3},
+		&Modifier{Modified: 4},
+		countlessBehavior{}, // no Victims implementation: contributes zero
+	)
+	if got := comp.VictimCount(); got != 7 {
+		t.Fatalf("VictimCount() = %d, want 7", got)
+	}
+}
+
+// countlessBehavior is a Behavior with no victim counter.
+type countlessBehavior struct{ forwardControl }
+
+func (countlessBehavior) OnForward(*network.RouterView, *packet.Packet, packet.NodeID) network.Verdict {
+	return network.Verdict{Action: network.ActForward}
+}

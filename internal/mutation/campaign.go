@@ -1,0 +1,248 @@
+package mutation
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"routerwatch/internal/detector"
+	"routerwatch/internal/protocol"
+	"routerwatch/internal/runner"
+)
+
+// Verdict classifies one mutant run.
+const (
+	// VerdictDetected: at least one suspicion implicates a compromised
+	// router.
+	VerdictDetected = "detected"
+	// VerdictEvaded: the attack claimed victims but no suspicion touches
+	// any compromised router — a genuine survivor.
+	VerdictEvaded = "evaded"
+	// VerdictInert: the attack's trigger conditions never fired (zero
+	// victims); an empty log proves nothing.
+	VerdictInert = "inert"
+	// VerdictError: the scenario failed to run.
+	VerdictError = "error"
+)
+
+// Outcome is one mutant's judged run.
+type Outcome struct {
+	ID       string `json:"id"`
+	Operator string `json:"operator"`
+	Protocol string `json:"protocol"`
+	Verdict  string `json:"verdict"`
+	// Victims counts packets the attack actually claimed (ground truth
+	// from the behaviours' own counters).
+	Victims int `json:"victims"`
+	// Suspicions is the suspicion-log length; FirstAt the first suspicion
+	// time in virtual time (0 if none).
+	Suspicions int               `json:"suspicions"`
+	FirstAt    protocol.Duration `json:"first-at,omitempty"`
+	// FalseAccusations counts §4.2.2 a-Accuracy violations at the
+	// protocol's precision bound: suspicions by correct routers naming no
+	// compromised router (or over-long segments).
+	FalseAccusations int `json:"false-accusations,omitempty"`
+	// MissingObservers counts correct routers that never suspected the
+	// faulty one — strong-completeness (§4.2.2) misses, checked only for
+	// flooding protocols under a single compromised router.
+	MissingObservers int    `json:"missing-observers,omitempty"`
+	Err              string `json:"error,omitempty"`
+}
+
+// floods marks the protocols whose suspicions reach every correct router,
+// so strong completeness applies (mirrors the conformance suite's
+// independent pin of the same fact).
+var floods = map[string]bool{"pi2": true, "pik2": true, "fatih": true}
+
+// Config shapes a campaign.
+type Config struct {
+	// Protocols are the registry names to sweep; empty means the line
+	// protocols whose generic scenarios the mutators understand.
+	Protocols []string
+	// Operators defaults to the full Catalog.
+	Operators []Operator
+	// Budget is the mutant budget per protocol.
+	Budget int
+	// Seed drives generation and every mutant's scenario seed.
+	Seed int64
+	// Workers bounds the worker pool (0 = GOMAXPROCS, 1 = serial). It
+	// must not — and does not — affect any reported result.
+	Workers int
+	// Duration, when positive, trims each base scenario to this virtual
+	// duration (traffic scaled to match), keeping campaign cost bounded.
+	Duration time.Duration
+	// Progress, if set, is called after each mutant completes.
+	Progress func(done, total int)
+}
+
+// DefaultProtocols are the campaign's standard targets: the path-segment
+// and counter protocols whose canonical scenarios run through the generic
+// runner (χ and Fatih compose custom scenarios whose attack handling the
+// operator set does not model).
+func DefaultProtocols() []string { return []string{"pi2", "pik2", "watchers"} }
+
+// Run generates the mutant space and sweeps it on the parallel trial
+// runner. The returned report and mutant set are identical for identical
+// configs, regardless of Workers.
+func Run(cfg Config) (*Report, []*Mutant, error) {
+	protocols := cfg.Protocols
+	if len(protocols) == 0 {
+		protocols = DefaultProtocols()
+	}
+	ops := cfg.Operators
+	if ops == nil {
+		ops = Catalog()
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 32
+	}
+
+	type entry struct {
+		protocol string
+		mutant   *Mutant
+	}
+	var entries []entry
+	for pi, name := range protocols {
+		d, err := protocol.Lookup(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if d.DefaultSpec == nil || d.Scenario != nil {
+			return nil, nil, fmt.Errorf("protocol %q has no generic canonical scenario to mutate", name)
+		}
+		base := d.DefaultSpec(cfg.Seed, false)
+		if terr := Trim(base, cfg.Duration); terr != nil {
+			return nil, nil, terr
+		}
+		// Per-protocol generation stream: protocol order must not shift
+		// another protocol's mutants.
+		mutants, err := Generate(base, ops, cfg.Budget, cfg.Seed+int64(pi))
+		if err != nil {
+			return nil, nil, fmt.Errorf("protocol %q: %v", name, err)
+		}
+		for _, m := range mutants {
+			entries = append(entries, entry{protocol: name, mutant: m})
+		}
+	}
+
+	outcomes := make([]Outcome, len(entries))
+	rcfg := runner.Config{Workers: cfg.Workers, BaseSeed: cfg.Seed}
+	if cfg.Progress != nil {
+		rcfg.Progress = func(s runner.Snapshot) { cfg.Progress(s.Done, s.Total) }
+	}
+	runner.Map(rcfg, len(entries), func(tr runner.Trial) struct{} {
+		e := entries[tr.Index]
+		outcomes[tr.Index] = judgeMutant(e.protocol, e.mutant)
+		return struct{}{}
+	})
+
+	rep := buildReport(cfg, protocols, ops, outcomes)
+	mutants := make([]*Mutant, len(entries))
+	for i, e := range entries {
+		mutants[i] = e.mutant
+	}
+	return rep, mutants, nil
+}
+
+// judgeMutant runs one mutant scenario and judges the suspicion log with
+// the §4.2.2 checkers. Every run uses its own simulator kernel and the
+// mutant's pre-assigned seed, so the outcome is independent of scheduling.
+func judgeMutant(protoName string, m *Mutant) Outcome {
+	o := Outcome{ID: m.ID, Operator: m.Operator, Protocol: protoName}
+	d, err := protocol.Lookup(protoName)
+	if err != nil {
+		o.Verdict, o.Err = VerdictError, err.Error()
+		return o
+	}
+	res, err := protocol.Run(m.Spec, protocol.RunOptions{})
+	if err != nil {
+		o.Verdict, o.Err = VerdictError, err.Error()
+		return o
+	}
+	judge(&o, res, d.Precision)
+	return o
+}
+
+// judge fills the outcome from a completed run.
+func judge(o *Outcome, res *protocol.Result, precision int) {
+	o.Victims = res.Victims()
+	o.Suspicions = res.Log.Len()
+	o.FirstAt = protocol.Duration(res.Log.FirstAt())
+
+	detected := false
+	for _, seg := range res.Log.Segments() {
+		if res.FaultyContains(seg) {
+			detected = true
+			break
+		}
+	}
+	gt := detector.NewGroundTruth(res.FaultySet, nil)
+	if precision > 0 {
+		o.FalseAccusations = len(detector.CheckAccuracy(res.Log, gt, precision))
+	}
+	if detected && floods[o.Protocol] && len(res.FaultySet) == 1 {
+		o.MissingObservers = len(detector.CheckCompleteness(
+			res.Log, gt, res.FaultySet[0], res.Net.Graph().Nodes()))
+	}
+
+	switch {
+	case detected:
+		o.Verdict = VerdictDetected
+	case o.Victims == 0:
+		o.Verdict = VerdictInert
+	default:
+		o.Verdict = VerdictEvaded
+	}
+}
+
+// Trim shortens a scenario to duration d, scaling each workload's packet
+// count to preserve its rate (the conformance suite's trimming rule). A
+// zero or negative d leaves the spec untouched.
+func Trim(spec *protocol.Spec, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	if a := spec.Attack; a != nil && a.Start.D() >= d {
+		return fmt.Errorf("trim %v would end before the attack onset %v", d, a.Start.D())
+	}
+	spec.Duration = protocol.Duration(d)
+	for i := range spec.Traffic {
+		t := &spec.Traffic[i]
+		if t.Interval <= 0 {
+			continue
+		}
+		if n := int(d / t.Interval.D()); n < t.Count {
+			t.Count = n
+		}
+	}
+	return nil
+}
+
+// sortedOperators returns the operator names present in outcomes, catalog
+// order first, then any strays alphabetically.
+func sortedOperators(ops []Operator, outcomes []Outcome) []string {
+	order := make(map[string]int, len(ops))
+	var names []string
+	for i, op := range ops {
+		order[op.Name] = i
+	}
+	seen := make(map[string]bool)
+	for _, o := range outcomes {
+		if !seen[o.Operator] {
+			seen[o.Operator] = true
+			names = append(names, o.Operator)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := order[names[i]]
+		oj, jok := order[names[j]]
+		if iok != jok {
+			return iok
+		}
+		if iok && jok && oi != oj {
+			return oi < oj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

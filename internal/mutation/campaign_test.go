@@ -1,0 +1,130 @@
+package mutation
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// smallCampaign is a cheap single-protocol sweep used by the determinism
+// tests: two operator axes, a handful of mutants, short virtual runs.
+func smallCampaign(workers int) Config {
+	ops, _ := Operators([]string{"rate", "collude"})
+	return Config{
+		Protocols: []string{"pik2"},
+		Operators: ops,
+		Budget:    6,
+		Seed:      42,
+		Workers:   workers,
+		Duration:  8 * time.Second,
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers: the frontier report must encode
+// to identical bytes run-to-run and for every worker-pool size — the
+// acceptance bar for the whole campaign design.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	var encs [][]byte
+	for _, workers := range []int{1, 1, 4} {
+		rep, _, err := Run(smallCampaign(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := rep.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs = append(encs, enc)
+	}
+	if !bytes.Equal(encs[0], encs[1]) {
+		t.Fatal("identical serial campaigns produced different reports")
+	}
+	if !bytes.Equal(encs[0], encs[2]) {
+		t.Fatal("worker count changed the report bytes")
+	}
+}
+
+// TestCampaignFrontierShape: the sweep must classify the rate axis the way
+// §4.2.2 predicts — aggressive drop rates detected, rates under the loss
+// threshold evading — and the report's books must balance.
+func TestCampaignFrontierShape(t *testing.T) {
+	rep, mutants, err := Run(smallCampaign(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Protocols) != 1 {
+		t.Fatalf("%d frontiers, want 1", len(rep.Protocols))
+	}
+	f := rep.Protocols[0]
+	if f.Protocol != "pik2" || f.Mutants != len(mutants) {
+		t.Fatalf("frontier %s with %d mutants, want pik2 with %d", f.Protocol, f.Mutants, len(mutants))
+	}
+	if f.Detected+f.Evaded+f.Inert+f.Errors != f.Mutants {
+		t.Fatalf("verdicts %d+%d+%d+%d do not sum to %d mutants",
+			f.Detected, f.Evaded, f.Inert, f.Errors, f.Mutants)
+	}
+	if f.Errors != 0 {
+		t.Fatalf("%d mutants errored", f.Errors)
+	}
+	if f.Detected == 0 {
+		t.Fatal("no mutant detected — the sweep is not exercising the detector")
+	}
+	if f.Evaded == 0 {
+		t.Fatal("no mutant evaded — the rate ladder must cross the loss threshold")
+	}
+	var opSum int
+	for _, st := range f.Operators {
+		opSum += st.Mutants
+		if st.Detected+st.Evaded+st.Inert+st.Errors != st.Mutants {
+			t.Fatalf("operator %s books do not balance", st.Operator)
+		}
+	}
+	if opSum != f.Mutants {
+		t.Fatalf("operator rows cover %d mutants, frontier has %d", opSum, f.Mutants)
+	}
+	if len(f.Survivors) != f.Evaded {
+		t.Fatalf("%d survivor IDs for %d evasions", len(f.Survivors), f.Evaded)
+	}
+	if f.FalseAccusations != 0 {
+		t.Fatalf("campaign produced %d false accusations — accuracy broken", f.FalseAccusations)
+	}
+}
+
+// TestCampaignReportRoundTrip: report JSON decodes back to the same bytes.
+func TestCampaignReportRoundTrip(t *testing.T) {
+	rep, _, err := Run(smallCampaign(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeReport(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := dec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("report does not round-trip through JSON")
+	}
+	if rep.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+// TestCampaignRejectsCustomScenarios: protocols with hand-composed
+// scenario functions (χ, Fatih) cannot be swept — their attack handling
+// is outside the operators' model, so asking must be a loud error.
+func TestCampaignRejectsCustomScenarios(t *testing.T) {
+	for _, name := range []string{"chi", "fatih"} {
+		cfg := smallCampaign(0)
+		cfg.Protocols = []string{name}
+		if _, _, err := Run(cfg); err == nil {
+			t.Fatalf("sweeping %s did not error", name)
+		}
+	}
+}

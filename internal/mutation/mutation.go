@@ -1,0 +1,131 @@
+// Package mutation turns the hand-written attack scenarios into a
+// generated, searchable adversary space. It borrows the operator design of
+// code-mutation frameworks: a mutation operator is a small transformation
+// of a base scenario's attack configuration along one axis the adversary
+// model already supports — drop-pattern shape (burst, periodic,
+// flow-targeted, queue-masked), delay/reorder/fabricate mixes,
+// threshold-evading fractional rates, and colluding router sets (the
+// WATCHERS consorting flaw). A campaign sweeps the mutated space on the
+// parallel trial runner, judges every run with the §4.2.2 accuracy and
+// completeness checkers, and reports the per-protocol detection/evasion
+// frontier. Mutants that attack real traffic and go undetected are
+// "survivors": they are serialized as declarative scenario Specs under
+// testdata/survivors/ and replayed by the regression suite forever after,
+// so an evasion, once found, can never silently return.
+//
+// Determinism obligations: generation draws randomness only from per-
+// operator SplitMix64-derived streams, mutants are deduplicated and
+// ordered canonically, and each mutant's scenario seed is derived from the
+// campaign seed by the mutant's index — so a campaign with a fixed seed
+// produces the same mutant set, the same verdicts and the same frontier
+// report across runs and across worker counts.
+package mutation
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+
+	"routerwatch/internal/protocol"
+	"routerwatch/internal/sim"
+)
+
+// Mutant is one generated attack scenario.
+type Mutant struct {
+	// ID is "<operator>-<nnn>", unique within one generated set.
+	ID string
+	// Operator is the name of the operator that produced the mutant.
+	Operator string
+	// Spec is the complete runnable scenario (protocol, topology, traffic
+	// and the mutated attack). Its Seed is assigned by Generate.
+	Spec *protocol.Spec
+}
+
+// Generate derives the mutant set for one base scenario: every operator is
+// applied with its own SplitMix64-derived stream, duplicates (operators
+// that happen to produce identical attack configurations) are dropped, and
+// the surviving mutants are capped at budget in round-robin operator order
+// so small budgets still sample every axis. Mutant i runs under scenario
+// seed sim.DeriveSeed(seed, i): distinct mutants never share an RNG
+// stream, and the set is identical for identical (base, ops, budget,
+// seed) inputs.
+func Generate(base *protocol.Spec, ops []Operator, budget int, seed int64) ([]*Mutant, error) {
+	if budget <= 0 {
+		return nil, nil
+	}
+	perOp := make([][]*protocol.Spec, len(ops))
+	for i, op := range ops {
+		r := rand.New(rand.NewSource(sim.DeriveSeed(seed, uint64(i))))
+		specs, err := op.Mutate(base, r, budget)
+		if err != nil {
+			return nil, fmt.Errorf("operator %s: %v", op.Name, err)
+		}
+		perOp[i] = specs
+	}
+
+	seen := make(map[string]bool)
+	counts := make([]int, len(ops))
+	var mutants []*Mutant
+	for round := 0; len(mutants) < budget; round++ {
+		advanced := false
+		for i, op := range ops {
+			if len(mutants) >= budget {
+				break
+			}
+			if round >= len(perOp[i]) {
+				continue
+			}
+			advanced = true
+			spec := perOp[i][round]
+			key, err := fingerprint(spec)
+			if err != nil {
+				return nil, fmt.Errorf("operator %s: %v", op.Name, err)
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			counts[i]++
+			m := &Mutant{
+				ID:       fmt.Sprintf("%s-%03d", op.Name, counts[i]),
+				Operator: op.Name,
+				Spec:     spec,
+			}
+			spec.Name = base.Name + "+" + m.ID
+			spec.Seed = sim.DeriveSeed(seed, uint64(len(mutants)))
+			mutants = append(mutants, m)
+		}
+		if !advanced {
+			break
+		}
+	}
+	return mutants, nil
+}
+
+// fingerprint canonicalizes a spec for deduplication: the encoded JSON with
+// identity fields (name, seed) neutralized, hashed.
+func fingerprint(spec *protocol.Spec) (string, error) {
+	c, err := Clone(spec)
+	if err != nil {
+		return "", err
+	}
+	c.Name = ""
+	c.Seed = 0
+	enc, err := c.Encode()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(enc)
+	return hex.EncodeToString(sum[:8]), nil
+}
+
+// Clone deep-copies a spec through its canonical encoding, so a mutated
+// copy can never alias the base scenario's slices.
+func Clone(spec *protocol.Spec) (*protocol.Spec, error) {
+	enc, err := spec.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return protocol.DecodeSpec(enc)
+}

@@ -1,0 +1,191 @@
+package mutation
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"routerwatch/internal/protocol"
+	_ "routerwatch/internal/protocol/catalog"
+)
+
+// testBase is a small generic line scenario the operators understand; it is
+// deliberately short so generated mutants run fast in tests.
+func testBase() *protocol.Spec {
+	return &protocol.Spec{
+		Name:     "test-line5",
+		Protocol: "pik2",
+		Options:  map[string]string{"loss-threshold": "2"},
+		Seed:     1,
+		Duration: protocol.Duration(3 * time.Second),
+		Jitter:   protocol.Duration(100 * time.Microsecond),
+		Topology: protocol.TopologySpec{Kind: "line", N: 5},
+		Attack: &protocol.AttackSpec{
+			Kind: "drop", Node: 2, Rate: 0.3,
+			Start: protocol.Duration(time.Second),
+		},
+		Traffic: []protocol.TrafficSpec{{
+			Kind: "pair", Src: 0, Dst: 4, Count: 1500,
+			Interval: protocol.Duration(2 * time.Millisecond),
+			Offset:   protocol.Duration(time.Microsecond),
+			Size:     500, Flow: 1, ReverseFlow: 2,
+		}},
+	}
+}
+
+func encodeAll(t *testing.T, ms []*Mutant) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, m := range ms {
+		enc, err := m.Spec.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&buf, "%s %s %d\n%s", m.ID, m.Operator, m.Spec.Seed, enc)
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateDeterministic: identical inputs produce a byte-identical
+// mutant set — IDs, operators, seeds and encoded specs.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testBase(), Catalog(), 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testBase(), Catalog(), 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("no mutants generated")
+	}
+	if !bytes.Equal(encodeAll(t, a), encodeAll(t, b)) {
+		t.Fatal("two generations with identical inputs differ")
+	}
+}
+
+// TestGenerateRoundRobin: with a budget of one per operator, every
+// operator contributes exactly its first mutant — small budgets must still
+// sample every axis of the attack space.
+func TestGenerateRoundRobin(t *testing.T) {
+	ops := Catalog()
+	ms, err := Generate(testBase(), ops, len(ops), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(ops) {
+		t.Fatalf("generated %d mutants, want %d (one per operator)", len(ms), len(ops))
+	}
+	for i, m := range ms {
+		if m.Operator != ops[i].Name {
+			t.Fatalf("mutant %d from %q, want %q", i, m.Operator, ops[i].Name)
+		}
+		if want := ops[i].Name + "-001"; m.ID != want {
+			t.Fatalf("mutant %d ID %q, want %q", i, m.ID, want)
+		}
+	}
+}
+
+// TestGenerateSeedsDistinct: no two mutants may share a scenario seed —
+// shared RNG streams would correlate runs that must be independent.
+func TestGenerateSeedsDistinct(t *testing.T) {
+	ms, err := Generate(testBase(), Catalog(), 48, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]string)
+	for _, m := range ms {
+		if prev, dup := seen[m.Spec.Seed]; dup {
+			t.Fatalf("mutants %s and %s share seed %d", prev, m.ID, m.Spec.Seed)
+		}
+		seen[m.Spec.Seed] = m.ID
+	}
+}
+
+// TestGenerateDedup: operators that emit identical attack configurations
+// collapse to one mutant (identity fields ignored).
+func TestGenerateDedup(t *testing.T) {
+	fixed := func(base *protocol.Spec, _ *rand.Rand, _ int) ([]*protocol.Spec, error) {
+		s, a, err := template(base)
+		if err != nil {
+			return nil, err
+		}
+		a.Rate = 0.42
+		return []*protocol.Spec{s}, nil
+	}
+	ops := []Operator{
+		{Name: "alpha", Mutate: fixed},
+		{Name: "beta", Mutate: fixed},
+	}
+	ms, err := Generate(testBase(), ops, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("generated %d mutants from duplicate operators, want 1", len(ms))
+	}
+	if ms[0].Operator != "alpha" {
+		t.Fatalf("survivor of dedup is %q, want first operator", ms[0].Operator)
+	}
+}
+
+// TestOperatorsResolve pins the by-name resolver used by -operators.
+func TestOperatorsResolve(t *testing.T) {
+	ops, err := Operators([]string{"collude", "rate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || ops[0].Name != "collude" || ops[1].Name != "rate" {
+		t.Fatalf("resolved %v", ops)
+	}
+	if _, err := Operators([]string{"nonsense"}); err == nil {
+		t.Fatal("unknown operator name did not error")
+	}
+}
+
+// TestTrim pins the scenario-shortening rule: duration replaced, workload
+// counts scaled to preserve rate, onset-after-end rejected.
+func TestTrim(t *testing.T) {
+	s := testBase()
+	if err := Trim(s, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.Duration.D() != 2*time.Second {
+		t.Fatalf("duration %v", s.Duration.D())
+	}
+	if s.Traffic[0].Count != 1000 {
+		t.Fatalf("trimmed count %d, want 1000 (2s at 2ms)", s.Traffic[0].Count)
+	}
+
+	if err := Trim(testBase(), 500*time.Millisecond); err == nil {
+		t.Fatal("trim before attack onset did not error")
+	}
+
+	s = testBase()
+	if err := Trim(s, 0); err != nil || s.Duration.D() != 3*time.Second {
+		t.Fatalf("zero trim changed spec: %v %v", err, s.Duration.D())
+	}
+}
+
+// TestCatalogMutantsRunnable: every operator's mutants of the canonical
+// test base must run cleanly through protocol.Run — operators may not emit
+// structurally invalid scenarios.
+func TestCatalogMutantsRunnable(t *testing.T) {
+	ops := Catalog()
+	ms, err := Generate(testBase(), ops, 2*len(ops), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		m := m
+		t.Run(m.ID, func(t *testing.T) {
+			t.Parallel()
+			if _, err := protocol.Run(m.Spec, protocol.RunOptions{}); err != nil {
+				t.Fatalf("mutant does not run: %v", err)
+			}
+		})
+	}
+}

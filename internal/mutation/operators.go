@@ -1,0 +1,370 @@
+package mutation
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
+)
+
+// Operator is one axis of the attack space: it derives mutated attack
+// configurations from a base scenario. Mutate must be deterministic given
+// (base, r, n) — all randomness comes from r, which the generator seeds
+// from its own SplitMix64 stream — and must return fully runnable specs
+// that never alias the base's memory.
+type Operator struct {
+	// Name labels the operator in mutant IDs and frontier reports.
+	Name string
+	// Doc is the one-line catalog description.
+	Doc string
+	// Mutate returns up to n mutated specs.
+	Mutate func(base *protocol.Spec, r *rand.Rand, n int) ([]*protocol.Spec, error)
+}
+
+// Catalog returns the standard operator set, in canonical order. The order
+// is part of the campaign's determinism contract: mutant IDs and budget
+// round-robin both follow it.
+func Catalog() []Operator {
+	return []Operator{
+		{
+			Name: "rate",
+			Doc:  "fractional drop rates probing the static loss-threshold bound",
+			Mutate: ladder(func(s *protocol.Spec, a *protocol.AttackSpec, i int) error {
+				// A log-spaced ladder across four decades: the low end
+				// probes the per-round loss allowance every protocol but χ
+				// tolerates (§6.1.1), the high end is the blatant attacker.
+				rates := []float64{0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5}
+				a.Kind, a.Rate = "drop", rates[i]
+				return nil
+			}, 10),
+		},
+		{
+			Name: "burst",
+			Doc:  "single drop bursts of varying width and intensity",
+			Mutate: ladder(func(s *protocol.Spec, a *protocol.AttackSpec, i int) error {
+				widths := []time.Duration{250 * time.Millisecond, 500 * time.Millisecond,
+					time.Second, 2 * time.Second, 5 * time.Second}
+				rates := []float64{1, 0.5}
+				w, p := widths[i%len(widths)], rates[i/len(widths)]
+				a.Kind, a.Rate = "drop", p
+				a.Stop = a.Start + protocol.Duration(w)
+				return nil
+			}, 10),
+		},
+		{
+			Name: "periodic",
+			Doc:  "periodic duty-cycled drop bursts",
+			Mutate: ladder(func(s *protocol.Spec, a *protocol.AttackSpec, i int) error {
+				periods := []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second}
+				duties := []float64{0.05, 0.1, 0.25, 0.5}
+				a.Kind, a.Rate = "drop", 1
+				a.Period = protocol.Duration(periods[i%len(periods)])
+				a.Duty = duties[i/len(periods)]
+				return nil
+			}, 12),
+		},
+		{
+			Name: "target",
+			Doc:  "flow- and class-targeted drops (selected flows, data-only, SYN-only)",
+			Mutate: func(base *protocol.Spec, r *rand.Rand, n int) ([]*protocol.Spec, error) {
+				flows := trafficFlows(base)
+				var out []*protocol.Spec
+				add := func(mod func(*protocol.AttackSpec)) error {
+					s, a, err := template(base)
+					if err != nil {
+						return err
+					}
+					mod(a)
+					out = append(out, s)
+					return nil
+				}
+				for _, rate := range []float64{1, 0.05} {
+					rate := rate
+					for _, fs := range flowSubsets(flows) {
+						fs := fs
+						if err := add(func(a *protocol.AttackSpec) {
+							a.Kind, a.Rate, a.Select, a.Flows = "drop", rate, "flow", fs
+						}); err != nil {
+							return nil, err
+						}
+					}
+					if err := add(func(a *protocol.AttackSpec) {
+						a.Kind, a.Rate, a.Select = "drop", rate, "data"
+					}); err != nil {
+						return nil, err
+					}
+				}
+				if err := add(func(a *protocol.AttackSpec) {
+					a.Kind, a.Rate, a.Select = "drop", 1, "syn"
+				}); err != nil {
+					return nil, err
+				}
+				return capped(out, n), nil
+			},
+		},
+		{
+			Name: "mask",
+			Doc:  "congestion-masked drops gated on queue occupancy or RED average",
+			Mutate: ladder(func(s *protocol.Spec, a *protocol.AttackSpec, i int) error {
+				fracs := []float64{0.5, 0.8, 0.9, 0.99}
+				reds := []float64{20000, 45000}
+				a.Kind, a.Rate = "drop", 1
+				if i < len(fracs) {
+					a.MinQueueFrac = fracs[i]
+				} else {
+					a.MinREDAvg = reds[i-len(fracs)]
+				}
+				return nil
+			}, 6),
+		},
+		{
+			Name: "mix",
+			Doc:  "timeliness, order and content attacks: delay, reorder, fabricate, modify",
+			Mutate: ladder(func(s *protocol.Spec, a *protocol.AttackSpec, i int) error {
+				switch {
+				case i < 3: // fixed-delay holds (conservation of timeliness)
+					delays := []time.Duration{5, 20, 100}
+					a.Kind = "delay"
+					a.Delay = protocol.Duration(delays[i] * time.Millisecond)
+				case i < 5: // jittered reordering (conservation of order)
+					jit := []time.Duration{2, 10}
+					a.Kind, a.Select = "reorder", "data"
+					a.Jitter = protocol.Duration(jit[i-3] * time.Millisecond)
+					a.Start = 0
+				case i < 8: // fabrication floods (conservation of content)
+					every := []time.Duration{5, 20, 100}
+					a.Kind = "fabricate"
+					a.Src, a.Dst = trafficEndpoints(s)
+					a.Every = protocol.Duration(every[i-5] * time.Millisecond)
+					a.Size = 700
+				default: // windowed payload modification
+					a.Kind = "modify"
+					a.Stop = a.Start + protocol.Duration(2*time.Second)
+				}
+				return nil
+			}, 9),
+		},
+		{
+			Name: "collude",
+			Doc:  "colluding router sets: split sub-threshold rates, adjacent pairs, drop+fabricate count-fudging",
+			Mutate: func(base *protocol.Spec, r *rand.Rand, n int) ([]*protocol.Spec, error) {
+				var out []*protocol.Spec
+				nodes := colludingPair(base)
+				// Split rates: two routers each dropping half the target
+				// rate — each pairwise observation may stay under a static
+				// threshold that the end-to-end loss exceeds.
+				for _, p := range []float64{0.002, 0.01, 0.1} {
+					s, a, err := template(base)
+					if err != nil {
+						return nil, err
+					}
+					a.Kind, a.Rate = "drop", p/2
+					a.Node = nodes[0]
+					second := *a
+					second.Node = nodes[1]
+					s.Attacks = []protocol.AttackSpec{second}
+					out = append(out, s)
+				}
+				// Count-fudging (the WATCHERS consorting flaw, §3.1): the
+				// router drops one direction's flow and fabricates bogus
+				// packets at the matching byte rate, so conservation-of-
+				// flow counters balance while content validation still
+				// sees both violations.
+				for _, p := range []float64{0.02, 0.05, 0.2} {
+					s, a, err := template(base)
+					if err != nil {
+						return nil, err
+					}
+					flows := trafficFlows(base)
+					src, dst := trafficEndpoints(s)
+					rate, size := trafficRate(s)
+					a.Kind, a.Rate = "drop", p
+					if len(flows) > 0 {
+						a.Select, a.Flows = "flow", flows[:1]
+					}
+					fab := protocol.AttackSpec{
+						Kind: "fabricate", Node: a.Node, Src: src, Dst: dst,
+						Size: size,
+						// Match the expected dropped volume: rate*p packets
+						// per second fabricated back into the counters.
+						Every: protocol.Duration(time.Duration(float64(time.Second) / (rate * p))),
+					}
+					s.Attacks = []protocol.AttackSpec{fab}
+					out = append(out, s)
+				}
+				// Adjacent colluders both dropping: the upstream neighbor
+				// of every monitoring pair is itself faulty.
+				{
+					s, a, err := template(base)
+					if err != nil {
+						return nil, err
+					}
+					a.Kind, a.Rate = "drop", 0.3
+					second := *a
+					second.Node = a.Node + 1
+					s.Attacks = []protocol.AttackSpec{second}
+					out = append(out, s)
+				}
+				return capped(out, n), nil
+			},
+		},
+	}
+}
+
+// ladder adapts an indexed family of size total into an Operator.Mutate:
+// variant i is produced by mod(spec, attack, i).
+func ladder(mod func(*protocol.Spec, *protocol.AttackSpec, int) error, total int) func(*protocol.Spec, *rand.Rand, int) ([]*protocol.Spec, error) {
+	return func(base *protocol.Spec, r *rand.Rand, n int) ([]*protocol.Spec, error) {
+		var out []*protocol.Spec
+		for i := 0; i < total; i++ {
+			s, a, err := template(base)
+			if err != nil {
+				return nil, err
+			}
+			if err := mod(s, a, i); err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return capped(out, n), nil
+	}
+}
+
+// template clones the base and resets its attack to the mutation template:
+// the base scenario's compromised router and onset time with everything
+// else cleared, ready for one operator to shape.
+func template(base *protocol.Spec) (*protocol.Spec, *protocol.AttackSpec, error) {
+	s, err := Clone(base)
+	if err != nil {
+		return nil, nil, err
+	}
+	a := &protocol.AttackSpec{Kind: "drop", Node: middleNode(base), Start: attackStart(base)}
+	s.Attack = a
+	s.Attacks = nil
+	return s, a, nil
+}
+
+// middleNode is the template's compromised router: the base attack's when
+// it has one, otherwise the middle of a line.
+func middleNode(base *protocol.Spec) int {
+	if base.Attack != nil {
+		return base.Attack.Node
+	}
+	if base.Topology.Kind == "line" && base.Topology.N > 0 {
+		return base.Topology.N / 2
+	}
+	return 0
+}
+
+// attackStart is the template onset: the base attack's when set, else 5s.
+func attackStart(base *protocol.Spec) protocol.Duration {
+	if base.Attack != nil && base.Attack.Start != 0 {
+		return base.Attack.Start
+	}
+	return protocol.Duration(5 * time.Second)
+}
+
+// trafficFlows collects the distinct nonzero flow labels of the base
+// traffic, in spec order.
+func trafficFlows(base *protocol.Spec) []packet.FlowID {
+	var flows []packet.FlowID
+	seen := make(map[packet.FlowID]bool)
+	add := func(f packet.FlowID) {
+		if f != 0 && !seen[f] {
+			seen[f] = true
+			flows = append(flows, f)
+		}
+	}
+	for _, t := range base.Traffic {
+		add(t.Flow)
+		add(t.ReverseFlow)
+	}
+	return flows
+}
+
+// flowSubsets enumerates the victim flow sets the target operator probes:
+// each single flow, then the full set.
+func flowSubsets(flows []packet.FlowID) [][]packet.FlowID {
+	var subs [][]packet.FlowID
+	for _, f := range flows {
+		subs = append(subs, []packet.FlowID{f})
+	}
+	if len(flows) > 1 {
+		subs = append(subs, append([]packet.FlowID(nil), flows...))
+	}
+	return subs
+}
+
+// trafficEndpoints returns the first workload's src and dst (fabrication
+// forges that conversation).
+func trafficEndpoints(s *protocol.Spec) (src, dst int) {
+	if len(s.Traffic) > 0 {
+		return s.Traffic[0].Src, s.Traffic[0].Dst
+	}
+	return 0, 0
+}
+
+// trafficRate estimates the packets/s and packet size of the base's first
+// workload — what the count-fudging colluder must replace.
+func trafficRate(s *protocol.Spec) (pps float64, size int) {
+	if len(s.Traffic) == 0 || s.Traffic[0].Interval == 0 {
+		return 100, 500
+	}
+	t := s.Traffic[0]
+	size = t.Size
+	if size == 0 {
+		size = 500
+	}
+	return float64(time.Second) / float64(t.Interval.D()), size
+}
+
+// colludingPair picks the two compromised routers for split-rate
+// collusion: the interior routers flanking the template node on a line
+// (endpoints forward no transit traffic), else the template node and its
+// neighbor.
+func colludingPair(base *protocol.Spec) [2]int {
+	mid := middleNode(base)
+	if base.Topology.Kind == "line" && mid-1 > 0 && mid+1 < lineN(base)-1 {
+		return [2]int{mid - 1, mid + 1}
+	}
+	return [2]int{mid, mid + 1}
+}
+
+func lineN(base *protocol.Spec) int {
+	if base.Topology.N > 0 {
+		return base.Topology.N
+	}
+	return 5
+}
+
+// capped truncates out to at most n specs.
+func capped(out []*protocol.Spec, n int) []*protocol.Spec {
+	if n < len(out) {
+		return out[:n]
+	}
+	return out
+}
+
+// Operators resolves operator names to catalog entries; empty names mean
+// the full catalog.
+func Operators(names []string) ([]Operator, error) {
+	all := Catalog()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]Operator, len(all))
+	for _, op := range all {
+		byName[op.Name] = op
+	}
+	var ops []Operator
+	for _, n := range names {
+		op, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown mutation operator %q", n)
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}

@@ -1,0 +1,180 @@
+package mutation
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"text/tabwriter"
+
+	"routerwatch/internal/protocol"
+)
+
+// Report is a campaign's detection/evasion frontier. It contains only
+// virtual-time, seed-derived quantities — never wall-clock or worker
+// counts — so a fixed-seed campaign encodes to identical bytes on every
+// run.
+type Report struct {
+	Seed     int64             `json:"seed"`
+	Budget   int               `json:"budget"`
+	Duration protocol.Duration `json:"duration,omitempty"`
+	// Protocols holds one frontier per swept protocol, in sweep order.
+	Protocols []Frontier `json:"protocols"`
+}
+
+// Frontier is one protocol's slice of the attack space.
+type Frontier struct {
+	Protocol  string `json:"protocol"`
+	Precision int    `json:"precision"`
+	Mutants   int    `json:"mutants"`
+	Detected  int    `json:"detected"`
+	Evaded    int    `json:"evaded"`
+	Inert     int    `json:"inert"`
+	Errors    int    `json:"errors,omitempty"`
+	// FalseAccusations totals §4.2.2 accuracy violations across the
+	// protocol's runs — nonzero means mutations broke accuracy, not just
+	// completeness.
+	FalseAccusations int `json:"false-accusations,omitempty"`
+	// Operators breaks the frontier down per mutation operator.
+	Operators []OperatorStats `json:"operators"`
+	// Survivors lists the evaded mutant IDs — the undetected attack
+	// configurations that become regression scenarios.
+	Survivors []string `json:"survivors,omitempty"`
+	// Outcomes carries every judged run, in mutant order.
+	Outcomes []Outcome `json:"outcomes"`
+}
+
+// OperatorStats aggregates one operator's mutants for one protocol.
+type OperatorStats struct {
+	Operator string `json:"operator"`
+	Mutants  int    `json:"mutants"`
+	Detected int    `json:"detected"`
+	Evaded   int    `json:"evaded"`
+	Inert    int    `json:"inert"`
+	Errors   int    `json:"errors,omitempty"`
+}
+
+// buildReport folds judged outcomes into the frontier report, in protocol
+// sweep order and mutant generation order.
+func buildReport(cfg Config, protocols []string, ops []Operator, outcomes []Outcome) *Report {
+	rep := &Report{Seed: cfg.Seed, Budget: cfg.Budget, Duration: protocol.Duration(cfg.Duration)}
+	for _, name := range protocols {
+		var mine []Outcome
+		for _, o := range outcomes {
+			if o.Protocol == name {
+				mine = append(mine, o)
+			}
+		}
+		d, _ := protocol.Lookup(name)
+		f := Frontier{Protocol: name, Precision: d.Precision, Mutants: len(mine), Outcomes: mine}
+		names := sortedOperators(ops, mine)
+		// Preallocate exactly: perOp holds pointers into f.Operators, so the
+		// slice must never grow (append would reallocate under them).
+		f.Operators = make([]OperatorStats, len(names))
+		perOp := make(map[string]*OperatorStats, len(names))
+		for i, opName := range names {
+			f.Operators[i] = OperatorStats{Operator: opName}
+			perOp[opName] = &f.Operators[i]
+		}
+		for _, o := range mine {
+			st := perOp[o.Operator]
+			st.Mutants++
+			switch o.Verdict {
+			case VerdictDetected:
+				f.Detected++
+				st.Detected++
+			case VerdictEvaded:
+				f.Evaded++
+				st.Evaded++
+				f.Survivors = append(f.Survivors, o.ID)
+			case VerdictInert:
+				f.Inert++
+				st.Inert++
+			case VerdictError:
+				f.Errors++
+				st.Errors++
+			}
+			f.FalseAccusations += o.FalseAccusations
+		}
+		rep.Protocols = append(rep.Protocols, f)
+	}
+	return rep
+}
+
+// Encode renders the report as indented JSON.
+func (r *Report) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeReport parses an encoded report.
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("report: %v", err)
+	}
+	return &r, nil
+}
+
+// Table renders the human-readable frontier: one row per
+// protocol × operator, a per-protocol total, and the survivor list.
+func (r *Report) Table() string {
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "protocol\toperator\tmutants\tdetected\tevaded\tinert\terrors")
+	for _, f := range r.Protocols {
+		for _, st := range f.Operators {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
+				f.Protocol, st.Operator, st.Mutants, st.Detected, st.Evaded, st.Inert, st.Errors)
+		}
+		fmt.Fprintf(w, "%s\t= total\t%d\t%d\t%d\t%d\t%d\n",
+			f.Protocol, f.Mutants, f.Detected, f.Evaded, f.Inert, f.Errors)
+	}
+	w.Flush()
+	for _, f := range r.Protocols {
+		if f.FalseAccusations > 0 {
+			fmt.Fprintf(&buf, "\n%s: %d false accusation(s) — accuracy bound %d violated",
+				f.Protocol, f.FalseAccusations, f.Precision)
+		}
+	}
+	survivors := false
+	for _, f := range r.Protocols {
+		for _, o := range f.Outcomes {
+			if o.Verdict != VerdictEvaded {
+				continue
+			}
+			if !survivors {
+				fmt.Fprintf(&buf, "\nsurvivors (undetected, non-inert):\n")
+				survivors = true
+			}
+			fmt.Fprintf(&buf, "  %-9s %-14s %s\n", f.Protocol, o.ID, describeOutcome(o))
+		}
+	}
+	if !survivors {
+		fmt.Fprintf(&buf, "\nno survivors: every non-inert mutant was detected\n")
+	}
+	return buf.String()
+}
+
+// describeOutcome summarizes a survivor for the table.
+func describeOutcome(o Outcome) string {
+	return fmt.Sprintf("victims=%d suspicions=%d", o.Victims, o.Suspicions)
+}
+
+// SurvivorOutcomes collects the evaded outcomes across all protocols, in
+// report order.
+func (r *Report) SurvivorOutcomes() []Outcome {
+	var out []Outcome
+	for _, f := range r.Protocols {
+		for _, o := range f.Outcomes {
+			if o.Verdict == VerdictEvaded {
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}

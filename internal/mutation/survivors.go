@@ -1,0 +1,217 @@
+package mutation
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"routerwatch/internal/protocol"
+)
+
+// Survivor is a committed evasion: a mutant that attacked real traffic
+// undetected, serialized with its per-protocol verdicts. The regression
+// suite replays every committed survivor and asserts the recorded
+// verdicts, so a protocol change that silently re-opens (or closes) an
+// evasion fails loudly instead of drifting.
+type Survivor struct {
+	// ID is the mutant ID the campaign assigned ("rate-003").
+	ID string `json:"id"`
+	// Operator is the mutation operator that produced the attack.
+	Operator string `json:"operator"`
+	// Found names the campaign protocol the mutant originally evaded.
+	Found string `json:"found"`
+	// Verdicts records, per protocol, the judged verdict of replaying
+	// this survivor's attack under that protocol's canonical scenario:
+	// "detected", "evaded" or "inert".
+	Verdicts map[string]string `json:"verdicts"`
+	// Spec is the complete evading scenario (bound to the Found
+	// protocol); replays against other protocols graft its attack onto
+	// their canonical scenarios.
+	Spec *protocol.Spec `json:"spec"`
+}
+
+// Encode renders the survivor as indented JSON, verdict keys sorted (the
+// committed file format).
+func (s *Survivor) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSurvivor parses a survivor file. Unknown fields are errors, like
+// scenario files.
+func DecodeSurvivor(data []byte) (*Survivor, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Survivor
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("survivor: %v", err)
+	}
+	if s.Spec == nil {
+		return nil, fmt.Errorf("survivor %s: missing spec", s.ID)
+	}
+	return &s, nil
+}
+
+// FileName is the survivor's committed file name.
+func (s *Survivor) FileName() string {
+	return fmt.Sprintf("%s-%s.json", s.Found, s.ID)
+}
+
+// WriteSurvivors serializes survivors into dir, one file each.
+func WriteSurvivors(dir string, survs []*Survivor) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range survs {
+		enc, err := s.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, s.FileName()), enc, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSurvivors reads every *.json survivor in dir, sorted by file name so
+// callers iterate deterministically. A missing directory is an empty set.
+func LoadSurvivors(dir string) ([]*Survivor, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var survs []*Survivor
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		s, err := DecodeSurvivor(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		survs = append(survs, s)
+	}
+	return survs, nil
+}
+
+// Harvest builds survivor records from a completed campaign: each evaded
+// outcome's mutant is cross-replayed against protocols (default: the
+// campaign's default sweep) and serialized with the resulting verdicts.
+func Harvest(rep *Report, mutants []*Mutant, protocols []string) ([]*Survivor, error) {
+	if len(protocols) == 0 {
+		protocols = DefaultProtocols()
+	}
+	byID := make(map[string]*Mutant, len(mutants))
+	for _, m := range mutants {
+		// IDs repeat across protocols (each protocol generates its own
+		// mutant set); key by protocol+ID.
+		byID[m.Spec.Protocol+"/"+m.ID] = m
+	}
+	var survs []*Survivor
+	for _, o := range rep.SurvivorOutcomes() {
+		m := byID[o.Protocol+"/"+o.ID]
+		if m == nil {
+			return nil, fmt.Errorf("survivor %s/%s not in mutant set", o.Protocol, o.ID)
+		}
+		verdicts, err := CrossVerdicts(m.Spec, protocols)
+		if err != nil {
+			return nil, fmt.Errorf("survivor %s/%s: %v", o.Protocol, o.ID, err)
+		}
+		survs = append(survs, &Survivor{
+			ID: o.ID, Operator: o.Operator, Found: o.Protocol,
+			Verdicts: verdicts, Spec: m.Spec,
+		})
+	}
+	return survs, nil
+}
+
+// CrossVerdicts replays spec's attack under each protocol's canonical
+// scenario and returns the judged verdicts. The survivor's own protocol
+// replays the spec verbatim; others receive the attack grafted onto their
+// DefaultSpec with the survivor's topology, traffic, timing and seed, so
+// the attack faces each detector on identical ground.
+func CrossVerdicts(spec *protocol.Spec, protocols []string) (map[string]string, error) {
+	verdicts := make(map[string]string, len(protocols))
+	for _, name := range protocols {
+		g, err := Graft(spec, name)
+		if err != nil {
+			return nil, err
+		}
+		o := judgeMutant(name, &Mutant{ID: spec.Name, Spec: g})
+		if o.Verdict == VerdictError {
+			return nil, fmt.Errorf("replay under %s: %s", name, o.Err)
+		}
+		verdicts[name] = o.Verdict
+	}
+	return verdicts, nil
+}
+
+// Graft rebinds a scenario to another protocol: registry name and options
+// come from the target's canonical scenario, everything else — topology,
+// traffic, attack set, durations, seed — from the source spec.
+func Graft(spec *protocol.Spec, protoName string) (*protocol.Spec, error) {
+	if spec.Protocol == protoName {
+		return Clone(spec)
+	}
+	d, err := protocol.Lookup(protoName)
+	if err != nil {
+		return nil, err
+	}
+	if d.DefaultSpec == nil || d.Scenario != nil {
+		return nil, fmt.Errorf("protocol %q cannot host a grafted scenario", protoName)
+	}
+	g, err := Clone(spec)
+	if err != nil {
+		return nil, err
+	}
+	canon := d.DefaultSpec(spec.Seed, true)
+	g.Protocol = canon.Protocol
+	g.Options = canon.Options
+	return g, nil
+}
+
+// ReplayVerdict replays one committed survivor under one protocol and
+// returns the fresh verdict — the regression suite's core.
+func ReplayVerdict(s *Survivor, protoName string) (string, error) {
+	g, err := Graft(s.Spec, protoName)
+	if err != nil {
+		return "", err
+	}
+	o := judgeMutant(protoName, &Mutant{ID: s.ID, Spec: g})
+	if o.Verdict == VerdictError {
+		return "", fmt.Errorf("%s under %s: %s", s.ID, protoName, o.Err)
+	}
+	return o.Verdict, nil
+}
+
+// SortedVerdictProtocols returns the survivor's verdict keys in sorted
+// order (map iteration must never reach output).
+func (s *Survivor) SortedVerdictProtocols() []string {
+	names := make([]string, 0, len(s.Verdicts))
+	for n := range s.Verdicts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

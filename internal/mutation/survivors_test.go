@@ -1,0 +1,121 @@
+package mutation
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const survivorsDir = "testdata/survivors"
+
+// TestSurvivorRegression replays every committed survivor under every
+// protocol it carries a verdict for and asserts the recorded verdict —
+// the surviving-mutant regression suite. For verdicts recorded as
+// "evaded" this is a failing-if-detected test in both directions:
+//
+//   - A detector regression that re-opens a closed evasion flips a
+//     "detected" verdict to "evaded" and fails here.
+//   - A detector improvement that closes a committed evasion flips
+//     "evaded" to "detected" and also fails here — deliberately, so the
+//     corpus is re-judged (RW_UPDATE_GOLDEN=1) instead of silently going
+//     stale.
+//
+// Set RW_UPDATE_GOLDEN=1 to recompute all verdicts and rewrite the files.
+func TestSurvivorRegression(t *testing.T) {
+	survs, err := LoadSurvivors(survivorsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(survs) == 0 {
+		t.Fatal("no committed survivors — the regression corpus is required")
+	}
+
+	if os.Getenv("RW_UPDATE_GOLDEN") != "" {
+		for _, s := range survs {
+			verdicts, err := CrossVerdicts(s.Spec, s.SortedVerdictProtocols())
+			if err != nil {
+				t.Fatalf("%s: %v", s.FileName(), err)
+			}
+			s.Verdicts = verdicts
+		}
+		if err := WriteSurvivors(survivorsDir, survs); err != nil {
+			t.Fatal(err)
+		}
+		t.Skipf("rewrote %d survivor files", len(survs))
+	}
+
+	for _, s := range survs {
+		s := s
+		t.Run(strings.TrimSuffix(s.FileName(), ".json"), func(t *testing.T) {
+			t.Parallel()
+			if got := s.Verdicts[s.Found]; got != VerdictEvaded {
+				t.Fatalf("recorded verdict under the found protocol is %q, want %q", got, VerdictEvaded)
+			}
+			for _, proto := range s.SortedVerdictProtocols() {
+				got, err := ReplayVerdict(s, proto)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := s.Verdicts[proto]; got != want {
+					t.Errorf("replay under %s: verdict %q, recorded %q (set RW_UPDATE_GOLDEN=1 to re-judge)",
+						proto, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSurvivorFilesWellFormed pins the committed file format: strict
+// decoding, file names matching content, specs bound to the protocol the
+// mutant was found against.
+func TestSurvivorFilesWellFormed(t *testing.T) {
+	survs, err := LoadSurvivors(survivorsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, s := range survs {
+		if s.ID == "" || s.Operator == "" || s.Found == "" {
+			t.Fatalf("survivor %q missing identity fields", s.FileName())
+		}
+		if s.Spec.Protocol != s.Found {
+			t.Errorf("%s: spec bound to %q, found against %q", s.FileName(), s.Spec.Protocol, s.Found)
+		}
+		if len(s.Verdicts) == 0 {
+			t.Errorf("%s: no verdicts", s.FileName())
+		}
+		if seen[s.FileName()] {
+			t.Errorf("duplicate survivor %s", s.FileName())
+		}
+		seen[s.FileName()] = true
+		if _, err := os.Stat(filepath.Join(survivorsDir, s.FileName())); err != nil {
+			t.Errorf("%s: file name does not round-trip: %v", s.FileName(), err)
+		}
+	}
+}
+
+// TestSurvivorEncodeRoundTrip: encode → decode → encode is stable.
+func TestSurvivorEncodeRoundTrip(t *testing.T) {
+	survs, err := LoadSurvivors(survivorsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range survs {
+		enc, err := s.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeSurvivor(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", s.FileName(), err)
+		}
+		enc2, err := dec.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("%s: encoding not stable", s.FileName())
+		}
+	}
+}

@@ -27,6 +27,7 @@ type QueueMonitorConfig struct {
 func init() {
 	protocol.Register(protocol.Descriptor{
 		Name:         "replica",
+		Precision:    1,
 		Summary:      "replica (§2.3): bit-exact shadow of one router, compares output streams",
 		ParseOptions: parseReplicaOptions,
 		Attach:       attachReplica,

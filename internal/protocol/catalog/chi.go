@@ -16,6 +16,7 @@ import (
 func init() {
 	protocol.Register(protocol.Descriptor{
 		Name:         "chi",
+		Precision:    3,
 		Summary:      "χ (Ch. 6): queue replay + statistical loss attribution, no static congestion threshold",
 		ParseOptions: parseChiOptions,
 		Attach:       attachChi,

@@ -11,6 +11,7 @@ import (
 func init() {
 	protocol.Register(protocol.Descriptor{
 		Name:         "fatih",
+		Precision:    3,
 		Summary:      "Fatih (§5.3): full prototype — Πk+2 + link-state routing with alert-driven exclusion",
 		ParseOptions: parseFatihOptions,
 		Attach:       attachFatih,

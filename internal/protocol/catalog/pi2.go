@@ -11,6 +11,7 @@ import (
 func init() {
 	protocol.Register(protocol.Descriptor{
 		Name:         "pi2",
+		Precision:    2,
 		Summary:      "Π2 (§5.1): per path-segment node validation via signed-value consensus, precision 2",
 		ParseOptions: parsePi2Options,
 		Attach:       attachPi2,

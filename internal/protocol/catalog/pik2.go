@@ -11,6 +11,7 @@ import (
 func init() {
 	protocol.Register(protocol.Descriptor{
 		Name:         "pik2",
+		Precision:    3,
 		Summary:      "Πk+2 (§5.2): per path-segment end validation, precision k+2, the Fatih protocol",
 		ParseOptions: parsePik2Options,
 		Attach:       attachPik2,

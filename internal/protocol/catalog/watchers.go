@@ -11,6 +11,7 @@ import (
 func init() {
 	protocol.Register(protocol.Descriptor{
 		Name:         "watchers",
+		Precision:    2,
 		Summary:      "WATCHERS (§3.1): conservation-of-flow counters with a static congestion allowance",
 		ParseOptions: parseWatchersOptions,
 		Attach:       attachWatchers,

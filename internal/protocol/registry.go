@@ -16,6 +16,13 @@ type Descriptor struct {
 	Name string
 	// Summary is the one-line description -list-protocols prints.
 	Summary string
+	// Precision is the protocol's a-accuracy bound (§4.2.2): the largest
+	// router set a suspicion may implicate without being a false
+	// accusation (replica pinpoints 1, Π2/WATCHERS name pairs, χ's queue
+	// suspicion spans 3, Πk+2/Fatih name k+2 = 3 segment ends). Zero means
+	// the protocol makes no accuracy claim; the mutation campaign judges
+	// detections against this bound.
+	Precision int
 	// ParseOptions decodes textual params into the protocol's native
 	// Options value. Unknown keys and malformed values are errors. Nil
 	// means the protocol takes no textual options.

@@ -2,7 +2,6 @@ package protocol
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"routerwatch/internal/attack"
@@ -10,6 +9,7 @@ import (
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
 	"routerwatch/internal/routing"
+	"routerwatch/internal/sim"
 	"routerwatch/internal/telemetry"
 	"routerwatch/internal/topology"
 )
@@ -46,11 +46,49 @@ type Result struct {
 	// Log is the suspicion log behind the run's hooks (nil when the caller
 	// supplied pure custom hooks with no log).
 	Log *detector.Log
-	// Faulty is the compromised router, -1 when the spec had no attack.
-	Faulty packet.NodeID
+	// Faulty is the (first) compromised router, -1 when the spec had no
+	// attack; FaultySet lists every compromised router in installation
+	// order (colluding scenarios have more than one).
+	Faulty    packet.NodeID
+	FaultySet []packet.NodeID
+	// Installed are the attack behaviours actually deployed, in
+	// installation order, for ground-truth inspection (victim counts).
+	Installed []InstalledAttack
 	// Extra carries protocol-specific scenario results (χ calibration,
 	// Fatih's *ScenarioResult).
 	Extra any
+}
+
+// InstalledAttack records one deployed attack behaviour.
+type InstalledAttack struct {
+	Node packet.NodeID
+	Kind string
+	// Behavior is the live behaviour; assert attack.Victims on it for
+	// ground-truth victim counts.
+	Behavior network.Behavior
+}
+
+// Victims sums the victim counts of every installed attack behaviour —
+// zero means the scenario's attacks never actually fired (an inert
+// configuration, not a survived one).
+func (r *Result) Victims() int {
+	total := 0
+	for _, ia := range r.Installed {
+		if v, ok := ia.Behavior.(attack.Victims); ok {
+			total += v.VictimCount()
+		}
+	}
+	return total
+}
+
+// FaultyContains reports whether seg implicates any compromised router.
+func (r *Result) FaultyContains(seg topology.Segment) bool {
+	for _, f := range r.FaultySet {
+		if seg.Contains(f) {
+			return true
+		}
+	}
+	return false
 }
 
 // Run executes a declarative scenario. Protocols with a canonical custom
@@ -147,35 +185,87 @@ func RunGeneric(spec *Spec, run RunOptions) (*Result, error) {
 	return res, nil
 }
 
-// installAttack compromises the spec's router. The attacker's RNG is
-// private (never shared with the network's streams) so adding or removing
-// an attack cannot shift unrelated random draws.
+// installAttack compromises the spec's routers (Attack plus the colluding
+// Attacks list). Each attacker's RNG is private (never shared with the
+// network's streams) so adding or removing an attack cannot shift
+// unrelated random draws; attacks after the first default to seeds derived
+// from the scenario seed by position, so colluders never share a stream
+// either. Several behaviours on one router chain through attack.Compose.
 func installAttack(net *network.Network, spec *Spec, res *Result) error {
-	a := spec.Attack
-	if a == nil || a.Kind == "" || a.Kind == "none" {
-		return nil
+	list := spec.AttackList()
+	perNode := make(map[packet.NodeID][]network.Behavior)
+	for i, a := range list {
+		node := packet.NodeID(a.Node)
+		seed := a.Seed
+		if seed == 0 {
+			seed = spec.Seed
+			if i > 0 {
+				seed = sim.DeriveSeed(spec.Seed, uint64(i))
+			}
+		}
+		b, install, err := buildAttack(net, a, node, seed)
+		if err != nil {
+			return err
+		}
+		if install {
+			perNode[node] = append(perNode[node], b)
+		}
+		res.Installed = append(res.Installed, InstalledAttack{Node: node, Kind: a.Kind, Behavior: b})
+		seen := false
+		for _, f := range res.FaultySet {
+			if f == node {
+				seen = true
+			}
+		}
+		if !seen {
+			res.FaultySet = append(res.FaultySet, node)
+		}
 	}
-	sel, err := attackSelector(a.Select)
+	for _, a := range list {
+		node := packet.NodeID(a.Node)
+		switch bs := perNode[node]; len(bs) {
+		case 0: // fabricate-only node: the injection loop is the attack
+		case 1:
+			net.Router(node).SetBehavior(bs[0])
+		default:
+			net.Router(node).SetBehavior(&attack.Compose{Behaviors: bs})
+		}
+		delete(perNode, node)
+	}
+	if len(res.FaultySet) > 0 {
+		res.Faulty = res.FaultySet[0]
+	}
+	return nil
+}
+
+// buildAttack constructs one attack behaviour. install reports whether the
+// behaviour filters forwarded traffic and belongs in Router.SetBehavior —
+// fabricators instead schedule their own injection loop, exactly as the
+// single-attack runtime always installed them.
+func buildAttack(net *network.Network, a *AttackSpec, node packet.NodeID, seed int64) (network.Behavior, bool, error) {
+	sel, err := attackSelector(a.Select, a.Flows)
 	if err != nil {
-		return err
+		return nil, false, err
 	}
-	seed := a.Seed
-	if seed == 0 {
-		seed = spec.Seed
-	}
-	node := packet.NodeID(a.Node)
 	switch a.Kind {
 	case "drop":
-		net.Router(node).SetBehavior(&attack.Dropper{
-			Select: sel, P: a.Rate, Rng: rand.New(rand.NewSource(seed)),
-			Start: a.Start.D(), MinQueueFrac: a.MinQueueFrac,
-		})
+		return &attack.Dropper{
+			Select: sel, P: a.Rate, Rng: attack.NewRand(seed),
+			Start: a.Start.D(), Stop: a.Stop.D(),
+			Period: a.Period.D(), Duty: a.Duty,
+			MinQueueFrac: a.MinQueueFrac, MinREDAvg: a.MinREDAvg,
+		}, true, nil
+	case "delay":
+		return &attack.Delayer{
+			Select: sel, Delay: a.Delay.D(), Jitter: a.Jitter.D(),
+			Start: a.Start.D(), Stop: a.Stop.D(), Rng: attack.NewRand(seed),
+		}, true, nil
 	case "modify":
-		net.Router(node).SetBehavior(&attack.Modifier{Select: sel, Start: a.Start.D()})
+		return &attack.Modifier{Select: sel, Start: a.Start.D(), Stop: a.Stop.D()}, true, nil
 	case "reorder":
-		net.Router(node).SetBehavior(&attack.Delayer{
-			Select: sel, Jitter: a.Jitter.D(), Rng: rand.New(rand.NewSource(seed)),
-		})
+		return &attack.Delayer{
+			Select: sel, Jitter: a.Jitter.D(), Rng: attack.NewRand(seed),
+		}, true, nil
 	case "fabricate":
 		size, every := a.Size, a.Every.D()
 		if size == 0 {
@@ -184,15 +274,14 @@ func installAttack(net *network.Network, spec *Spec, res *Result) error {
 		if every == 0 {
 			every = 20 * time.Millisecond
 		}
-		attack.NewFabricator(net, node, packet.NodeID(a.Src), packet.NodeID(a.Dst), size, every)
+		f := attack.NewFabricator(net, node, packet.NodeID(a.Src), packet.NodeID(a.Dst), size, every)
+		return f, false, nil
 	default:
-		return fmt.Errorf("unknown attack kind %q", a.Kind)
+		return nil, false, fmt.Errorf("unknown attack kind %q", a.Kind)
 	}
-	res.Faulty = node
-	return nil
 }
 
-func attackSelector(name string) (attack.Selector, error) {
+func attackSelector(name string, flows []packet.FlowID) (attack.Selector, error) {
 	switch name {
 	case "", "all":
 		return attack.All, nil
@@ -200,6 +289,11 @@ func attackSelector(name string) (attack.Selector, error) {
 		return attack.DataOnly, nil
 	case "syn":
 		return attack.SYNOnly, nil
+	case "flow":
+		if len(flows) == 0 {
+			return nil, fmt.Errorf("attack selector %q needs a flows list", name)
+		}
+		return attack.ByFlow(flows...), nil
 	default:
 		return nil, fmt.Errorf("unknown attack selector %q", name)
 	}

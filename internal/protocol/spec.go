@@ -59,10 +59,31 @@ type Spec struct {
 	// Jitter is the per-hop processing jitter of the network.
 	Jitter Duration `json:"jitter,omitempty"`
 
-	Topology TopologySpec  `json:"topology"`
-	Routing  *RoutingSpec  `json:"routing,omitempty"`
-	Attack   *AttackSpec   `json:"attack,omitempty"`
-	Traffic  []TrafficSpec `json:"traffic,omitempty"`
+	Topology TopologySpec `json:"topology"`
+	Routing  *RoutingSpec `json:"routing,omitempty"`
+	Attack   *AttackSpec  `json:"attack,omitempty"`
+	// Attacks lists additional compromised routers beyond Attack — the
+	// colluding sets of the WATCHERS consorting flaw and the mutation
+	// campaign's collusion operators. Attack and Attacks are one set;
+	// keeping the singular field preserves existing scenario files.
+	Attacks []AttackSpec  `json:"attacks,omitempty"`
+	Traffic []TrafficSpec `json:"traffic,omitempty"`
+}
+
+// AttackList collects the scenario's attacks — the singular Attack field
+// followed by the Attacks list — skipping nil and "none" entries. The
+// returned order is the installation order.
+func (s *Spec) AttackList() []*AttackSpec {
+	var list []*AttackSpec
+	if a := s.Attack; a != nil && a.Kind != "" && a.Kind != "none" {
+		list = append(list, a)
+	}
+	for i := range s.Attacks {
+		if a := &s.Attacks[i]; a.Kind != "" && a.Kind != "none" {
+			list = append(list, a)
+		}
+	}
+	return list
 }
 
 // TopologySpec selects a named topology builder or describes a custom
@@ -167,23 +188,39 @@ type RoutingSpec struct {
 
 // AttackSpec compromises one router.
 type AttackSpec struct {
-	// Kind is "drop", "modify", "reorder", "fabricate", or "none" (the
-	// χ scenario additionally understands "masked90" and "syn").
+	// Kind is "drop", "delay", "modify", "reorder", "fabricate", or "none"
+	// (the χ scenario additionally understands "masked90" and "syn").
 	Kind string `json:"kind"`
 	// Node is the compromised router.
 	Node int `json:"node"`
 	// Rate is the drop probability for "drop".
 	Rate float64 `json:"rate,omitempty"`
-	// Start is when the behaviour begins.
+	// Start is when the behaviour begins; Stop, when positive, ends it
+	// (a burst window).
 	Start Duration `json:"start,omitempty"`
-	// Jitter is the reorder delay spread for "reorder".
+	Stop  Duration `json:"stop,omitempty"`
+	// Period and Duty shape periodic drop bursts: with Period > 0 the
+	// dropper fires only during the first Duty fraction of each period.
+	Period Duration `json:"period,omitempty"`
+	Duty   float64  `json:"duty,omitempty"`
+	// Delay is the fixed hold time for "delay".
+	Delay Duration `json:"delay,omitempty"`
+	// Jitter is the reorder delay spread for "reorder" (and extra jitter
+	// for "delay").
 	Jitter Duration `json:"jitter,omitempty"`
-	// Seed seeds the attacker's private RNG; 0 uses the scenario seed.
+	// Seed seeds the attacker's private RNG; 0 derives one from the
+	// scenario seed (sim.DeriveSeed keyed by the attack's position), so
+	// colluding attackers never share a stream.
 	Seed int64 `json:"seed,omitempty"`
-	// MinQueueFrac masks drops below this output-queue occupancy.
+	// MinQueueFrac masks drops below this output-queue occupancy;
+	// MinREDAvg masks them below this RED average queue size (bytes).
 	MinQueueFrac float64 `json:"min-queue-frac,omitempty"`
-	// Select restricts targeted packets: "all" (default), "data", "syn".
+	MinREDAvg    float64 `json:"min-red-avg,omitempty"`
+	// Select restricts targeted packets: "all" (default), "data", "syn",
+	// or "flow" (victims listed in Flows).
 	Select string `json:"select,omitempty"`
+	// Flows are the victim flows for Select "flow".
+	Flows []packet.FlowID `json:"flows,omitempty"`
 	// Src, Dst, Size and Every shape fabricated traffic ("fabricate").
 	Src   int      `json:"src,omitempty"`
 	Dst   int      `json:"dst,omitempty"`
