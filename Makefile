@@ -12,7 +12,7 @@ GO ?= go
 # `make bench-compare` (cmd/benchcmp) to spot regressions.
 BENCH_OUT ?= BENCH_baseline.json
 
-.PHONY: build test race vet lint verify bench bench-compare fuzz campaign-smoke figures clean
+.PHONY: build test race vet lint verify bench bench-compare fuzz campaign-smoke replay-smoke figures clean
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,9 @@ fuzz:
 		$(GO) test ./internal/summary/ -run='^$$' -fuzz=$$f -fuzztime=$(FUZZTIME) || exit 1; \
 	done
 	$(GO) test ./internal/mutation/ -run='^$$' -fuzz=FuzzMutantSpecRoundTrip -fuzztime=$(FUZZTIME)
+	@for f in FuzzPcapRoundTrip FuzzDecodeFrame; do \
+		$(GO) test ./internal/capture/ -run='^$$' -fuzz=$$f -fuzztime=$(FUZZTIME) || exit 1; \
+	done
 
 # Bounded adversary-mutation campaign (cmd/campaign): one operator axis per
 # family would be too narrow, so the smoke sweeps the full catalog with a
@@ -88,6 +91,24 @@ campaign-smoke:
 	cmp campaign-a.json campaign-b.json
 	@rm -f campaign-a.json campaign-b.json
 	@echo "campaign smoke: deterministic across -parallel"
+
+# Capture-and-replay smoke (internal/capture + cmd/mrreplay): record an
+# Abilene Πk+2 run, replay the trace, and require the suspicion verdicts to
+# match the originating simulation byte for byte — then re-replay on a
+# 4-worker pool to assert replay determinism under concurrency. The pik2
+# options below must match the scenario file's options block.
+PIK2_OPTS = k=1,round=1s,timeout=250ms,loss-threshold=2,fabrication-threshold=2
+
+replay-smoke:
+	$(GO) run ./cmd/mrsim -scenario internal/capture/testdata/abilene-pik2.json \
+		-record replay-smoke-trace -verdicts replay-smoke-sim.txt > /dev/null
+	$(GO) run ./cmd/mrreplay -trace replay-smoke-trace -protocol pik2 \
+		-options "$(PIK2_OPTS)" -verdicts replay-smoke-replay.txt > /dev/null
+	cmp replay-smoke-sim.txt replay-smoke-replay.txt
+	$(GO) run ./cmd/mrreplay -trace replay-smoke-trace -protocol pik2 \
+		-options "$(PIK2_OPTS)" -repeat 4 -parallel 4 > /dev/null
+	@rm -rf replay-smoke-trace replay-smoke-sim.txt replay-smoke-replay.txt
+	@echo "replay smoke: verdicts byte-identical across record/replay and -parallel"
 
 figures:
 	$(GO) run ./cmd/figures

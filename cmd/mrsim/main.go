@@ -23,6 +23,12 @@
 // -memprofile write pprof profiles. All instrumentation output goes to
 // files or stderr — stdout is unchanged by these flags.
 //
+// Capture & replay: -record dumps the run as per-router pcap traces (a
+// directory replayable with cmd/mrreplay), and -verdicts writes the full
+// suspicion log one line per suspicion — the byte-comparable artifact the
+// replay smoke diffs against a trace replay of the same run. Both are
+// single-run features.
+//
 // With -trials N > 1 the scenario is replayed over N independent seeds on a
 // bounded worker pool (-parallel; default GOMAXPROCS, 1 = serial) and the
 // aggregate detection statistics are reported. Trial i runs on its own
@@ -38,6 +44,7 @@ import (
 	"os"
 	"time"
 
+	"routerwatch/internal/capture"
 	"routerwatch/internal/detector"
 	"routerwatch/internal/fatih"
 	"routerwatch/internal/packet"
@@ -68,6 +75,8 @@ func main() {
 	trials := flag.Int("trials", 1, "independent trials (per-trial derived seeds)")
 	parallel := flag.Int("parallel", 0, "worker pool size for -trials (0 = GOMAXPROCS, 1 = serial)")
 	scenario := flag.String("scenario", "", "run a declarative scenario file (JSON Spec) instead of the flag-built one")
+	record := flag.String("record", "", "record per-router pcap traces into this directory (single-run only; replay with mrreplay)")
+	verdicts := flag.String("verdicts", "", "write the full suspicion log, one per line, to this file (single-run only)")
 	list := flag.Bool("list-protocols", false, "list the registered protocols and exit")
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -95,8 +104,13 @@ func main() {
 
 	if *trials <= 1 {
 		tel := tf.NewSet()
-		logbook, faulty := runSpec(spec, true, tel)
+		logbook, faulty := runSpec(spec, true, tel, *record)
 		report(logbook, faulty)
+		if *verdicts != "" {
+			if err := writeVerdicts(*verdicts, logbook); err != nil {
+				log.Fatal(err)
+			}
+		}
 		if err := tf.Finish(tel); err != nil {
 			log.Fatal(err)
 		}
@@ -105,9 +119,16 @@ func main() {
 
 	// Aggregate mode folds per-trial registries deterministically; a trace
 	// ring shared across concurrent kernels would interleave unrelated
-	// virtual timelines, so -trace is a single-run feature.
+	// virtual timelines, so -trace is a single-run feature — as are -record
+	// (one trace directory describes one run) and -verdicts.
 	if tf.Trace != "" {
 		fmt.Fprintln(os.Stderr, "mrsim: -trace applies to single runs; ignoring it for -trials > 1")
+	}
+	if *record != "" {
+		fmt.Fprintln(os.Stderr, "mrsim: -record applies to single runs; ignoring it for -trials > 1")
+	}
+	if *verdicts != "" {
+		fmt.Fprintln(os.Stderr, "mrsim: -verdicts applies to single runs; ignoring it for -trials > 1")
 	}
 	var foldReg *telemetry.Registry
 	if tf.Metrics != "" {
@@ -122,7 +143,7 @@ func main() {
 			}
 			s := *spec
 			s.Seed = tr.Seed
-			logbook, faulty := runSpec(&s, false, tel)
+			logbook, faulty := runSpec(&s, false, tel, "")
 			o := summarize(logbook, faulty)
 			if o.firstAt > 0 {
 				agg.Shard(tr.Worker).Observe(tr.Index, o.firstAt.Seconds())
@@ -271,15 +292,31 @@ func buildSpec(file, protoName, attackName string, rate float64, seed int64, dur
 }
 
 // runSpec executes one trial and returns its suspicion log and the
-// compromised router. verbose enables the single-run narration.
-func runSpec(spec *protocol.Spec, verbose bool, tel *telemetry.Set) (*detector.Log, packet.NodeID) {
+// compromised router. verbose enables the single-run narration; recordDir,
+// when non-empty, dumps per-router pcap traces of the run there.
+func runSpec(spec *protocol.Spec, verbose bool, tel *telemetry.Set, recordDir string) (*detector.Log, packet.NodeID) {
 	run := protocol.RunOptions{Telemetry: tel}
 	if verbose {
 		run.Progress = func(format string, args ...any) { fmt.Printf(format, args...) }
 	}
+	var rec *capture.Recorder
+	if recordDir != "" {
+		rec = capture.NewRecorder(recordDir, capture.RecorderOptions{Gzip: true})
+		run.BeforeRun = func(r *protocol.Result) {
+			if err := rec.Attach(r.Net); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 	res, err := protocol.Run(spec, run)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mrsim: recorded trace in %s\n", recordDir)
 	}
 	if verbose {
 		if sres, ok := res.Extra.(*fatih.ScenarioResult); ok {
@@ -300,6 +337,23 @@ func summarize(logbook *detector.Log, faulty packet.NodeID) outcome {
 		}
 	}
 	return o
+}
+
+// writeVerdicts dumps the complete suspicion log, one rendered suspicion
+// per line — the byte-comparable artifact the replay smoke test diffs
+// against a trace replay of the same run.
+func writeVerdicts(path string, logbook *detector.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, s := range logbook.All() {
+		if _, err := fmt.Fprintln(f, s); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 func report(logbook *detector.Log, faulty packet.NodeID) {

@@ -47,6 +47,12 @@ func TestDeterminismInvariants(t *testing.T) {
 		// globalrand/walltime analyzers.
 		"routerwatch/internal/attack",
 		"routerwatch/internal/mutation",
+		// The capture subsystem replays recorded traffic under the same
+		// determinism contract the simulator honors: TraceEnv is an Env
+		// backend, so its clock, RNG streams and replay pump must stay
+		// free of global rand and wall-clock reads (live_linux.go is the
+		// allowlisted, build-tag-gated exception).
+		"routerwatch/internal/capture",
 	} {
 		if !analyzed[want] {
 			t.Errorf("package %s missing from the analyzed set", want)

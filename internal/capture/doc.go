@@ -1,0 +1,28 @@
+// Package capture records and replays the packet-event streams the
+// detection protocols consume, bridging the simulator and real traffic
+// through one on-disk format: classic libpcap capture files.
+//
+// Three pieces:
+//
+//   - A dependency-free pcap reader/writer (pcap.go) handling both file
+//     endiannesses and both the microsecond (0xa1b2c3d4) and nanosecond
+//     (0xa1b23c4d) magic, with transparent gzip on ".gz" files.
+//   - A frame codec (frame.go) that renders each network.Event as a real
+//     Ethernet/IPv4/UDP frame followed by a fixed 64-byte trailer carrying
+//     the event fields the fingerprint model needs. The frames open in any
+//     pcap tool; the trailer makes replay lossless.
+//   - A Recorder that taps every router of a simulated network and writes
+//     one pcap per router, plus TraceEnv, a protocol.Env whose clock is
+//     driven by the recorded timestamps. TraceEnv registers itself as the
+//     "trace" backend in the internal/protocol backend registry.
+//
+// Determinism: a trace directory plus a protocol attachment is a pure
+// function to a suspicion log. TraceEnv owns a loopback simulated network
+// built from the recorded topology and seed — the scheduler provides the
+// virtual clock, the authority re-derives the identical signing and
+// fingerprint keys (both are functions of the seed), and control-plane
+// latencies reproduce the recorded run's exactly. Replayed packet events
+// are merged across the per-router cursors in (timestamp, router, file
+// order) order and delivered through the scheduler, so dispatch order is a
+// pure function of the trace. See DESIGN.md "Capture & replay".
+package capture

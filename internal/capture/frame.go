@@ -1,0 +1,182 @@
+package capture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/queue"
+)
+
+// Each recorded network.Event becomes one Ethernet/IPv4/UDP frame whose
+// payload is a fixed trailer carrying the event fields exactly. The
+// Ethernet/IP/UDP headers are real — source and destination addresses
+// encode the packet's terminal routers, TTL is the packet's live TTL, the
+// IPv4 checksum verifies — so the traces open in standard pcap tooling,
+// while the trailer is what replay trusts: the decode path never has to
+// reverse-engineer event semantics from header fields.
+const (
+	ethLen     = 14
+	ipLen      = 20
+	udpLen     = 8
+	trailerLen = 64
+	// FrameLen is the exact length of every frame this package writes.
+	FrameLen = ethLen + ipLen + udpLen + trailerLen
+
+	etherTypeIPv4 = 0x0800
+	protoUDP      = 17
+	// udpPort is "RW" big-endian: the discriminator port replay frames
+	// carry as UDP destination.
+	udpPort = 0x5257
+
+	// trailerMagic is "RWE1" big-endian: routerwatch event, version 1.
+	trailerMagic   = 0x52574531
+	trailerVersion = 1
+)
+
+// AppendFrame appends the frame encoding of ev to dst and returns the
+// extended slice. The event time is not encoded — it travels as the pcap
+// record timestamp.
+func AppendFrame(dst []byte, ev *network.Event) []byte {
+	p := ev.Packet
+	n := len(dst)
+	dst = append(dst, make([]byte, FrameLen)...)
+	b := dst[n:]
+
+	// Ethernet: locally-administered unicast MACs 02:52:57:00:hh:ll
+	// encoding router IDs; a negative peer (no interface involved) maps to
+	// the broadcast address.
+	putMAC(b[0:6], ev.Peer)
+	putMAC(b[6:12], ev.Router)
+	binary.BigEndian.PutUint16(b[12:14], etherTypeIPv4)
+
+	// IPv4, addressed terminal-router to terminal-router in 10.0.0.0/16.
+	ip := b[ethLen:]
+	ip[0] = 0x45 // version 4, 20-byte header
+	binary.BigEndian.PutUint16(ip[2:4], ipLen+udpLen+trailerLen)
+	binary.BigEndian.PutUint16(ip[4:6], uint16(p.ID))
+	binary.BigEndian.PutUint16(ip[6:8], 0x4000) // DF
+	ip[8] = p.TTL
+	ip[9] = protoUDP
+	putAddr(ip[12:16], p.Src)
+	putAddr(ip[16:20], p.Dst)
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:ipLen]))
+
+	udp := ip[ipLen:]
+	binary.BigEndian.PutUint16(udp[0:2], uint16(p.Flow))
+	binary.BigEndian.PutUint16(udp[2:4], udpPort)
+	binary.BigEndian.PutUint16(udp[4:6], udpLen+trailerLen)
+
+	// The trailer: every Event and Packet field replay needs, big-endian.
+	tr := udp[udpLen:]
+	binary.BigEndian.PutUint32(tr[0:4], trailerMagic)
+	tr[4] = trailerVersion
+	tr[5] = byte(ev.Kind)
+	tr[6] = byte(ev.Reason)
+	tr[7] = byte(p.Flags)
+	binary.BigEndian.PutUint32(tr[8:12], uint32(ev.Router))
+	binary.BigEndian.PutUint32(tr[12:16], uint32(ev.Peer))
+	binary.BigEndian.PutUint32(tr[16:20], uint32(ev.QueueBytes))
+	binary.BigEndian.PutUint32(tr[20:24], uint32(p.Size))
+	binary.BigEndian.PutUint64(tr[24:32], p.ID)
+	binary.BigEndian.PutUint64(tr[32:40], uint64(p.Flow))
+	binary.BigEndian.PutUint32(tr[40:44], p.Seq)
+	binary.BigEndian.PutUint32(tr[44:48], p.Ack)
+	binary.BigEndian.PutUint64(tr[48:56], p.Payload)
+	binary.BigEndian.PutUint64(tr[56:64], uint64(p.SentAt))
+	return dst
+}
+
+// DecodeFrame decodes a frame produced by AppendFrame. The returned event
+// has a freshly allocated Packet and no Time (the caller owns the record
+// timestamp). Malformed input returns an error, never panics.
+func DecodeFrame(data []byte) (network.Event, error) {
+	var ev network.Event
+	if len(data) != FrameLen {
+		return ev, fmt.Errorf("capture: frame length %d, want %d", len(data), FrameLen)
+	}
+	if et := binary.BigEndian.Uint16(data[12:14]); et != etherTypeIPv4 {
+		return ev, fmt.Errorf("capture: ethertype %#04x, want IPv4", et)
+	}
+	ip := data[ethLen:]
+	if ip[0] != 0x45 {
+		return ev, fmt.Errorf("capture: IPv4 version/IHL byte %#02x", ip[0])
+	}
+	if ip[9] != protoUDP {
+		return ev, fmt.Errorf("capture: IP protocol %d, want UDP", ip[9])
+	}
+	udp := ip[ipLen:]
+	if port := binary.BigEndian.Uint16(udp[2:4]); port != udpPort {
+		return ev, fmt.Errorf("capture: UDP port %d, want %d", port, udpPort)
+	}
+	tr := udp[udpLen:]
+	if m := binary.BigEndian.Uint32(tr[0:4]); m != trailerMagic {
+		return ev, fmt.Errorf("capture: trailer magic %#08x", m)
+	}
+	if tr[4] != trailerVersion {
+		return ev, fmt.Errorf("capture: trailer version %d", tr[4])
+	}
+	kind := network.EventKind(tr[5])
+	if kind < network.EvInject || kind > network.EvDeliver {
+		return ev, fmt.Errorf("capture: event kind %d out of range", tr[5])
+	}
+	p := &packet.Packet{
+		ID:      binary.BigEndian.Uint64(tr[24:32]),
+		Flow:    packet.FlowID(binary.BigEndian.Uint64(tr[32:40])),
+		Seq:     binary.BigEndian.Uint32(tr[40:44]),
+		Ack:     binary.BigEndian.Uint32(tr[44:48]),
+		Flags:   packet.Flag(tr[7]),
+		Size:    int(int32(binary.BigEndian.Uint32(tr[20:24]))),
+		Payload: binary.BigEndian.Uint64(tr[48:56]),
+		TTL:     ip[8],
+		Src:     packet.NodeID(int32(binary.BigEndian.Uint32(ip[12:16])) & 0xffff),
+		Dst:     packet.NodeID(int32(binary.BigEndian.Uint32(ip[16:20])) & 0xffff),
+		SentAt:  time.Duration(binary.BigEndian.Uint64(tr[56:64])),
+	}
+	ev = network.Event{
+		Router:     packet.NodeID(int32(binary.BigEndian.Uint32(tr[8:12]))),
+		Kind:       kind,
+		Packet:     p,
+		Peer:       packet.NodeID(int32(binary.BigEndian.Uint32(tr[12:16]))),
+		Reason:     queue.DropReason(tr[6]),
+		QueueBytes: int(int32(binary.BigEndian.Uint32(tr[16:20]))),
+	}
+	return ev, nil
+}
+
+// putMAC writes the locally-administered MAC for a router ID, or broadcast
+// for a negative ID.
+func putMAC(b []byte, id packet.NodeID) {
+	if id < 0 {
+		for i := range b[:6] {
+			b[i] = 0xff
+		}
+		return
+	}
+	b[0], b[1], b[2], b[3] = 0x02, 'R', 'W', 0x00
+	binary.BigEndian.PutUint16(b[4:6], uint16(id))
+}
+
+// putAddr writes the 10.0.hh.ll address of a router ID.
+func putAddr(b []byte, id packet.NodeID) {
+	b[0], b[1] = 10, 0
+	binary.BigEndian.PutUint16(b[2:4], uint16(id))
+}
+
+// ipChecksum computes the IPv4 header checksum with the checksum field
+// zeroed by the caller.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,90 @@
+//go:build linux && rwlive
+
+package capture
+
+// Live capture: an AF_PACKET source that dumps real frames into the pcap
+// writer, so TraceEnv can eventually replay genuine router traffic instead
+// of simulator output. Build-tag gated (linux && rwlive) because it is
+// inherently non-deterministic: it reads the wall clock to timestamp
+// frames — the one allowlisted walltime exemption in this subsystem (see
+// internal/analysis/walltime.Allow) — and requires CAP_NET_RAW at runtime.
+//
+// The captured frames are raw Ethernet; they do not carry the routerwatch
+// trailer, so a live capture feeds the pcap/decode layers and external
+// tooling, not (yet) a TraceEnv replay. The trailer-equipped live format
+// is ROADMAP work.
+
+import (
+	"fmt"
+	"net"
+	"syscall"
+	"time"
+)
+
+// LiveSource is one AF_PACKET capture socket bound to an interface.
+type LiveSource struct {
+	fd      int
+	iface   string
+	started time.Time
+	buf     []byte
+}
+
+// htons converts a short to network byte order for the AF_PACKET socket.
+func htons(v uint16) uint16 { return v<<8 | v>>8 }
+
+// OpenLive opens a raw capture socket on the named interface. Requires
+// CAP_NET_RAW (or root).
+func OpenLive(iface string) (*LiveSource, error) {
+	proto := htons(syscall.ETH_P_ALL)
+	fd, err := syscall.Socket(syscall.AF_PACKET, syscall.SOCK_RAW, int(proto))
+	if err != nil {
+		return nil, fmt.Errorf("capture: AF_PACKET socket: %w", err)
+	}
+	ifi, err := net.InterfaceByName(iface)
+	if err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("capture: interface %q: %w", iface, err)
+	}
+	sll := &syscall.SockaddrLinklayer{Protocol: proto, Ifindex: ifi.Index}
+	if err := syscall.Bind(fd, sll); err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("capture: bind %q: %w", iface, err)
+	}
+	return &LiveSource{
+		fd:      fd,
+		iface:   iface,
+		started: time.Now(), // walltime exemption: live frames are wall-clock events
+		buf:     make([]byte, 1<<16),
+	}, nil
+}
+
+// CaptureInto reads up to frames frames from the wire into w, timestamped
+// relative to the source's open instant so the resulting file replays from
+// virtual time zero like a recorded simulation.
+func (s *LiveSource) CaptureInto(w *Writer, frames int) error {
+	for i := 0; i < frames; i++ {
+		n, _, err := syscall.Recvfrom(s.fd, s.buf, 0)
+		if err != nil {
+			if err == syscall.EINTR {
+				i--
+				continue
+			}
+			return fmt.Errorf("capture: recvfrom %q: %w", s.iface, err)
+		}
+		ts := time.Since(s.started) // walltime exemption
+		if err := w.Write(ts, s.buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the capture socket.
+func (s *LiveSource) Close() error {
+	if s.fd < 0 {
+		return nil
+	}
+	err := syscall.Close(s.fd)
+	s.fd = -1
+	return err
+}

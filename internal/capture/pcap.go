@@ -1,0 +1,299 @@
+package capture
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// Classic libpcap magic numbers, as they appear when read in the file's
+// native byte order.
+const (
+	// MagicMicros marks a capture with microsecond timestamp fractions.
+	MagicMicros = 0xa1b2c3d4
+	// MagicNanos marks a capture with nanosecond timestamp fractions.
+	MagicNanos = 0xa1b23c4d
+)
+
+// LinkTypeEthernet is the pcap link type of every file this package writes.
+const LinkTypeEthernet = 1
+
+// maxRecordLen bounds a single record's captured length. Classic pcap
+// snap lengths top out at 256 KiB in practice; anything larger in a header
+// is treated as corruption rather than an allocation request.
+const maxRecordLen = 1 << 20
+
+// Format describes a pcap file's global header completely, so that a file
+// read by Reader can be re-written byte-identically by a Writer built from
+// the same Format.
+type Format struct {
+	// LittleEndian selects the file byte order.
+	LittleEndian bool
+	// Nanos selects nanosecond (vs microsecond) timestamp fractions.
+	Nanos bool
+
+	VersionMajor uint16
+	VersionMinor uint16
+	// ThisZone and SigFigs are historical header fields, preserved verbatim.
+	ThisZone int32
+	SigFigs  uint32
+	SnapLen  uint32
+	LinkType uint32
+}
+
+// DefaultFormat is what the Recorder writes: little-endian, nanosecond
+// timestamps (virtual time is nanosecond-grained), Ethernet link type.
+func DefaultFormat() Format {
+	return Format{
+		LittleEndian: true,
+		Nanos:        true,
+		VersionMajor: 2,
+		VersionMinor: 4,
+		SnapLen:      65535,
+		LinkType:     LinkTypeEthernet,
+	}
+}
+
+func (f Format) order() binary.ByteOrder {
+	if f.LittleEndian {
+		return binary.LittleEndian
+	}
+	return binary.BigEndian
+}
+
+func (f Format) magic() uint32 {
+	if f.Nanos {
+		return MagicNanos
+	}
+	return MagicMicros
+}
+
+// Record is one captured frame. Sec/Frac/Orig are kept exactly as stored so
+// a read file re-writes byte-identically; Data is the captured bytes.
+type Record struct {
+	Sec  uint32
+	Frac uint32
+	// Orig is the original wire length (>= len(Data) in a truncating
+	// capture).
+	Orig uint32
+	Data []byte
+}
+
+// Time returns the record timestamp as a duration from the capture epoch.
+// Recorded simulator traces use virtual time zero as the epoch.
+func (r *Record) Time(f Format) time.Duration {
+	frac := time.Duration(r.Frac)
+	if !f.Nanos {
+		frac *= time.Microsecond / time.Nanosecond
+	}
+	return time.Duration(r.Sec)*time.Second + frac
+}
+
+// makeTimestamp splits a duration into the (sec, frac) pair for the format.
+func makeTimestamp(ts time.Duration, f Format) (sec, frac uint32) {
+	if ts < 0 {
+		ts = 0
+	}
+	sec = uint32(ts / time.Second)
+	rem := ts % time.Second
+	if f.Nanos {
+		return sec, uint32(rem)
+	}
+	return sec, uint32(rem / time.Microsecond)
+}
+
+// Reader decodes a classic pcap stream, transparently unwrapping gzip.
+type Reader struct {
+	r   *bufio.Reader
+	fmt Format
+	hdr [16]byte
+}
+
+// NewReader parses the global header and returns a record reader. Gzip
+// input (detected by magic) is decompressed transparently.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("pcap: gzip: %w", err)
+		}
+		br = bufio.NewReader(zr)
+	}
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: short global header: %w", err)
+	}
+	var f Format
+	switch m := binary.LittleEndian.Uint32(hdr[:4]); m {
+	case MagicMicros, MagicNanos:
+		f.LittleEndian = true
+		f.Nanos = m == MagicNanos
+	default:
+		switch m := binary.BigEndian.Uint32(hdr[:4]); m {
+		case MagicMicros, MagicNanos:
+			f.Nanos = m == MagicNanos
+		default:
+			return nil, fmt.Errorf("pcap: bad magic %#08x", m)
+		}
+	}
+	bo := f.order()
+	f.VersionMajor = bo.Uint16(hdr[4:6])
+	f.VersionMinor = bo.Uint16(hdr[6:8])
+	f.ThisZone = int32(bo.Uint32(hdr[8:12]))
+	f.SigFigs = bo.Uint32(hdr[12:16])
+	f.SnapLen = bo.Uint32(hdr[16:20])
+	f.LinkType = bo.Uint32(hdr[20:24])
+	return &Reader{r: br, fmt: f}, nil
+}
+
+// Format returns the file's global header fields.
+func (d *Reader) Format() Format { return d.fmt }
+
+// Next reads the next record into rec, reusing rec.Data's capacity. It
+// returns io.EOF cleanly at end of stream and a descriptive error on a
+// truncated or corrupt record.
+func (d *Reader) Next(rec *Record) error {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("pcap: short record header: %w", err)
+	}
+	bo := d.fmt.order()
+	rec.Sec = bo.Uint32(d.hdr[0:4])
+	rec.Frac = bo.Uint32(d.hdr[4:8])
+	incl := bo.Uint32(d.hdr[8:12])
+	rec.Orig = bo.Uint32(d.hdr[12:16])
+	if incl > maxRecordLen {
+		return fmt.Errorf("pcap: record length %d exceeds limit", incl)
+	}
+	if cap(rec.Data) < int(incl) {
+		rec.Data = make([]byte, incl)
+	} else {
+		rec.Data = rec.Data[:incl]
+	}
+	if _, err := io.ReadFull(d.r, rec.Data); err != nil {
+		return fmt.Errorf("pcap: truncated record body: %w", err)
+	}
+	return nil
+}
+
+// Writer encodes a classic pcap stream in the given Format.
+type Writer struct {
+	w   io.Writer
+	fmt Format
+	hdr [16]byte
+	err error
+}
+
+// NewWriter writes the global header and returns a record writer.
+func NewWriter(w io.Writer, f Format) (*Writer, error) {
+	var hdr [24]byte
+	bo := f.order()
+	bo.PutUint32(hdr[0:4], f.magic())
+	bo.PutUint16(hdr[4:6], f.VersionMajor)
+	bo.PutUint16(hdr[6:8], f.VersionMinor)
+	bo.PutUint32(hdr[8:12], uint32(f.ThisZone))
+	bo.PutUint32(hdr[12:16], f.SigFigs)
+	bo.PutUint32(hdr[16:20], f.SnapLen)
+	bo.PutUint32(hdr[20:24], f.LinkType)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, fmt: f}, nil
+}
+
+// WriteRecord appends one record verbatim (Sec/Frac/Orig as given).
+func (w *Writer) WriteRecord(rec *Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	bo := w.fmt.order()
+	bo.PutUint32(w.hdr[0:4], rec.Sec)
+	bo.PutUint32(w.hdr[4:8], rec.Frac)
+	bo.PutUint32(w.hdr[8:12], uint32(len(rec.Data)))
+	bo.PutUint32(w.hdr[12:16], rec.Orig)
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(rec.Data); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Write appends a frame captured whole at virtual time ts.
+func (w *Writer) Write(ts time.Duration, data []byte) error {
+	sec, frac := makeTimestamp(ts, w.fmt)
+	return w.WriteRecord(&Record{Sec: sec, Frac: frac, Orig: uint32(len(data)), Data: data})
+}
+
+// FileReader is a Reader over an opened capture file.
+type FileReader struct {
+	*Reader
+	f io.Closer
+}
+
+// OpenFile opens a pcap (or gzipped pcap) file for reading.
+func OpenFile(path string) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &FileReader{Reader: r, f: f}, nil
+}
+
+// Close closes the underlying file.
+func (r *FileReader) Close() error { return r.f.Close() }
+
+// FileWriter is a Writer over a created capture file, gzip-compressed when
+// the path ends in ".gz".
+type FileWriter struct {
+	*Writer
+	bw *bufio.Writer
+	zw *gzip.Writer
+	f  *os.File
+}
+
+// CreateFile creates a pcap file (gzipped when path has a ".gz" suffix).
+func CreateFile(path string, format Format) (*FileWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	fw := &FileWriter{f: f, bw: bufio.NewWriter(f)}
+	var sink io.Writer = fw.bw
+	if strings.HasSuffix(path, ".gz") {
+		fw.zw = gzip.NewWriter(fw.bw)
+		sink = fw.zw
+	}
+	if fw.Writer, err = NewWriter(sink, format); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fw, nil
+}
+
+// Close flushes and closes the file, reporting any deferred write error.
+func (w *FileWriter) Close() error {
+	errs := []error{w.Writer.err}
+	if w.zw != nil {
+		errs = append(errs, w.zw.Close())
+	}
+	errs = append(errs, w.bw.Flush(), w.f.Close())
+	return errors.Join(errs...)
+}

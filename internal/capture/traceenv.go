@@ -1,0 +1,337 @@
+package capture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"time"
+
+	"routerwatch/internal/auth"
+	"routerwatch/internal/consensus"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/protocol"
+	"routerwatch/internal/sim"
+	"routerwatch/internal/telemetry"
+	"routerwatch/internal/topology"
+)
+
+// TraceOptions configures a TraceEnv.
+type TraceOptions struct {
+	// Telemetry instruments the replay (nil = disabled).
+	Telemetry *telemetry.Set
+}
+
+// TraceEnv is a protocol.Env driven by a recorded trace directory: the
+// second Env backend after SimEnv.
+//
+// Virtual time is the recorded timestamps. The env owns a loopback
+// simulated network rebuilt from the trace manifest — same topology, same
+// seed, same control-plane latency — whose scheduler is the clock and
+// whose control plane carries SendControl/Flood exactly as the recorded
+// network's did (the authority's signing and fingerprint keys are pure
+// functions of the seed, so signatures and fingerprints verify across the
+// record/replay boundary). No data traffic ever enters the loopback
+// routers: replayed packet events are decoded from the per-router pcap
+// cursors, merged in (timestamp, router, file order) order, and delivered
+// through the scheduler to Tap subscribers at their recorded instants.
+//
+// Determinism: the merge order is a total order over trace events, the
+// scheduler orders equal-time events by insertion sequence, and all
+// randomness flows from Seed via sim.DeriveSeed — a trace plus an
+// attachment is a pure function to a suspicion log, bitwise identical
+// across runs and across concurrent replays on separate goroutines.
+type TraceEnv struct {
+	meta  *Meta
+	dir   string
+	net   *network.Network
+	flood *consensus.Service
+
+	taps [][]func(network.Event)
+
+	cur  []traceCursor
+	heap []int // cursor indices, min-heap by (time, router)
+	pump func()
+	err  error
+
+	replayed *telemetry.Counter
+}
+
+// traceCursor is one router's read position in its capture file.
+type traceCursor struct {
+	r    *FileReader
+	rec  Record
+	ev   network.Event // next undelivered event; valid when live
+	live bool
+}
+
+// OpenTrace opens a trace directory recorded by Recorder and returns an
+// environment positioned at virtual time zero with every trace event still
+// pending.
+func OpenTrace(dir string, opts TraceOptions) (*TraceEnv, error) {
+	meta, err := ReadMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	g, err := meta.Graph()
+	if err != nil {
+		return nil, err
+	}
+	t := &TraceEnv{
+		meta: meta,
+		dir:  dir,
+		net: network.New(g, network.Options{
+			Seed:         meta.Seed,
+			ControlDelay: meta.ControlDelay.D(),
+			Telemetry:    opts.Telemetry,
+		}),
+		taps:     make([][]func(network.Event), len(meta.Nodes)),
+		replayed: opts.Telemetry.Registry().Counter("rw_replay_events_total"),
+	}
+	t.pump = t.step
+	t.cur = make([]traceCursor, len(meta.Files))
+	for i, file := range meta.Files {
+		r, err := OpenFile(filepath.Join(dir, file))
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		t.cur[i].r = r
+		if err := t.advance(i); err != nil {
+			t.Close()
+			return nil, err
+		}
+		if t.cur[i].live {
+			t.heapPush(i)
+		}
+	}
+	t.scheduleNext()
+	return t, nil
+}
+
+// advance loads cursor i's next event, or marks it exhausted.
+func (t *TraceEnv) advance(i int) error {
+	c := &t.cur[i]
+	err := c.r.Next(&c.rec)
+	if err != nil {
+		c.live = false
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("capture: %s: %w", t.meta.Files[i], err)
+	}
+	ev, err := DecodeFrame(c.rec.Data)
+	if err != nil {
+		c.live = false
+		return fmt.Errorf("capture: %s: %w", t.meta.Files[i], err)
+	}
+	ev.Time = c.rec.Time(c.r.Format())
+	if int(ev.Router) != i {
+		c.live = false
+		return fmt.Errorf("capture: %s: event for %v in r%d's trace", t.meta.Files[i], ev.Router, i)
+	}
+	if prev := c.ev.Time; ev.Time < prev {
+		c.live = false
+		return fmt.Errorf("capture: %s: timestamps regress (%v after %v)", t.meta.Files[i], ev.Time, prev)
+	}
+	c.ev = ev
+	c.live = true
+	return nil
+}
+
+// step delivers the earliest pending trace event and schedules the next.
+// It runs as a scheduler event at exactly the event's recorded time, so
+// Now() inside a tap equals ev.Time.
+func (t *TraceEnv) step() {
+	if len(t.heap) == 0 || t.err != nil {
+		return
+	}
+	i := t.heap[0]
+	ev := t.cur[i].ev
+	for _, fn := range t.taps[ev.Router] {
+		fn(ev)
+	}
+	t.replayed.Inc()
+	if err := t.advance(i); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.cur[i].live {
+		t.heapFix(0)
+	} else {
+		t.heapPop()
+	}
+	t.scheduleNext()
+}
+
+// scheduleNext arms the pump for the earliest pending cursor. One
+// scheduler event per trace event keeps replayed taps and protocol timers
+// in one total order.
+func (t *TraceEnv) scheduleNext() {
+	if len(t.heap) == 0 || t.err != nil {
+		return
+	}
+	next := t.cur[t.heap[0]].ev.Time
+	if now := t.net.Now(); next < now {
+		t.err = fmt.Errorf("capture: trace event at %v behind clock %v", next, now)
+		return
+	}
+	t.net.Scheduler().At(t.cur[t.heap[0]].ev.Time, t.pump)
+}
+
+// Run replays until the given virtual time; until <= 0 runs to the
+// recorded horizon.
+func (t *TraceEnv) Run(until time.Duration) {
+	if until <= 0 {
+		until = t.Horizon()
+	}
+	t.net.Run(until)
+}
+
+// Horizon returns the recorded run's final virtual time.
+func (t *TraceEnv) Horizon() time.Duration { return t.meta.Duration.D() }
+
+// Env returns the protocol environment (the TraceEnv itself).
+func (t *TraceEnv) Env() protocol.Env { return t }
+
+// Err returns the first replay error (decode failure, disordered trace).
+func (t *TraceEnv) Err() error { return t.err }
+
+// Meta returns the trace manifest.
+func (t *TraceEnv) Meta() *Meta { return t.meta }
+
+// Close closes the capture files.
+func (t *TraceEnv) Close() error {
+	var errs []error
+	for i := range t.cur {
+		if r := t.cur[i].r; r != nil {
+			errs = append(errs, r.Close())
+			t.cur[i].r = nil
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// --- protocol.Env ---
+
+// Now returns the current virtual time.
+func (t *TraceEnv) Now() time.Duration { return t.net.Now() }
+
+// At schedules fn at absolute virtual time.
+func (t *TraceEnv) At(at time.Duration, fn func()) { t.net.Scheduler().At(at, fn) }
+
+// After schedules fn d after now.
+func (t *TraceEnv) After(d time.Duration, fn func()) { t.net.Scheduler().After(d, fn) }
+
+// Every schedules fn every interval.
+func (t *TraceEnv) Every(interval time.Duration, fn func()) *sim.Ticker {
+	return t.net.Scheduler().NewTicker(interval, fn)
+}
+
+// Nodes lists the recorded routers in ID order.
+func (t *TraceEnv) Nodes() []packet.NodeID { return t.net.Graph().Nodes() }
+
+// Graph returns the recorded topology.
+func (t *TraceEnv) Graph() *topology.Graph { return t.net.Graph() }
+
+// Auth returns the authority re-derived from the recorded seed — the
+// identical keys the recorded run used.
+func (t *TraceEnv) Auth() *auth.Authority { return t.net.Auth() }
+
+// Hasher returns the recorded network's fingerprint function.
+func (t *TraceEnv) Hasher() packet.Hasher { return t.net.Hasher() }
+
+// SendControl transmits over the loopback control plane, with the recorded
+// per-hop latencies.
+func (t *TraceEnv) SendControl(m *network.ControlMessage) { t.net.SendControl(m) }
+
+// HandleControl registers a control handler at a router.
+func (t *TraceEnv) HandleControl(at packet.NodeID, kind string, h func(*network.ControlMessage)) {
+	t.net.Router(at).HandleControl(kind, h)
+}
+
+// Tap subscribes to a router's replayed packet events. The loopback
+// routers carry no data traffic; taps observe the trace cursors only.
+func (t *TraceEnv) Tap(at packet.NodeID, fn func(network.Event)) {
+	t.taps[at] = append(t.taps[at], fn)
+}
+
+// Flood returns the robust-flooding service over the loopback control
+// plane, created on first use.
+func (t *TraceEnv) Flood() *consensus.Service {
+	if t.flood == nil {
+		t.flood = consensus.NewService(t.net)
+	}
+	return t.flood
+}
+
+// Seed returns the recorded base seed.
+func (t *TraceEnv) Seed() int64 { return t.net.Seed() }
+
+// RNG returns the deterministic RNG for a stream, derived exactly as the
+// recorded env derived it.
+func (t *TraceEnv) RNG(stream uint64) *rand.Rand {
+	return sim.NewRNG(sim.DeriveSeed(t.net.Seed(), stream))
+}
+
+// Telemetry returns the replay instrumentation set (nil when disabled).
+func (t *TraceEnv) Telemetry() *telemetry.Set { return t.net.Telemetry() }
+
+// --- cursor heap: min by (next event time, router ID) ---
+
+func (t *TraceEnv) heapLess(a, b int) bool {
+	ca, cb := &t.cur[t.heap[a]], &t.cur[t.heap[b]]
+	if ca.ev.Time != cb.ev.Time {
+		return ca.ev.Time < cb.ev.Time
+	}
+	return t.heap[a] < t.heap[b]
+}
+
+func (t *TraceEnv) heapSwap(a, b int) { t.heap[a], t.heap[b] = t.heap[b], t.heap[a] }
+
+func (t *TraceEnv) heapPush(i int) {
+	t.heap = append(t.heap, i)
+	j := len(t.heap) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !t.heapLess(j, parent) {
+			break
+		}
+		t.heapSwap(j, parent)
+		j = parent
+	}
+}
+
+func (t *TraceEnv) heapPop() {
+	n := len(t.heap) - 1
+	t.heapSwap(0, n)
+	t.heap = t.heap[:n]
+	if n > 0 {
+		t.heapFix(0)
+	}
+}
+
+func (t *TraceEnv) heapFix(i int) {
+	n := len(t.heap)
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && t.heapLess(j2, j) {
+			j = j2
+		}
+		if !t.heapLess(j, i) {
+			break
+		}
+		t.heapSwap(i, j)
+		i = j
+	}
+}
+
+func init() {
+	protocol.RegisterBackend("trace", func(source string) (protocol.Backend, error) {
+		return OpenTrace(source, TraceOptions{})
+	})
+}

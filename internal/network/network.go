@@ -202,6 +202,15 @@ func (n *Network) Auth() *auth.Authority { return n.auth }
 // Hasher returns the network-wide packet fingerprint function.
 func (n *Network) Hasher() packet.Hasher { return n.hasher }
 
+// ControlDelay returns the per-hop control-plane latency the network was
+// built with (after defaulting). Trace recorders persist it so a replay
+// control plane reproduces the same latencies.
+func (n *Network) ControlDelay() time.Duration { return n.opts.ControlDelay }
+
+// ProcessingJitter returns the per-packet processing jitter bound the
+// network was built with; recorded for trace provenance.
+func (n *Network) ProcessingJitter() time.Duration { return n.opts.ProcessingJitter }
+
 // Telemetry returns the instrumentation set the network was built with
 // (nil when telemetry is disabled). Protocol layers attach their own
 // instruments through it.

@@ -1,0 +1,141 @@
+package protocol
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"routerwatch/internal/network"
+	"routerwatch/internal/routing"
+	"routerwatch/internal/telemetry"
+)
+
+// Backend is a runnable Env with a lifetime: something a detection
+// protocol can be attached to and driven to a horizon. SimEnv (wrapped by
+// AssembleSim) is the first backend; internal/capture's TraceEnv is the
+// second; ROADMAP item 5's live daemon is the intended third.
+type Backend interface {
+	// Env returns the environment protocols attach to.
+	Env() Env
+	// Run advances the backend to the given virtual time; until <= 0 means
+	// run to the backend's own horizon.
+	Run(until time.Duration)
+	// Horizon is the backend's natural end time: the spec duration for a
+	// simulation, the recorded duration for a trace.
+	Horizon() time.Duration
+	// Close releases backend resources (open capture files).
+	Close() error
+}
+
+// backendOpeners is the name-keyed backend registry, populated by backend
+// packages from init (database/sql style, like the protocol registry).
+// source is backend-specific: a scenario file for "sim", a trace directory
+// for "trace".
+var backendOpeners = map[string]func(source string) (Backend, error){}
+
+// RegisterBackend installs a backend opener under a name. It panics on a
+// duplicate name, mirroring Register.
+func RegisterBackend(name string, open func(source string) (Backend, error)) {
+	if _, dup := backendOpeners[name]; dup {
+		panic(fmt.Sprintf("protocol: backend %q registered twice", name))
+	}
+	backendOpeners[name] = open
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	names := make([]string, 0, len(backendOpeners))
+	for name := range backendOpeners {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// OpenBackend opens a registered backend with its source argument.
+func OpenBackend(name, source string) (Backend, error) {
+	open, ok := backendOpeners[name]
+	if !ok {
+		return nil, fmt.Errorf("protocol: unknown backend %q (have %v)", name, Backends())
+	}
+	return open(source)
+}
+
+// simBackend wraps a fully assembled simulated scenario as a Backend.
+type simBackend struct {
+	res     *Result
+	horizon time.Duration
+}
+
+func (b *simBackend) Env() Env { return b.res.Env }
+
+func (b *simBackend) Run(until time.Duration) {
+	if until <= 0 {
+		until = b.horizon
+	}
+	b.res.Net.Run(until)
+}
+
+func (b *simBackend) Horizon() time.Duration { return b.horizon }
+func (b *simBackend) Close() error           { return nil }
+
+// Result exposes the assembled scenario for callers that need the sim
+// escape hatches (ground truth, the raw network).
+func (b *simBackend) Result() *Result { return b.res }
+
+// AssembleSim builds a simulated Backend from a declarative spec: topology,
+// network, routing convergence, attack installation and traffic scheduling
+// — everything RunGeneric does except attaching a protocol, which the
+// caller performs against Env() (so one assembled backend can host any
+// registry protocol, or none). Note the ordering difference from
+// RunGeneric, which attaches the protocol before installing attacks;
+// scheduling at equal virtual instants may therefore interleave
+// differently than a RunGeneric run of the same spec.
+func AssembleSim(spec *Spec, tel *telemetry.Set) (Backend, error) {
+	g, err := spec.Topology.Build()
+	if err != nil {
+		return nil, err
+	}
+	net := network.New(g, network.Options{
+		Seed:             spec.Seed,
+		ProcessingJitter: spec.Jitter.D(),
+		Telemetry:        tel,
+	})
+	env := NewSimEnv(net)
+	res := &Result{Spec: spec, Env: env, Net: net, Faulty: -1}
+
+	if spec.Routing != nil {
+		res.Routing = routing.Attach(net, routing.Timers{
+			Delay: spec.Routing.Delay.D(), Hold: spec.Routing.Hold.D(),
+		})
+		if c := spec.Routing.Converge.D(); c > 0 {
+			res.Routing.RunUntilConverged(c)
+		}
+	}
+	if err := installAttack(net, spec, res); err != nil {
+		return nil, err
+	}
+	base := net.Now()
+	if err := scheduleTraffic(net, spec, base); err != nil {
+		return nil, err
+	}
+	return &simBackend{res: res, horizon: base + spec.Duration.D()}, nil
+}
+
+// openSimBackend reads a scenario file and assembles it, uninstrumented.
+func openSimBackend(source string) (Backend, error) {
+	data, err := os.ReadFile(source)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := DecodeSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleSim(spec, nil)
+}
+
+func init() {
+	RegisterBackend("sim", openSimBackend)
+}

@@ -4,9 +4,9 @@ import (
 	"testing"
 	"time"
 
-	"routerwatch/internal/detector"
 	"routerwatch/internal/packet"
 	"routerwatch/internal/protocol"
+	"routerwatch/internal/protocol/envtest"
 )
 
 // accuracyBound is the a-Accuracy precision bound (§4.2.2) each protocol
@@ -94,10 +94,7 @@ func TestConformance(t *testing.T) {
 				t.Errorf("clean scenario reports faulty router %v", res.Faulty)
 			}
 			// With nothing faulty, any suspicion is a false accusation.
-			gt := detector.NewGroundTruth(nil, nil)
-			if v := detector.CheckAccuracy(res.Log, gt, bound); len(v) != 0 {
-				t.Errorf("clean run: %d false accusation(s), first %v", len(v), v[0])
-			}
+			envtest.CheckDetection(t, envtest.Detection{Log: res.Log, Accuracy: bound})
 		})
 
 		t.Run(name+"/drop", func(t *testing.T) {
@@ -109,29 +106,13 @@ func TestConformance(t *testing.T) {
 			if res.Faulty < 0 {
 				t.Fatal("attacked scenario reports no faulty router")
 			}
-			if res.Log.Len() == 0 {
-				t.Fatal("dropping router went undetected")
-			}
-			implicated := false
-			for _, seg := range res.Log.Segments() {
-				if seg.Contains(res.Faulty) {
-					implicated = true
-					break
-				}
-			}
-			if !implicated {
-				t.Errorf("no suspicion implicates the faulty router %v", res.Faulty)
-			}
-			gt := detector.NewGroundTruth([]packet.NodeID{res.Faulty}, nil)
-			if v := detector.CheckAccuracy(res.Log, gt, bound); len(v) != 0 {
-				t.Errorf("%d accuracy violation(s) at bound %d, first %v", len(v), bound, v[0])
-			}
-			if floods[name] {
-				missing := detector.CheckCompleteness(res.Log, gt, res.Faulty, res.Net.Graph().Nodes())
-				if len(missing) != 0 {
-					t.Errorf("completeness: correct routers %v never suspected %v", missing, res.Faulty)
-				}
-			}
+			envtest.CheckDetection(t, envtest.Detection{
+				Log:      res.Log,
+				Faulty:   []packet.NodeID{res.Faulty},
+				Accuracy: bound,
+				Complete: floods[name],
+				Nodes:    res.Net.Graph().Nodes(),
+			})
 		})
 	}
 	if ran == 0 {
