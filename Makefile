@@ -32,7 +32,7 @@ vet:
 # allowlist, no map-ordered output, nil-safe telemetry instruments), plus
 # local nilness and shadow passes. See DESIGN.md "Static analysis".
 lint:
-	$(GO) run ./cmd/rwlint ./...
+	$(GO) run ./cmd/rwlint -timing $(RWLINT_FLAGS) ./...
 
 verify: build vet lint race
 

@@ -87,7 +87,10 @@ func main() {
 			delta(haveOld && haveNew && o.hasAllocs && n.hasAllocs,
 				float64(o.allocsPerOp), float64(n.allocsPerOp)))
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *threshold > 0 {
 		var regressions []string

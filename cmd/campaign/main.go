@@ -93,7 +93,9 @@ func main() {
 			log.Fatal(err)
 		}
 		if *jsonPath == "-" {
-			os.Stdout.Write(enc)
+			if _, err := os.Stdout.Write(enc); err != nil {
+				log.Fatal(err)
+			}
 		} else if err := os.WriteFile(*jsonPath, enc, 0o644); err != nil {
 			log.Fatal(err)
 		}

@@ -38,6 +38,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -349,7 +350,9 @@ func writeVerdicts(path string, logbook *detector.Log) error {
 	}
 	for _, s := range logbook.All() {
 		if _, err := fmt.Fprintln(f, s); err != nil {
-			f.Close()
+			if cerr := f.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
 			return err
 		}
 	}

@@ -5,9 +5,12 @@ import (
 
 	"routerwatch/internal/analysis"
 	"routerwatch/internal/analysis/driver"
+	"routerwatch/internal/analysis/envpurity"
+	"routerwatch/internal/analysis/errsink"
 	"routerwatch/internal/analysis/globalrand"
 	"routerwatch/internal/analysis/hotpathalloc"
 	"routerwatch/internal/analysis/load"
+	"routerwatch/internal/analysis/lockguard"
 	"routerwatch/internal/analysis/mapyield"
 	"routerwatch/internal/analysis/nilinstrument"
 	"routerwatch/internal/analysis/walltime"
@@ -53,6 +56,13 @@ func TestDeterminismInvariants(t *testing.T) {
 		// free of global rand and wall-clock reads (live_linux.go is the
 		// allowlisted, build-tag-gated exception).
 		"routerwatch/internal/capture",
+		// The trial fan-out and the simulator core are where the
+		// interprocedural analyzers bite: runner spawns the goroutines
+		// lockguard audits, and sim hosts the Env-attached call chains
+		// envpurity sweeps. Pin both so a load regression cannot shrink
+		// the call graph out from under them.
+		"routerwatch/internal/runner",
+		"routerwatch/internal/sim",
 	} {
 		if !analyzed[want] {
 			t.Errorf("package %s missing from the analyzed set", want)
@@ -65,6 +75,12 @@ func TestDeterminismInvariants(t *testing.T) {
 		walltime.Analyzer,
 		mapyield.Analyzer,
 		nilinstrument.Analyzer,
+		// The interprocedural wave: one shared call graph (built once per
+		// driver session) feeding the Env-purity sweep and the two
+		// concurrency/error-handling analyzers.
+		envpurity.Analyzer,
+		lockguard.Analyzer,
+		errsink.Analyzer,
 	})
 	if err != nil {
 		t.Fatal(err)

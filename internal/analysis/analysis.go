@@ -7,6 +7,15 @@
 // API shape closely enough that the analyzers in the sibling packages
 // could be ported to the real thing by changing one import line.
 //
+// Beyond the per-package Pass, the framework adds one deliberate deviation
+// from x/tools: a ModulePass that hands an analyzer every loaded package at
+// once. Interprocedural checks (Env purity, lock discipline, error-sink
+// audits) need a call graph spanning package boundaries, which the
+// facts/export-data machinery of the real go/analysis would provide
+// incrementally; in an offline whole-module run it is simpler and faster to
+// analyze the closed world in one shot. See internal/analysis/callgraph and
+// DESIGN.md "Interprocedural analysis".
+//
 // The suite exists to machine-enforce the invariants the parallel trial
 // runner's bitwise determinism rests on; see DESIGN.md "Static analysis"
 // for the catalogue.
@@ -17,9 +26,13 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"routerwatch/internal/analysis/load"
 )
 
-// Analyzer describes one static check.
+// Analyzer describes one static check. Exactly one of Run and RunModule
+// must be set: Run for per-package checks, RunModule for whole-module
+// (interprocedural) checks.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and flags. It must be a
 	// valid Go identifier.
@@ -32,6 +45,12 @@ type Analyzer struct {
 	// pass.Report / pass.Reportf and returns an error only for internal
 	// failures (not for findings).
 	Run func(pass *Pass) error
+
+	// RunModule applies the analyzer to the whole loaded module at once —
+	// the entry point for interprocedural analyzers that need a cross-
+	// package view (call graphs, reachability). Mutually exclusive with
+	// Run.
+	RunModule func(pass *ModulePass) error
 }
 
 // Pass is one (analyzer, package) unit of work, carrying the package's
@@ -98,4 +117,70 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 	}
 	name := f.Name()
 	return len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+// ModulePass is one (analyzer, module) unit of work: every loaded package
+// at once, for interprocedural analyzers (Analyzer.RunModule).
+type ModulePass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+
+	// Fset maps positions for every file of every package.
+	Fset *token.FileSet
+
+	// Pkgs is every loaded in-tree package, sorted by import path. In
+	// module mode paths carry the module prefix ("routerwatch/...");
+	// analysistest fixture packages use their testdata/src paths verbatim.
+	Pkgs []*load.Package
+
+	// TypesInfo is the loader's shared type-fact table, covering every
+	// package in Pkgs.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills this in.
+	Report func(Diagnostic)
+
+	// Cache is shared by every module analyzer of one driver session, so
+	// expensive artifacts (the call graph) are built once per load, not
+	// once per analyzer.
+	Cache *Cache
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Preorder calls fn for every node of every file of every package, in
+// package order then depth-first preorder.
+func (p *ModulePass) Preorder(fn func(pkg *load.Package, n ast.Node)) {
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n != nil {
+					fn(pkg, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// Cache memoizes artifacts shared across the module analyzers of one
+// driver session, keyed by any comparable value (conventionally a private
+// zero-sized key type).
+type Cache struct{ m map[any]any }
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: make(map[any]any)} }
+
+// Get returns the cached value under key, building and storing it on the
+// first request.
+func (c *Cache) Get(key any, build func() any) any {
+	if v, ok := c.m[key]; ok {
+		return v
+	}
+	v := build()
+	c.m[key] = v
+	return v
 }

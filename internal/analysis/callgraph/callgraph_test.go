@@ -1,0 +1,128 @@
+package callgraph_test
+
+import (
+	"go/types"
+	"testing"
+
+	"routerwatch/internal/analysis/callgraph"
+	"routerwatch/internal/analysis/load"
+)
+
+// build loads the cg fixture package and returns its graph plus a
+// name-indexed view of the nodes ("leaf", "(cg.fast).Run", ...).
+func build(t *testing.T) (*callgraph.Graph, map[string]*callgraph.Node) {
+	t.Helper()
+	l := load.New(load.Config{Dir: "testdata/src"})
+	pkgs, err := l.Load("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := callgraph.Build(l.Fset, l.Info, pkgs)
+	byName := make(map[string]*callgraph.Node)
+	for _, n := range g.Nodes() {
+		byName[n.Name()] = n
+	}
+	return g, byName
+}
+
+func edgeKinds(from, to *callgraph.Node) []callgraph.Kind {
+	var kinds []callgraph.Kind
+	for _, e := range from.Out {
+		if e.Callee == to {
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	return kinds
+}
+
+func TestStaticChainAndReachability(t *testing.T) {
+	g, nodes := build(t)
+	chain, mid, leaf := nodes["cg.chain"], nodes["cg.mid"], nodes["cg.leaf"]
+	if chain == nil || mid == nil || leaf == nil {
+		t.Fatalf("missing nodes: %v", nodes)
+	}
+	if k := edgeKinds(chain, mid); len(k) != 1 || k[0] != callgraph.KindStatic {
+		t.Errorf("chain→mid edges = %v, want one static", k)
+	}
+	r := g.Reach([]*callgraph.Node{chain})
+	if !r.Has(leaf) {
+		t.Fatal("leaf not reachable from chain")
+	}
+	path := r.Path(leaf)
+	want := []*callgraph.Node{chain, mid, leaf}
+	if len(path) != len(want) {
+		t.Fatalf("path length = %d, want %d", len(path), len(want))
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path[%d] = %s, want %s", i, path[i].Name(), want[i].Name())
+		}
+	}
+}
+
+func TestInterfaceDispatch(t *testing.T) {
+	g, nodes := build(t)
+	dispatch := nodes["cg.dispatch"]
+	fastRun, slowRun := nodes["(cg.fast).Run"], nodes["(*cg.slow).Run"]
+	if fastRun == nil || slowRun == nil {
+		t.Fatal("implementer method nodes missing")
+	}
+	for _, impl := range []*callgraph.Node{fastRun, slowRun} {
+		if k := edgeKinds(dispatch, impl); len(k) != 1 || k[0] != callgraph.KindInterface {
+			t.Errorf("dispatch→%s edges = %v, want one interface", impl.Name(), k)
+		}
+	}
+	// The abstract method node is present and flagged abstract.
+	abstract := nodes["(cg.Runner).Run"]
+	if abstract == nil || !abstract.IsAbstract() {
+		t.Fatalf("abstract Runner.Run node = %v", abstract)
+	}
+	// Reachability flows through dispatch into both implementations.
+	r := g.Reach([]*callgraph.Node{dispatch})
+	if !r.Has(nodes["cg.leaf"]) {
+		t.Error("leaf not reachable from dispatch via fast.Run")
+	}
+}
+
+func TestFuncValueEdges(t *testing.T) {
+	g, nodes := build(t)
+	value, leaf := nodes["cg.value"], nodes["cg.leaf"]
+	if k := edgeKinds(value, leaf); len(k) != 1 || k[0] != callgraph.KindFuncValue {
+		t.Errorf("value→leaf edges = %v, want one funcvalue", k)
+	}
+	// Reachability treats a reference as a potential call.
+	if r := g.Reach([]*callgraph.Node{value}); !r.Has(leaf) {
+		t.Error("leaf not reachable from value (funcvalue edge)")
+	}
+	// Propagate does not: a reference alone is not a call.
+	fact := g.Propagate(func(n *callgraph.Node) bool { return n == leaf })
+	if fact[value] {
+		t.Error("fact leaked through a funcvalue edge into cg.value")
+	}
+	for _, name := range []string{"cg.mid", "cg.chain", "(cg.fast).Run", "cg.dispatch", "cg.closure"} {
+		if !fact[nodes[name]] {
+			t.Errorf("fact did not propagate to %s", name)
+		}
+	}
+}
+
+func TestClosureFolding(t *testing.T) {
+	_, nodes := build(t)
+	closure, mid := nodes["cg.closure"], nodes["cg.mid"]
+	if k := edgeKinds(closure, mid); len(k) != 1 || k[0] != callgraph.KindStatic {
+		t.Errorf("closure→mid edges = %v, want one static (literal folded into decl)", k)
+	}
+}
+
+func TestNodesAreCanonical(t *testing.T) {
+	g, nodes := build(t)
+	for name, n := range nodes {
+		if n.Fn == nil {
+			t.Fatalf("%s: nil Fn", name)
+		}
+		if got := g.NodeOf(n.Fn); got != n {
+			t.Errorf("NodeOf(%s) returned a different node", name)
+		}
+	}
+	var _ *types.Func = nodes["cg.leaf"].Fn // the key type really is the checker's object
+}

@@ -1,0 +1,28 @@
+// Package cg exercises the call-graph builder: static chains, interface
+// dispatch, and function-value references.
+package cg
+
+type Runner interface{ Run() int }
+
+type fast struct{}
+
+func (fast) Run() int { return leaf() }
+
+type slow struct{}
+
+func (*slow) Run() int { return 2 }
+
+func leaf() int { return 1 }
+
+func mid() int { return leaf() }
+
+func chain() int { return mid() }
+
+func dispatch(r Runner) int { return r.Run() }
+
+func value() func() int { return leaf }
+
+func closure() int {
+	f := func() int { return mid() }
+	return f()
+}

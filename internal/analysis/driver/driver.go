@@ -1,6 +1,6 @@
 // Package driver runs analyzers over loaded packages. It is the shared
 // engine behind cmd/rwlint, the analysistest fixture runner, and the
-// root rand-hygiene test.
+// root determinism-invariant test.
 package driver
 
 import (
@@ -12,37 +12,83 @@ import (
 	"routerwatch/internal/analysis/load"
 )
 
-// Run applies every analyzer to every package and returns the diagnostics
-// sorted by position. Packages with type errors produce an error instead:
-// analysis over broken type information reports nonsense.
-func Run(l *load.Loader, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
-	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
+// Session is one load's worth of analysis work: it pins the loader and
+// package set and shares one artifact cache (analysis.Cache) across every
+// Run call, so module analyzers run one at a time (cmd/rwlint's per-
+// analyzer timing) still build the call graph only once.
+type Session struct {
+	l     *load.Loader
+	pkgs  []*load.Package
+	cache *analysis.Cache
+}
+
+// NewSession prepares a session over the loaded packages.
+func NewSession(l *load.Loader, pkgs []*load.Package) *Session {
+	return &Session{l: l, pkgs: pkgs, cache: analysis.NewCache()}
+}
+
+// Run applies every analyzer — per-package ones to each package, module
+// ones to the whole set — and returns the diagnostics sorted by position.
+// Packages with type errors produce an error instead: analysis over broken
+// type information reports nonsense.
+func (s *Session) Run(analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	for _, pkg := range s.pkgs {
 		if len(pkg.TypeErrors) > 0 {
 			return nil, fmt.Errorf("%s: package does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
 		}
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
+	}
+	var diags []analysis.Diagnostic
+	report := func(name string) func(analysis.Diagnostic) {
+		return func(d analysis.Diagnostic) {
+			if d.Category == "" {
+				d.Category = name
+			}
+			diags = append(diags, d)
+		}
+	}
+	for _, a := range analyzers {
+		switch {
+		case a.Run != nil && a.RunModule != nil:
+			return nil, fmt.Errorf("analyzer %s: both Run and RunModule set", a.Name)
+		case a.Run != nil:
+			for _, pkg := range s.pkgs {
+				pass := &analysis.Pass{
+					Analyzer:  a,
+					Fset:      s.l.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					PkgPath:   pkg.Path,
+					TypesInfo: s.l.Info,
+					Report:    report(a.Name),
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
+				}
+			}
+		case a.RunModule != nil:
+			pass := &analysis.ModulePass{
 				Analyzer:  a,
-				Fset:      l.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				PkgPath:   pkg.Path,
-				TypesInfo: l.Info,
-				Report: func(d analysis.Diagnostic) {
-					if d.Category == "" {
-						d.Category = a.Name
-					}
-					diags = append(diags, d)
-				},
+				Fset:      s.l.Fset,
+				Pkgs:      s.pkgs,
+				TypesInfo: s.l.Info,
+				Report:    report(a.Name),
+				Cache:     s.cache,
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
+			if err := a.RunModule(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 			}
+		default:
+			return nil, fmt.Errorf("analyzer %s: neither Run nor RunModule set", a.Name)
 		}
 	}
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
+}
+
+// Run applies every analyzer to the loaded packages in one throwaway
+// session; see Session.Run.
+func Run(l *load.Loader, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	return NewSession(l, pkgs).Run(analyzers)
 }
 
 // Format renders one diagnostic in the conventional file:line:col form.

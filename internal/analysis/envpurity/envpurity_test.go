@@ -1,0 +1,18 @@
+package envpurity_test
+
+import (
+	"testing"
+
+	"routerwatch/internal/analysis/analysistest"
+	"routerwatch/internal/analysis/envpurity"
+)
+
+func TestEnvPurity(t *testing.T) {
+	// The fixture demonstrates the allowlist mechanism with a justified
+	// entry scoped to this test run.
+	const key = "envpurity.allowedClock"
+	envpurity.Allow[key] = "fixture: wall-time metric that never influences protocol output"
+	defer delete(envpurity.Allow, key)
+
+	analysistest.Run(t, "testdata", envpurity.Analyzer, "protocol", "envpurity")
+}

@@ -1,0 +1,143 @@
+// Package errsink flags discarded errors on I/O-bearing calls in the
+// packages where a swallowed write error corrupts evidence: the capture
+// layer (internal/capture — recorded traces are the replay ground truth)
+// and the cmd/ binaries (their files and stdout are what operators and CI
+// consume). A Close or Flush whose error vanishes in an expression
+// statement can silently truncate a trace file; everything downstream then
+// replays a lie.
+//
+// A call is I/O-bearing when its callee is an I/O-shaped function or
+// method — Write/Close/Flush/Sync/Encode/WriteTo/WriteString with an
+// error-typed final result, minus the never-failing in-memory writers
+// (strings.Builder, bytes.Buffer, hash.Hash) — or, interprocedurally, an
+// in-tree function returning an error that transitively reaches one
+// (computed over the call graph, so `save()` two calls above an
+// (os.File).Close is still I/O-bearing, and an io.Writer dispatch counts
+// through the abstract method). Only expression statements and `go`
+// statements are flagged; `_ = f.Close()` is an explicit, reviewable
+// discard and stays legal. Deferred calls are a documented blind spot —
+// see DESIGN.md "Interprocedural analysis".
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"routerwatch/internal/analysis"
+	"routerwatch/internal/analysis/callgraph"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "errsink",
+	Doc:       "reject discarded errors from I/O-bearing calls in internal/capture and cmd/*",
+	RunModule: run,
+}
+
+// ioNames are the method/function names whose error result signals failed
+// I/O when the signature carries one.
+var ioNames = map[string]bool{
+	"Write": true, "Close": true, "Flush": true, "Sync": true,
+	"Encode": true, "WriteTo": true, "WriteString": true,
+}
+
+// neverFails lists receiver types whose Write-shaped methods cannot
+// actually fail; flagging them would only teach people to ignore the lint.
+var neverFails = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"hash.Hash":       true,
+}
+
+func run(pass *analysis.ModulePass) error {
+	g := callgraph.Of(pass)
+
+	// Transitive fact: reaches an I/O-shaped callee through call edges.
+	reachesIO := g.Propagate(func(n *callgraph.Node) bool { return directIO(n.Fn) })
+
+	ioBearing := func(n *callgraph.Node) bool {
+		if directIO(n.Fn) {
+			return true
+		}
+		return n.InTree() && reachesIO[n] && returnsError(n.Fn)
+	}
+
+	for _, pkg := range pass.Pkgs {
+		if !inScope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch stmt := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = stmt.X.(*ast.CallExpr)
+				case *ast.GoStmt:
+					call = stmt.Call
+				}
+				if call == nil {
+					return true
+				}
+				for _, callee := range g.Callees(call) {
+					if !returnsError(callee.Fn) || !ioBearing(callee) {
+						continue
+					}
+					if directIO(callee.Fn) {
+						pass.Reportf(call.Pos(),
+							"unchecked error from %s; handle it or discard explicitly with _ =", callee.Name())
+					} else {
+						pass.Reportf(call.Pos(),
+							"unchecked error from %s, which performs I/O; handle it or discard explicitly with _ =", callee.Name())
+					}
+					break
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// inScope restricts the check to the capture layer and the binaries.
+func inScope(pkgPath string) bool {
+	p := strings.TrimPrefix(pkgPath, "routerwatch/")
+	return p == "internal/capture" || strings.HasPrefix(p, "internal/capture/") ||
+		p == "cmd" || strings.HasPrefix(p, "cmd/")
+}
+
+// directIO matches I/O-shaped callees by name and signature, so the check
+// needs no hard-coded package list: (io.Writer).Write, (os.File).Close,
+// (bufio.Writer).Flush, (json.Encoder).Encode and syscall.Close all fit.
+func directIO(fn *types.Func) bool {
+	if fn == nil || !ioNames[fn.Name()] || !returnsError(fn) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			if neverFails[named.Obj().Pkg().Name()+"."+named.Obj().Name()] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// returnsError reports whether fn's final result is error-typed.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

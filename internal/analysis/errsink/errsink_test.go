@@ -1,0 +1,13 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"routerwatch/internal/analysis/analysistest"
+	"routerwatch/internal/analysis/errsink"
+)
+
+func TestErrSink(t *testing.T) {
+	// "other" sits outside the analyzer's scope: same discards, zero wants.
+	analysistest.Run(t, "testdata", errsink.Analyzer, "cmd/errsinkfix", "other")
+}

@@ -1,0 +1,74 @@
+// Command errsinkfix exercises the discarded-I/O-error check inside its
+// scope (cmd/*).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+func direct(f *os.File) {
+	f.Close() // want `unchecked error from \(\*os\.File\)\.Close; handle it or discard explicitly`
+}
+
+// The interface-dispatch case: the callee is the abstract io.Writer.Write.
+func dispatch(w io.Writer, b []byte) {
+	w.Write(b) // want `unchecked error from \(io\.Writer\)\.Write`
+}
+
+// save is I/O-bearing two calls above the Close it reaches.
+func save(f *os.File) error { return doClose(f) }
+
+func doClose(f *os.File) error { return f.Close() }
+
+func spill(f *os.File) {
+	save(f) // want `unchecked error from cmd/errsinkfix\.save, which performs I/O`
+}
+
+type enc struct{ w io.Writer }
+
+func (e *enc) Encode(v int) error {
+	_, err := e.w.Write(nil)
+	return err
+}
+
+// A `go` statement discards results just like an expression statement.
+func goEncode(e *enc) {
+	go e.Encode(1) // want `unchecked error from \(\*cmd/errsinkfix\.enc\)\.Encode`
+}
+
+// --- sanctioned patterns ---
+
+func checked(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func explicit(f *os.File) {
+	_ = f.Close() // reviewable discard
+}
+
+func validate() error { return nil }
+
+func pureUnchecked() {
+	validate() // error-returning but I/O-free: not errsink's business
+}
+
+func deferredBlindSpot(f *os.File) error {
+	defer f.Close() // deferred calls are the documented blind spot
+	return nil
+}
+
+func memWriter(b *bytes.Buffer) {
+	b.Write(nil) // bytes.Buffer never fails
+}
+
+func prints() {
+	fmt.Println("ok") // conversational output, not evidence
+}
+
+func main() {}

@@ -1,0 +1,16 @@
+// Package other repeats the in-scope fixture's discards outside
+// internal/capture and cmd/ — errsink must stay silent here, so this file
+// carries no want comments.
+package other
+
+import "os"
+
+func direct(f *os.File) {
+	f.Close()
+}
+
+func save(f *os.File) error { return f.Close() }
+
+func spill(f *os.File) {
+	save(f)
+}

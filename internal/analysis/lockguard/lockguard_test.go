@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"routerwatch/internal/analysis/analysistest"
+	"routerwatch/internal/analysis/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer, "lockguard")
+}

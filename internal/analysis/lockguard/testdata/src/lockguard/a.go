@@ -1,0 +1,125 @@
+// Package lockguard exercises the three concurrency checks: copied locks,
+// mixed mutex-guard discipline, and WaitGroup.Add inside spawned goroutines.
+package lockguard
+
+import "sync"
+
+// --- copied locks ---
+
+func byValueParam(mu sync.Mutex) { // want `parameter mu passes lock by value: sync\.Mutex`
+	mu.Lock()
+}
+
+func byValueWG(wg sync.WaitGroup) { // want `parameter wg passes lock by value: sync\.WaitGroup`
+	wg.Wait()
+}
+
+type holder struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (h holder) get() int { return h.n } // want `receiver h passes lock by value: lockguard\.holder contains a sync lock`
+
+func copyHolder(h *holder) int {
+	c := *h // want `assignment copies lock value: lockguard\.holder contains a sync lock`
+	c.n = 1
+	return c.n
+}
+
+func rangeCopy(hs []holder) int {
+	total := 0
+	for _, h := range hs { // want `range clause copies lock value: lockguard\.holder contains a sync lock`
+		total += h.n
+	}
+	return total
+}
+
+// Pointers and fresh composites are fine.
+func ptrParam(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func freshHolder() *holder {
+	h := &holder{} // composite literal, not a copy
+	h.n = 7        // constructor write on a fresh value: exempt
+	return h
+}
+
+// --- mixed guard discipline ---
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}
+
+// bump and add1 never lock, but every calling context does: the write two
+// calls below the Lock is recognized as guarded.
+func (c *counter) bump() { c.add1() }
+
+func (c *counter) add1() { c.n++ }
+
+func (c *counter) Reset() {
+	c.n = 0 // want `counter\.n written without counter\.mu held`
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 42 // fresh value in a constructor: exempt
+	return c
+}
+
+// --- WaitGroup.Add inside the spawned goroutine ---
+
+func addOne(wg *sync.WaitGroup) { wg.Add(1) }
+
+func addDeep(wg *sync.WaitGroup) { addOne(wg) }
+
+func spawnLit(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want `sync\.WaitGroup\.Add inside the spawned goroutine races Wait`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func spawnLitDeep(wg *sync.WaitGroup) {
+	go func() {
+		addOne(wg) // want `sync\.WaitGroup\.Add reachable inside the spawned goroutine \(via lockguard\.addOne\)`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func spawnDeep(wg *sync.WaitGroup) {
+	go addDeep(wg) // want `sync\.WaitGroup\.Add reachable inside the spawned goroutine \(via lockguard\.addDeep\)`
+	wg.Wait()
+}
+
+// The dispatch case: the Add hides behind an interface method, resolved
+// through the implemented-by set.
+type worker interface{ work() }
+
+type badWorker struct{ wg *sync.WaitGroup }
+
+func (b badWorker) work() {
+	b.wg.Add(1)
+	defer b.wg.Done()
+}
+
+func spawnDispatch(w worker) {
+	go w.work() // want `sync\.WaitGroup\.Add reachable inside the spawned goroutine \(via \(lockguard\.badWorker\)\.work\)`
+}
+
+func spawnOK(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}

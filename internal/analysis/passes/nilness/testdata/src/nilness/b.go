@@ -1,0 +1,46 @@
+package nilness
+
+// reversedOperands: `nil == p` must work like `p == nil`.
+func reversedOperands(p *node) int {
+	if nil == p {
+		return p.val // want `nil dereference in field selection p\.val`
+	}
+	return p.val
+}
+
+// chainedSelector: the first hop of p.next.val is the dereference that
+// panics; the report anchors there.
+func chainedSelector(p *node) int {
+	if p == nil {
+		return p.next.val // want `nil dereference in field selection p\.next`
+	}
+	return p.next.val
+}
+
+// storeThroughNil: writes panic exactly like reads.
+func storeThroughNil(p *node) {
+	if p == nil {
+		p.val = 1 // want `nil dereference in field selection p\.val`
+	}
+}
+
+// addressTaken: &p escapes the pointer, so the known-nil fact dies — the
+// callee may have replaced the value.
+func addressTaken(p *node) int {
+	if p == nil {
+		fill(&p)
+		return p.val
+	}
+	return p.val
+}
+
+func fill(pp **node) { *pp = &node{} }
+
+// nilChanReceive blocks forever rather than panicking; the pass reports
+// only guaranteed panics, so it stays silent.
+func nilChanReceive(ch chan int) int {
+	if ch == nil {
+		return <-ch
+	}
+	return <-ch
+}

@@ -1,0 +1,43 @@
+package shadow
+
+// lostInLoop: a loop body is a scope like any other; the retry pattern
+// below never updates the returned error.
+func lostInLoop(items []int) error {
+	err := work()
+	for range items {
+		err := work() // want `declaration of "err" shadows declaration at .*b\.go:[0-9]+`
+		_ = err
+	}
+	return err
+}
+
+// lostInSwitch: each case clause opens its own scope.
+func lostInSwitch(mode int) error {
+	err := work()
+	switch mode {
+	case 1:
+		err := work() // want `declaration of "err" shadows declaration at .*b\.go:[0-9]+`
+		_ = err
+	}
+	return err
+}
+
+// lostVarDecl: `var` declarations shadow exactly like `:=`.
+func lostVarDecl(retry bool) error {
+	err := work()
+	if retry {
+		var err error // want `declaration of "err" shadows declaration at .*b\.go:[0-9]+`
+		err = work()
+		_ = err
+	}
+	return err
+}
+
+var global = 0
+
+// pkgLevelOK: shadowing a package-level variable is the deliberate-local
+// idiom and stays unreported.
+func pkgLevelOK() int {
+	global := 1
+	return global
+}

@@ -15,6 +15,7 @@ package capture
 // is ROADMAP work.
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"syscall"
@@ -42,13 +43,19 @@ func OpenLive(iface string) (*LiveSource, error) {
 	}
 	ifi, err := net.InterfaceByName(iface)
 	if err != nil {
-		syscall.Close(fd)
-		return nil, fmt.Errorf("capture: interface %q: %w", iface, err)
+		err = fmt.Errorf("capture: interface %q: %w", iface, err)
+		if cerr := syscall.Close(fd); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
 	}
 	sll := &syscall.SockaddrLinklayer{Protocol: proto, Ifindex: ifi.Index}
 	if err := syscall.Bind(fd, sll); err != nil {
-		syscall.Close(fd)
-		return nil, fmt.Errorf("capture: bind %q: %w", iface, err)
+		err = fmt.Errorf("capture: bind %q: %w", iface, err)
+		if cerr := syscall.Close(fd); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
 	}
 	return &LiveSource{
 		fd:      fd,

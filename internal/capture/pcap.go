@@ -251,8 +251,11 @@ func OpenFile(path string) (*FileReader, error) {
 	}
 	r, err := NewReader(f)
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("%s: %w", path, err)
+		err = fmt.Errorf("%s: %w", path, err)
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
 	}
 	return &FileReader{Reader: r, f: f}, nil
 }
@@ -282,7 +285,9 @@ func CreateFile(path string, format Format) (*FileWriter, error) {
 		sink = fw.zw
 	}
 	if fw.Writer, err = NewWriter(sink, format); err != nil {
-		f.Close()
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	return fw, nil

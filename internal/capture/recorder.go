@@ -64,7 +64,9 @@ func (rec *Recorder) Attach(net *network.Network) error {
 		}
 		w, err := CreateFile(name, rec.opts.Format)
 		if err != nil {
-			rec.close()
+			if cerr := rec.close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
 			return err
 		}
 		rec.writers = append(rec.writers, w)

@@ -95,12 +95,16 @@ func OpenTrace(dir string, opts TraceOptions) (*TraceEnv, error) {
 	for i, file := range meta.Files {
 		r, err := OpenFile(filepath.Join(dir, file))
 		if err != nil {
-			t.Close()
+			if cerr := t.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
 			return nil, err
 		}
 		t.cur[i].r = r
 		if err := t.advance(i); err != nil {
-			t.Close()
+			if cerr := t.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
 			return nil, err
 		}
 		if t.cur[i].live {
