@@ -55,9 +55,13 @@ bench:
 # per-benchmark ns/op and allocs/op deltas via cmd/benchcmp. Benchmarks
 # missing from either log print "-" instead of failing the comparison.
 # Override BENCH_BASELINE to diff against a different recorded log (e.g.
-# BENCH_pr4.json). Set BENCHCMP_FLAGS="-threshold 20" to turn the diff
+# BENCH_baseline.json for the full history). The default is the most
+# recent committed log, BENCH_pr9.json — the batched hot path — so the
+# blocking CI gate measures drift from the current expected performance,
+# not from the pre-optimization era. Set BENCHCMP_FLAGS="-threshold 40
+# -alloc-threshold 5" to turn the diff
 # into a gate: exit 1 when ns/op or allocs/op regresses beyond 20%.
-BENCH_BASELINE ?= BENCH_baseline.json
+BENCH_BASELINE ?= BENCH_pr9.json
 BENCHCMP_FLAGS ?=
 
 bench-compare:

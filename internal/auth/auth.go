@@ -73,6 +73,10 @@ type Authority struct {
 	scratchU encoding.BinaryUnmarshaler
 	sumBuf   [sha256.Size]byte
 	outBuf   [sha256.Size]byte
+
+	// aggBuf is the fixed-size tag-chain scratch for AggregateTag (see
+	// batch.go); guarded by mu like the other scratch state.
+	aggBuf [64 * sha256.Size]byte
 }
 
 // sha256BlockSize is the HMAC block size for SHA-256 (the hash package

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"routerwatch/internal/detector"
+	"routerwatch/internal/detector/tvinfo"
 	"routerwatch/internal/network"
 	"routerwatch/internal/packet"
 	"routerwatch/internal/stats"
@@ -18,10 +19,11 @@ import (
 // the "Protocol χ vs static threshold" comparison (§6.4.3): the question is
 // not Byzantine robustness but *which losses a heuristic can attribute*.
 type QueueMonitor struct {
-	net  *network.Network
-	r    packet.NodeID
-	rd   packet.NodeID
-	opts QueueMonitorOptions
+	net    *network.Network
+	r      packet.NodeID
+	rd     packet.NodeID
+	opts   QueueMonitorOptions
+	oracle *tvinfo.PathOracle
 
 	sent     int
 	received int
@@ -90,9 +92,11 @@ func AttachQueueMonitor(net *network.Network, r, rd packet.NodeID, opts QueueMon
 	if opts.ModelMargin == 0 {
 		opts.ModelMargin = 1
 	}
-	m := &QueueMonitor{net: net, r: r, rd: rd, opts: opts}
-
 	g := net.Graph()
+	// The next-hop oracle answers "does R forward this packet toward RD?"
+	// per dequeue event; paths are deterministic in the stable state (§4.1),
+	// so they are precomputed once instead of re-running Dijkstra per packet.
+	m := &QueueMonitor{net: net, r: r, rd: rd, opts: opts, oracle: tvinfo.NewPathOracle(g)}
 	for _, rs := range g.Neighbors(r) {
 		if rs == rd {
 			continue
@@ -120,8 +124,7 @@ func (m *QueueMonitor) nextHopAtR(p *packet.Packet) packet.NodeID {
 	if p.Dst == m.r {
 		return -1
 	}
-	parent, _ := m.net.Graph().ShortestPathTree(p.Src)
-	path := topology.PathBetween(parent, p.Src, p.Dst)
+	path := m.oracle.Path(p.Src, p.Dst, p.Flow)
 	for i, node := range path {
 		if node == m.r && i+1 < len(path) {
 			return path[i+1]

@@ -29,7 +29,6 @@ import (
 	"routerwatch/internal/protocol"
 	"routerwatch/internal/queue"
 	"routerwatch/internal/stats"
-	"routerwatch/internal/summary"
 	"routerwatch/internal/topology"
 )
 
@@ -268,25 +267,46 @@ func (v *Validator) Calibrate() Calibration {
 }
 
 // Batch is the signed per-round traffic report a neighbor rs sends to the
-// validating router rd (Tinfo(rs, Qin, ⟨rs,r,rd⟩, τ) of §6.2.1).
+// validating router rd (Tinfo(rs, Qin, ⟨rs,r,rd⟩, τ) of §6.2.1). Records
+// travel as structure-of-arrays lanes (queue.PacketBatch): the reporter
+// fills them straight from its event tap and the validator merges them into
+// its replay stream with bulk lane appends, never materializing per-record
+// structs.
 type Batch struct {
 	Queue    QueueID
 	Reporter packet.NodeID
 	Round    int
-	Entries  []summary.TimedEntry
-	Sig      auth.Signature
+	Pkts     queue.PacketBatch
+	// Sig is an auth.AggregateTag over the batch's body items (see
+	// batchBodies): one constant-size signature for any record count,
+	// verified with a single tag comparison at the checkpoint.
+	Sig auth.Signature
 }
 
-// batchBody serializes the signed portion of a batch.
-func batchBody(b *Batch) []byte {
-	tf := summary.NewTimedFP()
-	for _, e := range b.Entries {
-		tf.AddFlow(e.FP, e.Size, e.TS, e.Flow)
+// batchChunk is the aggregate-signature chunking granularity in records:
+// the encoded record stream is split into ≤batchChunk-record items whose
+// MACs feed the aggregate tag.
+const batchChunk = 64
+
+// batchBodies appends the batch's signed byte string — a 20-byte
+// ⟨R, RD, reporter, round⟩ header followed by the lane-encoded records —
+// to buf, and returns the refreshed buffer together with the ordered
+// aggregate items (the header, then the record chunks) as views into it.
+// Both buffers are caller-owned scratch, reused round over round.
+func batchBodies(buf []byte, items [][]byte, b *Batch) ([]byte, [][]byte) {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(b.Queue.R))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(b.Queue.RD))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(b.Reporter))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(b.Round))
+	const header = 20
+	buf = b.Pkts.AppendEncode(buf)
+	items = append(items[:0], buf[:header])
+	for off := header; off < len(buf); off += 28 * batchChunk {
+		end := off + 28*batchChunk
+		if end > len(buf) {
+			end = len(buf)
+		}
+		items = append(items, buf[off:end])
 	}
-	body := make([]byte, 0, 24+tf.EncodedLen())
-	body = binary.BigEndian.AppendUint32(body, uint32(b.Queue.R))
-	body = binary.BigEndian.AppendUint32(body, uint32(b.Queue.RD))
-	body = binary.BigEndian.AppendUint32(body, uint32(b.Reporter))
-	body = binary.BigEndian.AppendUint64(body, uint64(b.Round))
-	return tf.AppendEncode(body)
+	return buf, items
 }

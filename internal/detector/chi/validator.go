@@ -11,20 +11,26 @@ import (
 	"routerwatch/internal/packet"
 	"routerwatch/internal/queue"
 	"routerwatch/internal/stats"
-	"routerwatch/internal/summary"
 	"routerwatch/internal/topology"
 )
 
 // reporter is the per-neighbor Qin observer: it runs at rs and records the
 // traffic rs sends into Q = (r → rd), timestamped with the predicted
-// enqueue time t + d + ps/bw (§6.2.1).
+// enqueue time t + d + ps/bw (§6.2.1). Records accumulate in SoA lanes and
+// leave as one aggregate-signed batch per round.
 type reporter struct {
 	v  *queueValidator
 	rs packet.NodeID
 	// inLink is rs→r.
 	inLink topology.Link
 
-	pending []summary.TimedEntry
+	// pending holds unreported records; carry is the partition scratch the
+	// next round's records swap through at each flush.
+	pending, carry queue.PacketBatch
+	// bodyBuf / items are the signing scratch behind batchBodies, reused
+	// round over round.
+	bodyBuf []byte
+	items   [][]byte
 }
 
 // queueValidator runs at rd and validates Q = (r → rd) (Fig 6.1).
@@ -43,9 +49,14 @@ type queueValidator struct {
 	// merged stream can be safely classified.
 	guard time.Duration
 
-	// ins and outs buffer unprocessed entries.
-	ins  []inEntry
-	outs []summary.TimedEntry
+	// ins and outs buffer unprocessed records as SoA lanes; the replay
+	// merge walks them by index.
+	ins  queue.PacketBatch
+	outs queue.PacketBatch
+
+	// bodyBuf / items are the checkpoint's aggregate-verification scratch.
+	bodyBuf []byte
+	items   [][]byte
 
 	// outAvail counts future departures per fingerprint (multiset D).
 	outAvail map[packet.Fingerprint]int
@@ -86,11 +97,6 @@ type queueValidator struct {
 
 	disabled bool
 	round    int
-}
-
-type inEntry struct {
-	e        summary.TimedEntry
-	reporter packet.NodeID
 }
 
 type lossRec struct {
@@ -156,7 +162,7 @@ func newQueueValidator(p *Protocol, q QueueID) *queueValidator {
 		}
 		exit := ev.Time - link.Delay - link.TransmissionTime(ev.Packet.Size)
 		fp := p.env.Hasher().Fingerprint(ev.Packet)
-		v.outs = append(v.outs, summary.TimedEntry{FP: fp, Size: ev.Packet.Size, TS: exit})
+		v.outs.Append(fp, int32(ev.Packet.Size), exit, ev.Packet.Flow)
 		v.outAvail[fp]++
 		p.tel.Fingerprints.Inc()
 	})
@@ -204,9 +210,7 @@ func (r *reporter) onEvent(ev network.Event) {
 	}
 	enq := ev.Time + r.inLink.TransmissionTime(ev.Packet.Size) + r.inLink.Delay
 	fp := r.v.p.env.Hasher().Fingerprint(ev.Packet)
-	r.pending = append(r.pending, summary.TimedEntry{
-		FP: fp, Size: ev.Packet.Size, TS: enq, Flow: ev.Packet.Flow,
-	})
+	r.pending.Append(fp, int32(ev.Packet.Size), enq, ev.Packet.Flow)
 	r.v.p.tel.Fingerprints.Inc()
 }
 
@@ -224,38 +228,43 @@ func (v *queueValidator) nextHopAtR(p *packet.Packet) packet.NodeID {
 	return -1
 }
 
-// flush sends all pending entries with predicted enqueue time before the
-// end of round n, signed, to rd. An empty batch is still sent so rd can
-// distinguish silence from idleness.
+// flush sends all pending records with predicted enqueue time before the
+// end of round n, aggregate-signed, to rd. An empty batch is still sent so
+// rd can distinguish silence from idleness.
 func (r *reporter) flush(n int) {
 	boundary := time.Duration(n+1) * r.v.p.opts.Round
-	var send, keep []summary.TimedEntry
-	for _, e := range r.pending {
-		if e.TS < boundary {
-			send = append(send, e)
+	b := &Batch{Queue: r.v.q, Reporter: r.rs, Round: n}
+	r.carry.Reset()
+	for i := 0; i < r.pending.Len(); i++ {
+		if r.pending.TSs[i] < boundary {
+			b.Pkts.AppendRecord(&r.pending, i)
 		} else {
-			keep = append(keep, e)
+			r.carry.AppendRecord(&r.pending, i)
 		}
 	}
-	r.pending = keep
+	r.pending, r.carry = r.carry, r.pending
 
-	b := &Batch{Queue: r.v.q, Reporter: r.rs, Round: n, Entries: send}
-	body := batchBody(b)
-	b.Sig = r.v.p.env.Auth().Sign(r.rs, body)
+	r.bodyBuf, r.items = batchBodies(r.bodyBuf[:0], r.items, b)
+	b.Sig = r.v.p.env.Auth().AggregateTag(r.rs, r.items)
 	r.v.p.tel.Summaries.Inc()
-	r.v.p.tel.SummaryBytes.Add(int64(len(body)))
+	r.v.p.tel.SummaryBytes.Add(int64(len(r.bodyBuf)))
+	r.v.p.tel.BatchEntries.Observe(int64(b.Pkts.Len()))
 	r.v.p.env.SendControl(&network.ControlMessage{
 		From: r.rs, To: r.v.q.RD, Kind: KindBatch, Payload: b,
 	})
 }
 
-// batches received, keyed by round then reporter.
+// batches received, keyed by round then reporter. Only the structural
+// signer/reporter binding is checked on arrival; the cryptographic
+// verification is deferred to the checkpoint, where one aggregate check
+// covers the whole batch (a batch failing it is treated exactly like a
+// missing report).
 func (v *queueValidator) onBatch(cm *network.ControlMessage) {
 	b, ok := cm.Payload.(*Batch)
 	if !ok || b.Queue != v.q {
 		return
 	}
-	if !v.p.env.Auth().Verify(batchBody(b), b.Sig) || b.Sig.Signer != b.Reporter {
+	if b.Sig.Signer != b.Reporter {
 		return
 	}
 	if v.received == nil {
@@ -282,20 +291,26 @@ func (v *queueValidator) checkpoint(n int) {
 	delete(v.received, n)
 	for _, rep := range v.reporters {
 		b := byRep[rep.rs]
+		if b != nil {
+			v.bodyBuf, v.items = batchBodies(v.bodyBuf[:0], v.items, b)
+			if !v.p.env.Auth().VerifyAggregate(v.items, b.Sig) {
+				b = nil
+			}
+		}
 		if b == nil {
-			// A reporter's batch did not arrive within µ: protocol-faulty
-			// behaviour on ⟨rs, r, rd⟩ (r can suppress transiting
-			// reports). Detection degrades to suspicion; the validator
-			// stops rather than misclassify unmatched traffic.
+			// A reporter's batch did not arrive within µ (or failed its
+			// aggregate verification — indistinguishable from suppression
+			// for attribution): protocol-faulty behaviour on ⟨rs, r, rd⟩
+			// (r can suppress transiting reports). Detection degrades to
+			// suspicion; the validator stops rather than misclassify
+			// unmatched traffic.
 			v.suspect(topology.Segment{rep.rs, v.q.R, v.q.RD},
 				detector.KindExchangeTimeout, 1,
 				fmt.Sprintf("no Qin report from %v for round %d", rep.rs, n))
 			v.disabled = true
 			return
 		}
-		for _, e := range b.Entries {
-			v.ins = append(v.ins, inEntry{e: e, reporter: b.Reporter})
-		}
+		v.ins.AppendBatch(&b.Pkts)
 	}
 
 	v.report = RoundReport{Queue: v.q, Round: n, At: v.p.env.Now()}
@@ -306,25 +321,27 @@ func (v *queueValidator) checkpoint(n int) {
 
 // processUntil consumes the merged in/out streams in timestamp order up to
 // the horizon, advancing qpred and classifying losses — the TV replay of
-// §6.2.1.
+// §6.2.1. The merge walks the two timestamp lanes directly; record fields
+// are only touched by the classification the merge dispatches to.
 func (v *queueValidator) processUntil(horizon time.Duration) {
-	sort.SliceStable(v.ins, func(i, j int) bool { return v.ins[i].e.TS < v.ins[j].e.TS })
-	sort.SliceStable(v.outs, func(i, j int) bool { return v.outs[i].TS < v.outs[j].TS })
+	v.ins.StableSortByTS()
+	v.outs.StableSortByTS()
 
+	insTS, outsTS := v.ins.TSs, v.outs.TSs
 	i, o := 0, 0
 	for {
-		inOK := i < len(v.ins) && v.ins[i].e.TS <= horizon
-		outOK := o < len(v.outs) && v.outs[o].TS <= horizon
+		inOK := i < len(insTS) && insTS[i] <= horizon
+		outOK := o < len(outsTS) && outsTS[o] <= horizon
 		switch {
-		case inOK && (!outOK || v.ins[i].e.TS <= v.outs[o].TS):
-			v.processIn(v.ins[i])
+		case inOK && (!outOK || insTS[i] <= outsTS[o]):
+			v.processIn(i)
 			i++
 		case outOK:
-			v.processOut(v.outs[o])
+			v.processOut(o)
 			o++
 		default:
-			v.ins = v.ins[i:]
-			v.outs = v.outs[o:]
+			v.ins.TrimFront(i)
+			v.outs.TrimFront(o)
 			return
 		}
 	}
@@ -342,32 +359,35 @@ func (v *queueValidator) redOccupancy() int {
 	return occ
 }
 
-// processIn handles one predicted arrival at Q.
-func (v *queueValidator) processIn(in inEntry) {
-	e := in.e
+// processIn handles the predicted arrival at Q held in ins record i.
+func (v *queueValidator) processIn(i int) {
+	fp := v.ins.FPs[i]
+	size := int(v.ins.Sizes[i])
+	ts := v.ins.TSs[i]
+	flow := v.ins.Flows[i]
 	v.report.Arrivals++
 
 	var redProb float64
 	if v.red != nil {
-		redProb = v.red.Arrive(v.redOccupancy(), e.TS)
+		redProb = v.red.Arrive(v.redOccupancy(), ts)
 		v.redProbs = append(v.redProbs, redProb)
 		if v.flowExp == nil {
 			v.flowExp = make(map[packet.FlowID]float64)
 			v.flowObs = make(map[packet.FlowID]int)
 		}
-		v.flowExp[e.Flow] += redProb
+		v.flowExp[flow] += redProb
 	}
 
-	if v.outAvail[e.FP] > 0 {
+	if v.outAvail[fp] > 0 {
 		// The packet will exit Q: it entered.
-		v.outAvail[e.FP]--
-		if v.outAvail[e.FP] == 0 {
-			delete(v.outAvail, e.FP)
+		v.outAvail[fp]--
+		if v.outAvail[fp] == 0 {
+			delete(v.outAvail, fp)
 		}
-		v.expected[e.FP]++
-		v.qpred += e.Size
+		v.expected[fp]++
+		v.qpred += size
 		if v.red != nil {
-			v.red.RecordOutcome(false, v.redOccupancy(), e.TS)
+			v.red.RecordOutcome(false, v.redOccupancy(), ts)
 		}
 		return
 	}
@@ -375,20 +395,20 @@ func (v *queueValidator) processIn(in inEntry) {
 	// The packet never exits Q: dropped.
 	v.report.Dropped++
 	if v.red != nil {
-		v.red.RecordOutcome(true, v.redOccupancy(), e.TS)
+		v.red.RecordOutcome(true, v.redOccupancy(), ts)
 		v.redDrops++
-		v.flowObs[e.Flow]++
+		v.flowObs[flow]++
 		// The zero-probability test (§6.5.2): RED never drops below minth
 		// with buffer room. The replayed average carries the calibrated
 		// prediction error, so the test only fires when the average is
 		// below minth by a guard band of 2(|µ|+σ) — otherwise a fast ramp
 		// could put the live average above minth while the replay lags.
 		guard := 2 * (math.Abs(v.p.opts.Calibration.Mu) + v.p.opts.Calibration.Sigma)
-		if redProb == 0 && v.qpred+e.Size <= v.qlimit &&
+		if redProb == 0 && v.qpred+size <= v.qlimit &&
 			v.red.Avg()+guard < float64(v.redCfg.MinTh) {
 			v.report.Suspicious++
 			c := stats.SingleLossConfidence(float64(v.qlimit),
-				float64(v.qpred), float64(e.Size), v.p.opts.Calibration.Mu, v.p.opts.Calibration.Sigma)
+				float64(v.qpred), float64(size), v.p.opts.Calibration.Mu, v.p.opts.Calibration.Sigma)
 			if c > v.report.MaxSingleConfidence {
 				v.report.MaxSingleConfidence = c
 			}
@@ -402,43 +422,46 @@ func (v *queueValidator) processIn(in inEntry) {
 	}
 
 	// Drop-tail classification (§6.2.1): congestive iff no room.
-	if v.qpred+e.Size > v.qlimit {
+	if v.qpred+size > v.qlimit {
 		v.report.Congestive++
 		return
 	}
 	v.report.Suspicious++
 	c := stats.SingleLossConfidence(float64(v.qlimit),
-		float64(v.qpred), float64(e.Size), v.p.opts.Calibration.Mu, v.p.opts.Calibration.Sigma)
+		float64(v.qpred), float64(size), v.p.opts.Calibration.Mu, v.p.opts.Calibration.Sigma)
 	if c > v.report.MaxSingleConfidence {
 		v.report.MaxSingleConfidence = c
 	}
-	v.losses = append(v.losses, lossRec{ps: e.Size, qpred: v.qpred})
+	v.losses = append(v.losses, lossRec{ps: size, qpred: v.qpred})
 	if !v.p.opts.Learning && c >= v.p.opts.SingleThreshold {
 		v.report.Detected = true
 		v.suspect(topology.Segment{v.q.R, v.q.RD}, detector.KindSingleLoss, c,
-			fmt.Sprintf("single-loss test: qpred=%d ps=%d", v.qpred, e.Size))
+			fmt.Sprintf("single-loss test: qpred=%d ps=%d", v.qpred, size))
 	}
 }
 
-// processOut handles one observed departure from Q.
-func (v *queueValidator) processOut(e summary.TimedEntry) {
+// processOut handles the observed departure from Q held in outs record o.
+func (v *queueValidator) processOut(o int) {
+	fp := v.outs.FPs[o]
+	size := int(v.outs.Sizes[o])
+	ts := v.outs.TSs[o]
 	v.report.Departures++
-	if v.expected[e.FP] > 0 {
-		v.expected[e.FP]--
-		if v.expected[e.FP] == 0 {
-			delete(v.expected, e.FP)
+	if v.expected[fp] > 0 {
+		v.expected[fp]--
+		if v.expected[fp] == 0 {
+			delete(v.expected, fp)
 		}
-		v.qpred -= e.Size
+		v.qpred -= size
 		if v.qpred < 0 {
 			v.qpred = 0
 		}
 		if v.red != nil {
-			v.red.NoteDeparture(v.redOccupancy(), e.TS)
+			v.red.NoteDeparture(v.redOccupancy(), ts)
 		}
 		if v.truthQ != nil {
-			if qact, ok := v.truthQ[e.FP]; ok {
+			if qact, ok := v.truthQ[fp]; ok {
 				v.samples = append(v.samples, float64(qact-v.qpred))
-				delete(v.truthQ, e.FP)
+				delete(v.truthQ, fp)
 			}
 		}
 		return

@@ -12,6 +12,14 @@ import (
 // propagation tails.
 var suspicionLatencyBucketsMs = []int64{100, 250, 500, 1_000, 2_000, 5_000, 10_000, 30_000, 60_000}
 
+// batchEntriesBuckets bins per-round batch sizes (records per signed batch)
+// — the amortization factor of the batched hot path.
+var batchEntriesBuckets = []int64{1, 4, 16, 64, 256, 1_024, 4_096}
+
+// sketchErrorBuckets bins the absolute difference between a sketch-mode
+// loss/fabrication estimate and the exact full-summary count (packets).
+var sketchErrorBuckets = []int64{0, 1, 2, 4, 8, 16, 32, 64}
+
 // Instruments bundles a detection protocol's telemetry handles, resolved
 // once at Attach time and labeled protocol=<name>. The zero value (all nil
 // fields) is fully usable and free: every call degrades to a nil-check per
@@ -32,6 +40,12 @@ type Instruments struct {
 	// delay from the validated round's end to the suspicion (ms).
 	Suspicions *telemetry.Counter
 	Latency    *telemetry.Histogram
+	// BatchEntries bins the record count of each signed batch a reporter
+	// flushes — the denominator of the aggregate-MAC amortization.
+	BatchEntries *telemetry.Histogram
+	// SketchError bins |sketch estimate − exact count| when a protocol
+	// judges rounds from mergeable sketches instead of full summaries.
+	SketchError *telemetry.Histogram
 
 	// Trace, when non-nil, receives suspicion instants and round spans on
 	// the suspecting router's timeline.
@@ -49,6 +63,8 @@ func NewInstruments(set *telemetry.Set, protocol string) Instruments {
 		Rounds:       reg.Counter("rw_detector_rounds_total", "protocol", protocol),
 		Suspicions:   reg.Counter("rw_detector_suspicions_total", "protocol", protocol),
 		Latency:      reg.Histogram("rw_detector_suspicion_latency_ms", suspicionLatencyBucketsMs, "protocol", protocol),
+		BatchEntries: reg.Histogram("rw_detector_batch_entries", batchEntriesBuckets, "protocol", protocol),
+		SketchError:  reg.Histogram("rw_detector_sketch_error_packets", sketchErrorBuckets, "protocol", protocol),
 		Trace:        set.Tracer(),
 	}
 }

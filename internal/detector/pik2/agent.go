@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"routerwatch/internal/auth"
 	"routerwatch/internal/consensus"
 	"routerwatch/internal/detector"
 	"routerwatch/internal/detector/tvinfo"
@@ -59,6 +60,15 @@ type agent struct {
 	// bytesSent accumulates summary-exchange payload bytes (§5.2.1/§7
 	// overhead accounting).
 	bytesSent int64
+
+	// Round-boundary batching scratch: all of a boundary's outgoing
+	// messages are encoded back to back, signed with one auth.SignBatch
+	// pass, then sent in segment order. exSts parallels exMsgs.
+	exMsgs   []*SummaryMsg
+	exSts    []*segState
+	exOffs   []int
+	exBodies [][]byte
+	exSigs   []auth.Signature
 }
 
 func newAgent(p *Protocol, id packet.NodeID, monitored []topology.Segment) *agent {
@@ -172,8 +182,16 @@ func (a *agent) record(st *segState, p *packet.Packet, sinkTS time.Duration) {
 }
 
 // exchangeRound sends this router's summary for round n on every monitored
-// segment, through the segment itself.
+// segment, through the segment itself. The boundary is batched: every
+// segment's message is encoded into one buffer first, the whole set is
+// signed with a single auth.SignBatch pass (one lock and pad-state setup
+// for the boundary instead of one per segment), and the messages then go
+// out in segment order.
 func (a *agent) exchangeRound(n int) {
+	a.exMsgs = a.exMsgs[:0]
+	a.exSts = a.exSts[:0]
+	a.exOffs = a.exOffs[:0]
+	buf := a.p.bodyBuf[:0]
 	for _, st := range a.segOrder {
 		s := st.cur[n]
 		if s == nil {
@@ -188,15 +206,45 @@ func (a *agent) exchangeRound(n int) {
 			s = replaced
 		}
 		msg := &SummaryMsg{Seg: st.seg, Round: n, From: a.id}
-		if a.p.opts.Exchange == ExchangeReconcile {
+		switch a.p.opts.Exchange {
+		case ExchangeReconcile:
 			fps := fpMultiset(s)
 			msg.Count = len(fps)
 			msg.Evals = summary.EvaluateCharPoly(fps, a.p.reconcilePoints())
-		} else {
+		case ExchangeSketch:
+			fps := fpMultiset(s)
+			msg.Count = len(fps)
+			sk := a.p.newSketch()
+			for _, fp := range fps {
+				sk.Add(packet.Fingerprint(fp))
+			}
+			msg.Sketch = sk
+		default:
 			msg.Summary = s
 		}
-		a.p.bodyBuf = appendSignedBody(a.p.bodyBuf[:0], msg)
-		msg.Sig = a.p.env.Auth().Sign(a.id, a.p.bodyBuf)
+		a.exOffs = append(a.exOffs, len(buf))
+		buf = appendSignedBody(buf, msg)
+		a.exMsgs = append(a.exMsgs, msg)
+		a.exSts = append(a.exSts, st)
+	}
+	a.p.bodyBuf = buf
+	if len(a.exMsgs) == 0 {
+		return
+	}
+	a.exBodies = a.exBodies[:0]
+	for i, off := range a.exOffs {
+		end := len(buf)
+		if i+1 < len(a.exOffs) {
+			end = a.exOffs[i+1]
+		}
+		a.exBodies = append(a.exBodies, buf[off:end])
+	}
+	a.exSigs = a.p.env.Auth().SignBatch(a.id, a.exBodies, a.exSigs[:0])
+	a.p.tel.BatchEntries.Observe(int64(len(a.exMsgs)))
+
+	for i, msg := range a.exMsgs {
+		st := a.exSts[i]
+		msg.Sig = a.exSigs[i]
 		wire := int64(msg.WireBytes())
 		a.bytesSent += wire
 		a.p.tel.Summaries.Inc()
@@ -223,12 +271,19 @@ func (a *agent) onSummary(cm *network.ControlMessage) {
 	if !ok {
 		return
 	}
-	if a.p.opts.Exchange == ExchangeReconcile {
+	switch a.p.opts.Exchange {
+	case ExchangeReconcile:
 		if msg.Evals == nil {
 			return
 		}
-	} else if msg.Summary == nil {
-		return
+	case ExchangeSketch:
+		if msg.Sketch == nil {
+			return
+		}
+	default:
+		if msg.Summary == nil {
+			return
+		}
 	}
 	st := a.segs[topology.Key(msg.Seg)]
 	if st == nil || msg.From != st.peer {
@@ -269,6 +324,10 @@ func (a *agent) judgeRound(n int) {
 		}
 		if a.p.opts.Exchange == ExchangeReconcile {
 			a.judgeReconcile(st, n, local, peer)
+			continue
+		}
+		if a.p.opts.Exchange == ExchangeSketch {
+			a.judgeSketch(st, n, local, peer)
 			continue
 		}
 		var up, down *Summary
@@ -320,6 +379,48 @@ func (a *agent) judgeReconcile(st *segState, n int, local *Summary, peer *Summar
 	if lost > a.p.opts.LossThreshold || fabricated > a.p.opts.FabricationThreshold {
 		a.suspect(st, n, detector.KindTrafficValidation, 1,
 			fmt.Sprintf("reconciled difference: %d lost, %d fabricated", lost, fabricated))
+	}
+}
+
+// judgeSketch validates via the counting-Bloom sketch: the local multiset
+// is sketched with the deployment's shared geometry and differenced
+// cell-wise against the peer's sketch; the upstream surplus estimates loss,
+// the downstream surplus fabrication, judged against the same thresholds as
+// ContentTV's full fingerprint-list comparison. When one end's multiset
+// contains the other's (the pure-loss case every drop attack produces) the
+// estimates are exact and the verdict is identical to full mode.
+func (a *agent) judgeSketch(st *segState, n int, local *Summary, peer *SummaryMsg) {
+	localFPs := fpMultiset(local)
+	sk := a.p.newSketch()
+	for _, fp := range localFPs {
+		sk.Add(packet.Fingerprint(fp))
+	}
+	if peer.Sketch == nil || !sk.Compatible(peer.Sketch) {
+		a.suspect(st, n, detector.KindTrafficValidation, 1, "malformed or incompatible sketch")
+		return
+	}
+	var up, down *summary.CountingBloom
+	var upCount, downCount int
+	if st.role == roleSource {
+		up, upCount = sk, len(localFPs)
+		down, downCount = peer.Sketch, peer.Count
+	} else {
+		up, upCount = peer.Sketch, peer.Count
+		down, downCount = sk, len(localFPs)
+	}
+	lost, fabricated := up.DiffEstimate(down)
+	// Self-consistency residual: the signed surplus difference must equal
+	// the exact count difference (cell sums are k·n on each side); any
+	// deviation is collision-induced estimation error, measurable without
+	// the peer's full summary.
+	residual := (lost - fabricated) - (upCount - downCount)
+	if residual < 0 {
+		residual = -residual
+	}
+	a.p.tel.SketchError.Observe(int64(residual))
+	if lost > a.p.opts.LossThreshold || fabricated > a.p.opts.FabricationThreshold {
+		a.suspect(st, n, detector.KindTrafficValidation, 1,
+			fmt.Sprintf("sketched difference: ~%d lost, ~%d fabricated", lost, fabricated))
 	}
 }
 

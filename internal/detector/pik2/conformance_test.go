@@ -1,0 +1,111 @@
+package pik2_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"routerwatch/internal/detector"
+	"routerwatch/internal/mutation"
+	"routerwatch/internal/protocol"
+	_ "routerwatch/internal/protocol/catalog"
+)
+
+// TestSketchConformance asserts that sketch-mode summary exchange reaches
+// the same suspicion verdicts as the full fingerprint-list exchange on
+// every committed golden scenario: the line5drop shape behind the capture
+// golden, plus every Πk+2 scenario in the surviving-mutant corpus. The
+// transcripts are compared in canonical rendering excluding Detail (the
+// human-readable explanation legitimately names the mode); By, Segment,
+// Round, At, Kind and Confidence must all match byte for byte.
+func TestSketchConformance(t *testing.T) {
+	specs := map[string]func() *protocol.Spec{
+		"line5drop": conformanceLine5Spec,
+	}
+	survs, err := mutation.LoadSurvivors("../../mutation/testdata/survivors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range survs {
+		if s.Spec.Protocol != "pik2" {
+			continue
+		}
+		s := s
+		specs["survivor-"+s.ID] = func() *protocol.Spec { return s.Spec }
+	}
+	if len(specs) < 2 {
+		t.Fatal("no pik2 survivor scenarios found — corpus moved?")
+	}
+
+	for name, mk := range specs {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			full := runWithExchange(t, mk(), "")
+			sketch := runWithExchange(t, mk(), "sketch")
+			if full != sketch {
+				t.Errorf("verdicts diverge between exchange modes\nfull:\n%s\nsketch:\n%s", full, sketch)
+			}
+		})
+	}
+}
+
+// runWithExchange runs the spec with the given exchange mode forced (empty
+// keeps the spec's own, i.e. full) and returns the canonical verdict
+// transcript, Detail excluded.
+func runWithExchange(t *testing.T, spec *protocol.Spec, exchange string) string {
+	t.Helper()
+	opts := make(protocol.Params, len(spec.Options)+1)
+	for k, v := range spec.Options {
+		opts[k] = v
+	}
+	if exchange != "" {
+		opts["exchange"] = exchange
+	}
+	run := *spec
+	run.Options = opts
+	res, err := protocol.Run(&run, protocol.RunOptions{})
+	if err != nil {
+		t.Fatalf("run (exchange=%q): %v", exchange, err)
+	}
+	return renderVerdicts(res.Log)
+}
+
+// renderVerdicts flattens a suspicion log into the byte-comparable
+// canonical form: Suspicion.String() minus the Detail field.
+func renderVerdicts(log *detector.Log) string {
+	var b strings.Builder
+	for _, s := range log.All() {
+		fmt.Fprintf(&b, "t=%v %v suspects %v round=%d kind=%v conf=%.4f\n",
+			s.At, s.By, s.Segment, s.Round, s.Kind, s.Confidence)
+	}
+	return b.String()
+}
+
+// conformanceLine5Spec mirrors the capture golden's line5drop scenario: a
+// 5-router line with the middle router dropping 30% from t=1s.
+func conformanceLine5Spec() *protocol.Spec {
+	return &protocol.Spec{
+		Name:     "line5drop-conformance",
+		Protocol: "pik2",
+		Options: protocol.Params{
+			"k": "1", "round": "1s", "timeout": "250ms",
+			"loss-threshold": "2", "fabrication-threshold": "2",
+		},
+		Seed:     1,
+		Duration: protocol.Duration(4 * time.Second),
+		Jitter:   protocol.Duration(100 * time.Microsecond),
+		Topology: protocol.TopologySpec{Kind: "line", N: 5},
+		Attack: &protocol.AttackSpec{
+			Kind: "drop", Node: 2, Rate: 0.3,
+			Start: protocol.Duration(time.Second),
+		},
+		Traffic: []protocol.TrafficSpec{{
+			Kind: "pair", Src: 0, Dst: 4, Count: 400,
+			Interval: protocol.Duration(10 * time.Millisecond),
+			Offset:   protocol.Duration(time.Microsecond),
+			Size:     500, Flow: 1, ReverseFlow: 2,
+		}},
+	}
+}

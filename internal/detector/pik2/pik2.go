@@ -64,6 +64,13 @@ const (
 	// bandwidth ∝ the difference bound, independent of traffic volume
 	// ("optimal in bandwidth utilization", §2.4.1). PolicyContent only.
 	ExchangeReconcile
+	// ExchangeSketch sends a mergeable counting-Bloom sketch of the
+	// fingerprint multiset (§2.4.1's Bloom summary, in counting form):
+	// bandwidth is a fixed O(sketch) per round regardless of traffic, the
+	// peer estimates both one-sided multiset differences from cell-wise
+	// count surpluses, and sketches from consecutive rounds merge exactly.
+	// PolicyContent only.
+	ExchangeSketch
 )
 
 // Options configures the protocol.
@@ -101,6 +108,13 @@ type Options struct {
 	// themselves conclusive TV failures (they exceed any sane loss
 	// threshold). Default LossThreshold + FabricationThreshold + 8.
 	ReconcileBudget int
+	// SketchCapacity sizes the ExchangeSketch counting filter for this
+	// many packets per segment-round. Default 4096.
+	SketchCapacity int
+	// SketchFPRate is the sketch's target collision rate; together with
+	// SketchCapacity it fixes the sketch geometry both ends must share.
+	// Default 0.01.
+	SketchFPRate float64
 	// Sink receives every suspicion raised or accepted by any router.
 	Sink detector.Sink
 	// Responder, if set, is invoked at the suspecting router for its own
@@ -128,8 +142,17 @@ func (o *Options) fill() {
 	if o.ReconcileBudget == 0 {
 		o.ReconcileBudget = o.LossThreshold + o.FabricationThreshold + 8
 	}
+	if o.SketchCapacity == 0 {
+		o.SketchCapacity = 4096
+	}
+	if o.SketchFPRate == 0 {
+		o.SketchFPRate = 0.01
+	}
 	if o.Exchange == ExchangeReconcile && o.Policy != PolicyContent {
 		panic("pik2: ExchangeReconcile requires PolicyContent")
+	}
+	if o.Exchange == ExchangeSketch && o.Policy != PolicyContent {
+		panic("pik2: ExchangeSketch requires PolicyContent")
 	}
 }
 
@@ -257,6 +280,12 @@ func (p *Protocol) RefreshPaths(paths []topology.Path) {
 	p.oracle = tvinfo.NewPathOracleFromPaths(paths)
 }
 
+// newSketch allocates a counting-Bloom sketch with the deployment's shared
+// geometry (both ends must agree for Merge/DiffEstimate to be defined).
+func (p *Protocol) newSketch() *summary.CountingBloom {
+	return summary.NewCountingBloom(p.opts.SketchCapacity, p.opts.SketchFPRate)
+}
+
 // reconcilePoints returns the shared evaluation points (public; secrecy is
 // not required, only agreement). One extra point verifies the rational fit.
 // The slice is cached; callers must not mutate it.
@@ -310,7 +339,9 @@ func NewSummary(policy Policy) *Summary { return tvinfo.NewSummary(policy) }
 
 // SummaryMsg is the exchanged control payload. Under ExchangeFull, Summary
 // is set; under ExchangeReconcile, Count and Evals carry the fingerprint
-// multiset's size and characteristic-polynomial evaluations instead.
+// multiset's size and characteristic-polynomial evaluations instead; under
+// ExchangeSketch, Count and Sketch carry the multiset's size and its
+// counting-Bloom sketch.
 type SummaryMsg struct {
 	Seg   topology.Segment
 	Round int
@@ -320,6 +351,8 @@ type SummaryMsg struct {
 
 	Count int
 	Evals []uint64
+
+	Sketch *summary.CountingBloom
 
 	Sig auth.Signature
 }
@@ -332,6 +365,9 @@ func (m *SummaryMsg) WireBytes() int {
 		n += m.Summary.EncodedLen()
 	}
 	n += 8 + 8*len(m.Evals)
+	if m.Sketch != nil {
+		n += m.Sketch.SizeBytes()
+	}
 	return n
 }
 
@@ -349,6 +385,9 @@ func appendSignedBody(b []byte, m *SummaryMsg) []byte {
 	b = binary.BigEndian.AppendUint64(b, uint64(m.Count))
 	for _, e := range m.Evals {
 		b = binary.BigEndian.AppendUint64(b, e)
+	}
+	if m.Sketch != nil {
+		b = m.Sketch.AppendEncode(b)
 	}
 	return b
 }

@@ -39,16 +39,22 @@ type ThresholdRow struct {
 }
 
 // RunChiVsThreshold executes the comparison.
+//
+// The static-threshold verdict is a pure function of the recorded per-round
+// loss counts — classification never feeds back into the simulation — so the
+// whole threshold sweep is evaluated post hoc against two traces (one clean,
+// one attacked) instead of re-running an identical 45-second simulation per
+// table row.
 func RunChiVsThreshold(seed int64) *ChiVsThresholdResult {
 	res := &ChiVsThresholdResult{}
 
-	runMonitor := func(threshold int, attacked bool) (*baseline.QueueMonitor, *attack.Dropper) {
+	runMonitor := func(attacked bool) (*baseline.QueueMonitor, *attack.Dropper) {
 		st := topology.SimpleChi(3, 2)
 		net := network.New(st.Graph, network.Options{Seed: seed, ProcessingJitter: 2 * time.Millisecond})
 		mon := protocol.MustAttach(protocol.NewSimEnv(net), "queue-monitor", catalog.QueueMonitorConfig{
 			R: st.R, RD: st.RD,
 			Options: baseline.QueueMonitorOptions{
-				Mode: baseline.ModeStatic, StaticThreshold: threshold,
+				Mode: baseline.ModeStatic, StaticThreshold: 1 << 30,
 			},
 		}, protocol.Hooks{}).Engine().(*baseline.QueueMonitor)
 		man := tcpsim.NewManager(net)
@@ -73,16 +79,27 @@ func RunChiVsThreshold(seed int64) *ChiVsThresholdResult {
 		return mon, att
 	}
 
-	ceilingMon, _ := runMonitor(1<<30, false)
-	res.CongestionCeiling = ceilingMon.MaxLost()
+	clean, _ := runMonitor(false)
+	attacked, att := runMonitor(true)
+	res.CongestionCeiling = clean.MaxLost()
+
+	// detections replays a monitor's recorded rounds against one threshold
+	// setting: exactly the ModeStatic comparison closeRound would have made.
+	detections := func(mon *baseline.QueueMonitor, th int) int {
+		n := 0
+		for _, r := range mon.Reports {
+			if r.Lost > th {
+				n++
+			}
+		}
+		return n
+	}
 
 	for _, th := range []int{0, res.CongestionCeiling / 2, res.CongestionCeiling, res.CongestionCeiling * 2} {
-		clean, _ := runMonitor(th, false)
-		attacked, att := runMonitor(th, true)
 		res.Thresholds = append(res.Thresholds, ThresholdRow{
 			Threshold:      th,
-			FalsePositives: clean.Detections(),
-			Detections:     attacked.Detections(),
+			FalsePositives: detections(clean, th),
+			Detections:     detections(attacked, th),
 			AttackDropped:  att.Dropped,
 		})
 	}

@@ -28,12 +28,16 @@ func parsePik2Options(p protocol.Params) (any, error) {
 		LossThreshold:        d.Int("loss-threshold", 0),
 		FabricationThreshold: d.Int("fabrication-threshold", 0),
 		Sampling:             d.Float("sampling", 0),
+		SketchCapacity:       d.Int("sketch-capacity", 0),
+		SketchFPRate:         d.Float("sketch-fp-rate", 0),
 	}
 	switch mode := d.String("exchange", "full"); mode {
 	case "full":
 		o.Exchange = pik2.ExchangeFull
 	case "reconcile":
 		o.Exchange = pik2.ExchangeReconcile
+	case "sketch":
+		o.Exchange = pik2.ExchangeSketch
 	default:
 		return nil, fmt.Errorf("option %q: unknown exchange mode %q", "exchange", mode)
 	}

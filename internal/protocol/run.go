@@ -304,6 +304,7 @@ func attackSelector(name string, flows []packet.FlowID) (attack.Selector, error)
 // and order then match the historical bidirectional harnesses exactly.
 func scheduleTraffic(net *network.Network, spec *Spec, base time.Duration) error {
 	sched := net.Scheduler()
+	arena := &packet.Arena{}
 	for ti := range spec.Traffic {
 		t := &spec.Traffic[ti]
 		size := t.Size
@@ -316,24 +317,24 @@ func scheduleTraffic(net *network.Network, spec *Spec, base time.Duration) error
 			for i := 0; i < t.Count; i++ {
 				i := i
 				sched.At(base+time.Duration(i)*t.Interval.D()+t.Offset.D(), func() {
-					net.Inject(src, &packet.Packet{
-						Dst: dst, Size: size, Flow: t.Flow,
-						Seq: uint32(i), Payload: uint64(i),
-					})
+					p := arena.New()
+					p.Dst, p.Size, p.Flow = dst, size, t.Flow
+					p.Seq, p.Payload = uint32(i), uint64(i)
+					net.Inject(src, p)
 				})
 			}
 		case "pair":
 			for i := 0; i < t.Count; i++ {
 				i := i
 				sched.At(base+time.Duration(i)*t.Interval.D()+t.Offset.D(), func() {
-					net.Inject(src, &packet.Packet{
-						Dst: dst, Size: size, Flow: t.Flow,
-						Seq: uint32(i), Payload: uint64(i),
-					})
-					net.Inject(dst, &packet.Packet{
-						Dst: src, Size: size, Flow: t.ReverseFlow,
-						Seq: uint32(i), Payload: uint64(i),
-					})
+					p := arena.New()
+					p.Dst, p.Size, p.Flow = dst, size, t.Flow
+					p.Seq, p.Payload = uint32(i), uint64(i)
+					net.Inject(src, p)
+					q := arena.New()
+					q.Dst, q.Size, q.Flow = src, size, t.ReverseFlow
+					q.Seq, q.Payload = uint32(i), uint64(i)
+					net.Inject(dst, q)
 				})
 			}
 		default:

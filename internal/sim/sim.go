@@ -42,8 +42,10 @@ type Event struct {
 	arg any
 	n   int64
 
-	// index is the heap index, maintained by eventHeap; -1 once removed.
-	index int
+	// id is the event's permanent index into its Scheduler's byID table,
+	// assigned once when the event is first carved from a chunk and kept
+	// across recycling. The heap stores ids, not pointers (see heapSlot).
+	id int32
 
 	canceled bool
 
@@ -85,13 +87,28 @@ func (h Handle) Cancel() {
 // called, or the event already left the scheduler (fired or recycled).
 func (h Handle) Canceled() bool { return !h.live() || h.ev.canceled }
 
-// eventHeap is a binary min-heap ordered by (at, seq). It is specialized
+// heapSlot pairs an event id with a copy of its ordering key. The key lives
+// inline in the heap's backing array, so sift comparisons read contiguous
+// memory instead of chasing an *Event per operand — on deep heaps the
+// dependent pointer loads were the kernel's single largest CPU line. The
+// slot is deliberately pointer-free (an id into Scheduler.byID rather than
+// the *Event itself): sifting then moves plain words with no write
+// barriers, and the collector never scans the heap's backing array.
+type heapSlot struct {
+	at  time.Duration
+	seq uint64
+	id  int32
+}
+
+// eventHeap is a 4-ary min-heap ordered by (at, seq). It is specialized
 // rather than wrapping container/heap: heap maintenance dominates the
 // kernel's CPU profile, and the interface-based Less/Swap dispatch
-// roughly doubles its cost. The sift algorithms and comparison mirror
-// container/heap exactly, and (at, seq) is a total order (seq is unique),
-// so the pop sequence — and with it replay determinism — is identical.
-type eventHeap []*Event
+// roughly doubles its cost. The 4-way branching halves the sift depth of a
+// binary heap (fewer swaps, and the four children share a cache line), and
+// because (at, seq) is a strict total order (seq is unique), every correct
+// min-heap pops the same sequence — replay determinism does not depend on
+// the arity or the sift algorithm.
+type eventHeap []heapSlot
 
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
@@ -102,17 +119,14 @@ func (h eventHeap) less(i, j int) bool {
 
 func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
 }
 
 func (h *eventHeap) push(ev *Event) {
-	ev.index = len(*h)
-	*h = append(*h, ev)
+	*h = append(*h, heapSlot{at: ev.at, seq: ev.seq, id: ev.id})
 	a := *h
 	j := len(a) - 1
 	for j > 0 {
-		i := (j - 1) / 2
+		i := (j - 1) / 4
 		if !a.less(j, i) {
 			break
 		}
@@ -121,38 +135,42 @@ func (h *eventHeap) push(ev *Event) {
 	}
 }
 
-func (h *eventHeap) pop() *Event {
+// pop removes the minimum slot and returns its event id; the caller maps
+// it back through Scheduler.byID.
+func (h *eventHeap) pop() int32 {
 	a := *h
 	n := len(a) - 1
 	if n > 0 {
 		a.swap(0, n)
 		a.down(0, n)
 	}
-	ev := a[n]
-	// Nil the popped slot: the backing array outlives the pop, and a dead
-	// *Event left behind would pin the event (and its captured packet)
-	// until the slot is overwritten.
-	a[n] = nil
-	ev.index = -1
+	id := a[n].id
 	*h = a[:n]
-	return ev
+	return id
 }
 
 // down sifts the element at i toward the leaves of the heap prefix h[:n].
 func (h eventHeap) down(i, n int) {
 	for {
-		j := 2*i + 1
+		j := 4*i + 1
 		if j >= n {
 			break
 		}
-		if j2 := j + 1; j2 < n && h.less(j2, j) {
-			j = j2
+		end := j + 4
+		if end > n {
+			end = n
 		}
-		if !h.less(j, i) {
+		m := j
+		for c := j + 1; c < end; c++ {
+			if h.less(c, m) {
+				m = c
+			}
+		}
+		if !h.less(m, i) {
 			break
 		}
-		h.swap(i, j)
-		i = j
+		h.swap(i, m)
+		i = m
 	}
 }
 
@@ -178,6 +196,10 @@ type Scheduler struct {
 	// the most recent bulk allocation. Both are per-Scheduler by contract.
 	free  []*Event
 	chunk []Event
+
+	// byID maps the permanent event id carried in heap slots back to the
+	// event. Appended once per chunk carve, read once per pop.
+	byID []*Event
 
 	// firedCtr, when attached, counts fired events for per-trial sim-event
 	// throughput metrics. Nil (the default) costs one nil-check per event.
@@ -217,6 +239,8 @@ func (s *Scheduler) alloc() *Event {
 	}
 	ev := &s.chunk[0]
 	s.chunk = s.chunk[1:]
+	ev.id = int32(len(s.byID))
+	s.byID = append(s.byID, ev)
 	return ev
 }
 
@@ -282,7 +306,7 @@ func (s *Scheduler) CallAfter(d time.Duration, cb Callback, arg any, n int64) Ha
 // It returns false if no events remain.
 func (s *Scheduler) Step() bool {
 	for len(s.events) > 0 {
-		ev := s.events.pop()
+		ev := s.byID[s.events.pop()]
 		if ev.canceled {
 			s.release(ev)
 			continue
@@ -332,7 +356,7 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 // (and recycling) canceled events it skips over.
 func (s *Scheduler) peek() *Event {
 	for len(s.events) > 0 {
-		ev := s.events[0]
+		ev := s.byID[s.events[0].id]
 		if !ev.canceled {
 			return ev
 		}

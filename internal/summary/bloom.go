@@ -34,19 +34,31 @@ func NewBloom(expectedItems int, fpRate float64) *Bloom {
 		m = 64
 	}
 	m = (m + 63) / 64 * 64
-	k := int(math.Round(float64(m) / float64(expectedItems) * math.Ln2))
-	if k < 1 {
-		k = 1
-	}
-	if k > 16 {
-		k = 16
-	}
+	// k follows from the target rate alone: k = −log2(p) at the optimal
+	// m/n ratio. Deriving it from the clamped-and-rounded m instead would
+	// blow up for tiny filters (expectedItems ≪ 64 makes m/n huge and the
+	// hash count saturate pointlessly).
+	k := optimalHashes(fpRate)
 	return &Bloom{
 		bits:   make([]uint64, m/64),
 		k:      k,
 		m:      m,
 		hasher: packet.NewHasher(0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9),
 	}
+}
+
+// optimalHashes returns the hash count k = round(−log2(p)), clamped to
+// [1, 16] — the optimum for a filter sized m = −n·ln p / ln²2, independent
+// of how m was later rounded or clamped.
+func optimalHashes(fpRate float64) int {
+	k := int(math.Round(-math.Log2(fpRate)))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return k
 }
 
 func (b *Bloom) indexes(fp packet.Fingerprint) (h1, h2 uint64) {

@@ -1,0 +1,148 @@
+package summary
+
+import (
+	"math/rand"
+	"testing"
+
+	"routerwatch/internal/packet"
+)
+
+// TestNewBloomDegenerateParams is the parameter-edge table: k must come
+// from the target rate, not from the clamped/rounded m, so tiny and skewed
+// configurations keep a sane hash count.
+func TestNewBloomDegenerateParams(t *testing.T) {
+	cases := []struct {
+		items  int
+		fpRate float64
+		wantK  int
+	}{
+		{1, 0.01, 7},        // m clamps to 64: k from rate, not m/n ≈ 44
+		{0, 0.01, 7},        // items clamped to 1
+		{-5, 0.01, 7},       // negative items clamped to 1
+		{10, 0, 7},          // rate clamped to default 0.01
+		{10, 1.5, 7},        // rate ≥ 1 clamped to default 0.01
+		{10, -0.3, 7},       // negative rate clamped to default 0.01
+		{3, 0.5, 1},         // −log2(0.5) = 1
+		{1000, 0.5, 1},      // k floor holds at scale
+		{100, 1e-9, 16},     // k ceiling: −log2(1e-9) ≈ 30 clamps to 16
+		{100000, 0.01, 7},   // large n: same rate, same k
+		{100000, 0.001, 10}, // k = round(−log2(0.001)) = 10
+	}
+	for _, c := range cases {
+		b := NewBloom(c.items, c.fpRate)
+		if b.k != c.wantK {
+			t.Errorf("NewBloom(%d, %g): k=%d want %d", c.items, c.fpRate, b.k, c.wantK)
+		}
+		if b.m < 64 || b.m%64 != 0 {
+			t.Errorf("NewBloom(%d, %g): m=%d not a positive multiple of 64", c.items, c.fpRate, b.m)
+		}
+		// The filter must be functional at every edge.
+		b.Add(42)
+		if !b.Contains(42) {
+			t.Errorf("NewBloom(%d, %g): lost an inserted item", c.items, c.fpRate)
+		}
+	}
+}
+
+// TestCountingBloomExactOnContainment pins the property sketch-mode
+// validation relies on: with B ⊆ A (pure loss), DiffEstimate(A, B) is
+// exactly (|A∖B|, 0).
+func TestCountingBloomExactOnContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		a := NewCountingBloom(4096, 0.01)
+		b := NewCountingBloom(4096, 0.01)
+		n := 50 + rng.Intn(500)
+		dropped := 0
+		for i := 0; i < n; i++ {
+			fp := packet.Fingerprint(rng.Uint64())
+			// Duplicate occasionally: the sketch is a multiset.
+			reps := 1 + rng.Intn(2)
+			for r := 0; r < reps; r++ {
+				a.Add(fp)
+				if rng.Float64() < 0.2 {
+					dropped++
+				} else {
+					b.Add(fp)
+				}
+			}
+		}
+		lost, fabricated := a.DiffEstimate(b)
+		if lost != dropped || fabricated != 0 {
+			t.Fatalf("trial %d: DiffEstimate = (%d, %d), want (%d, 0)", trial, lost, fabricated, dropped)
+		}
+		if gotB, gotA := b.DiffEstimate(a); gotB != 0 || gotA != dropped {
+			t.Fatalf("trial %d: reversed DiffEstimate = (%d, %d), want (0, %d)", trial, gotB, gotA, dropped)
+		}
+	}
+}
+
+// TestCountingBloomMerge asserts Merge commutes with insertion:
+// sketch(A) + sketch(B) = sketch(A ⊎ B), exactly.
+func TestCountingBloomMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	whole := NewCountingBloom(1024, 0.01)
+	part1 := NewCountingBloom(1024, 0.01)
+	part2 := NewCountingBloom(1024, 0.01)
+	for i := 0; i < 300; i++ {
+		fp := packet.Fingerprint(rng.Uint64())
+		whole.Add(fp)
+		if i%2 == 0 {
+			part1.Add(fp)
+		} else {
+			part2.Add(fp)
+		}
+	}
+	part1.Merge(part2)
+	if part1.N() != whole.N() {
+		t.Fatalf("merged N=%d want %d", part1.N(), whole.N())
+	}
+	if l, f := part1.DiffEstimate(whole); l != 0 || f != 0 {
+		t.Fatalf("merged sketch differs from whole: (%d, %d)", l, f)
+	}
+}
+
+func TestCountingBloomEncodeDecode(t *testing.T) {
+	c := NewCountingBloom(256, 0.01)
+	for i := 0; i < 100; i++ {
+		c.Add(packet.Fingerprint(i * 7919))
+	}
+	enc := c.AppendEncode(nil)
+	enc = append(enc, 0xEE) // trailing byte must be returned untouched
+	dec, rest, err := DecodeCountingBloom(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 1 || rest[0] != 0xEE {
+		t.Fatalf("rest = %x", rest)
+	}
+	if dec.N() != c.N() || !dec.Compatible(c) {
+		t.Fatalf("decoded geometry mismatch: n=%d k=%d m=%d", dec.N(), dec.k, dec.m)
+	}
+	if l, f := dec.DiffEstimate(c); l != 0 || f != 0 {
+		t.Fatalf("decoded sketch differs: (%d, %d)", l, f)
+	}
+	// Membership behaves identically post-decode.
+	dec.Add(1)
+	c.Add(1)
+	if l, f := dec.DiffEstimate(c); l != 0 || f != 0 {
+		t.Fatalf("post-decode insertion diverged: (%d, %d)", l, f)
+	}
+	if _, _, err := DecodeCountingBloom(enc[:10]); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, _, err := DecodeCountingBloom(enc[:20]); err == nil {
+		t.Fatal("short body accepted")
+	}
+}
+
+func TestCountingBloomIncompatiblePanics(t *testing.T) {
+	a := NewCountingBloom(64, 0.01)
+	b := NewCountingBloom(100000, 0.01)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on incompatible merge")
+		}
+	}()
+	a.Merge(b)
+}

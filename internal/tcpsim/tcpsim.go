@@ -27,6 +27,11 @@ type Manager struct {
 	nextFlow packet.FlowID
 	rng      interface{ Float64() float64 }
 	hosts    map[packet.NodeID]bool
+
+	// arena serves all packets the manager's sources inject; the per-packet
+	// allocation would otherwise dominate the heap profile of the §6.4
+	// experiments.
+	arena packet.Arena
 }
 
 // NewManager returns a Manager over the network.
@@ -210,10 +215,9 @@ func (f *Flow) sendSYN() {
 	} else {
 		f.Stats.SynRetries++
 	}
-	p := &packet.Packet{
-		Dst: f.cfg.Dst, Flow: f.id, Flags: packet.FlagSYN,
-		Size: 40, Payload: uint64(f.id)<<32 | 0x5359,
-	}
+	p := f.m.arena.New()
+	p.Dst, p.Flow, p.Flags = f.cfg.Dst, f.id, packet.FlagSYN
+	p.Size, p.Payload = 40, uint64(f.id)<<32|0x5359
 	f.m.net.Inject(f.cfg.Src, p)
 	// SYN retransmission with exponential backoff (3 s, 6 s, 12 s, ...).
 	backoff := f.cfg.InitialRTO << uint(f.Stats.SynRetries)
@@ -235,10 +239,9 @@ func (f *Flow) receiverHandle(p *packet.Packet) {
 	switch {
 	case p.Flags.Has(packet.FlagSYN):
 		// SYN → SYN|ACK.
-		reply := &packet.Packet{
-			Dst: f.cfg.Src, Flow: f.id, Flags: packet.FlagSYN | packet.FlagACK,
-			Size: 40, Payload: uint64(f.id)<<32 | 0x53414b,
-		}
+		reply := f.m.arena.New()
+		reply.Dst, reply.Flow, reply.Flags = f.cfg.Src, f.id, packet.FlagSYN|packet.FlagACK
+		reply.Size, reply.Payload = 40, uint64(f.id)<<32|0x53414b
 		f.m.net.Inject(f.cfg.Dst, reply)
 	case p.Flags == 0 || p.Flags.Has(packet.FlagFIN):
 		// Data segment p.Seq.
@@ -253,11 +256,10 @@ func (f *Flow) receiverHandle(p *packet.Packet) {
 		}
 		f.Stats.Delivered = int(f.rcvNxt)
 		f.Stats.LastDeliverAt = f.now()
-		ack := &packet.Packet{
-			Dst: f.cfg.Src, Flow: f.id, Flags: packet.FlagACK,
-			Ack: f.rcvNxt, Size: 40,
-			Payload: uint64(f.rcvNxt)<<8 | uint64(p.Seq&0xff)<<40,
-		}
+		ack := f.m.arena.New()
+		ack.Dst, ack.Flow, ack.Flags = f.cfg.Src, f.id, packet.FlagACK
+		ack.Ack, ack.Size = f.rcvNxt, 40
+		ack.Payload = uint64(f.rcvNxt)<<8 | uint64(p.Seq&0xff)<<40
 		f.m.net.Inject(f.cfg.Dst, ack)
 	}
 }
@@ -350,10 +352,9 @@ func (f *Flow) pump() {
 }
 
 func (f *Flow) sendData(seq uint32, isRetx bool) {
-	p := &packet.Packet{
-		Dst: f.cfg.Dst, Flow: f.id, Seq: seq, Size: f.cfg.MSS,
-		Payload: uint64(f.id)<<32 | uint64(seq),
-	}
+	p := f.m.arena.New()
+	p.Dst, p.Flow, p.Seq, p.Size = f.cfg.Dst, f.id, seq, f.cfg.MSS
+	p.Payload = uint64(f.id)<<32 | uint64(seq)
 	if isRetx {
 		f.Stats.Retransmits++
 	} else {
@@ -417,10 +418,10 @@ func (m *Manager) StartCBR(src, dst packet.NodeID, rate int64, pktSize int, star
 			return
 		}
 		seq++
-		m.net.Inject(src, &packet.Packet{
-			Dst: dst, Flow: id, Seq: seq, Size: pktSize,
-			Payload: uint64(id)<<32 | uint64(seq),
-		})
+		p := m.arena.New()
+		p.Dst, p.Flow, p.Seq, p.Size = dst, id, seq, pktSize
+		p.Payload = uint64(id)<<32 | uint64(seq)
+		m.net.Inject(src, p)
 		sched.After(interval, tick)
 	}
 	sched.After(start-sched.Now(), tick)
@@ -447,10 +448,10 @@ func (m *Manager) StartPoisson(src, dst packet.NodeID, pps float64, pktSize int,
 			return
 		}
 		seq++
-		m.net.Inject(src, &packet.Packet{
-			Dst: dst, Flow: id, Seq: seq, Size: pktSize,
-			Payload: uint64(id)<<32 | uint64(seq),
-		})
+		p := m.arena.New()
+		p.Dst, p.Flow, p.Seq, p.Size = dst, id, seq, pktSize
+		p.Payload = uint64(id)<<32 | uint64(seq)
+		m.net.Inject(src, p)
 		sched.After(next(), tick)
 	}
 	sched.After(start-sched.Now(), tick)
