@@ -374,3 +374,53 @@ func BenchmarkTraceReplay(b *testing.B) {
 		env.Close()
 	}
 }
+
+// benchShardedSpec is the sharded-core benchmark scenario: Πk+2 over a
+// generated 200-router hierarchical ISP topology, link-state routing with
+// the scale options on, and a 100-pair random traffic mesh — the
+// internet-scale shape the per-region shard layout exists for.
+func benchShardedSpec(shards int) *protocol.Spec {
+	return &protocol.Spec{
+		Name:     "bench-sharded",
+		Protocol: "pik2",
+		Options: protocol.Params{
+			"k": "1", "round": "1s", "timeout": "250ms",
+			"loss-threshold": "2", "fabrication-threshold": "2",
+		},
+		Seed:     1,
+		Shards:   shards,
+		Duration: protocol.Duration(8 * time.Second),
+		Topology: protocol.TopologySpec{Kind: "isp", N: 200, Pops: 8, Seed: 7},
+		Routing: &protocol.RoutingSpec{
+			Delay: protocol.Duration(time.Second), Hold: protocol.Duration(2 * time.Second),
+			Converge:       protocol.Duration(2 * time.Minute),
+			StaggerRegions: true, BundleFlood: true, BatchCompute: true,
+		},
+		Traffic: []protocol.TrafficSpec{{
+			Kind: "mesh", Pairs: 100, Count: 200,
+			Interval: protocol.Duration(5 * time.Millisecond),
+			Offset:   protocol.Duration(time.Microsecond),
+			Size:     500, Flow: 1,
+		}},
+	}
+}
+
+// BenchmarkShardedSim measures the sharded event core end to end on the
+// generated ISP topology, single-heap vs per-region shards — same scenario,
+// same verdicts (TestShardCountInvariance pins that), different layout.
+func BenchmarkShardedSim(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.Run(benchShardedSpec(shards), protocol.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Net.Now() == 0 {
+					b.Fatal("benchmark run did not advance the clock")
+				}
+			}
+		})
+	}
+}

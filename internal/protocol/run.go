@@ -127,15 +127,22 @@ func RunGeneric(spec *Spec, run RunOptions) (*Result, error) {
 		Seed:             spec.Seed,
 		ProcessingJitter: spec.Jitter.D(),
 		Telemetry:        run.Telemetry,
+		Shards:           spec.Shards,
 	})
 	env := NewSimEnv(net)
 	res := &Result{Spec: spec, Env: env, Net: net, Faulty: -1}
 
 	if spec.Routing != nil {
-		res.Routing = routing.Attach(net, routing.Timers{
-			Delay: spec.Routing.Delay.D(), Hold: spec.Routing.Hold.D(),
+		r := spec.Routing
+		res.Routing = routing.AttachWith(net, routing.Options{
+			Timers:         routing.Timers{Delay: r.Delay.D(), Hold: r.Hold.D()},
+			StaggerRegions: r.StaggerRegions,
+			BundleFlood:    r.BundleFlood,
+			FloodHold:      r.FloodHold.D(),
+			BatchCompute:   r.BatchCompute,
+			Workers:        r.Workers,
 		})
-		if c := spec.Routing.Converge.D(); c > 0 {
+		if c := r.Converge.D(); c > 0 {
 			res.Routing.RunUntilConverged(c)
 		}
 	}
@@ -337,9 +344,53 @@ func scheduleTraffic(net *network.Network, spec *Spec, base time.Duration) error
 					net.Inject(dst, q)
 				})
 			}
+		case "mesh":
+			scheduleMesh(net, spec, t, ti, arena, base, size)
 		default:
 			return fmt.Errorf("unknown traffic kind %q", t.Kind)
 		}
 	}
 	return nil
+}
+
+// scheduleMesh installs a "mesh" workload: Pairs random src→dst flows drawn
+// from a stream derived from the scenario seed and the workload's position
+// (never from the network's streams, so a mesh cannot shift unrelated
+// draws). Each flow is one self-rechaining event pinned to its source's
+// shard — a 1000-pair × 1000-packet mesh keeps only 1000 events pending
+// instead of a million.
+func scheduleMesh(net *network.Network, spec *Spec, t *TrafficSpec, ti int, arena *packet.Arena, base time.Duration, size int) {
+	sched := net.Scheduler()
+	pairs := t.Pairs
+	if pairs == 0 {
+		pairs = 100
+	}
+	n := net.Graph().NumNodes()
+	rng := sim.NewRNG(sim.DeriveSeed(spec.Seed, 0x6d657368<<8|uint64(ti)))
+	interval := t.Interval.D()
+	for k := 0; k < pairs; k++ {
+		src := packet.NodeID(rng.Intn(n))
+		dst := packet.NodeID(rng.Intn(n - 1))
+		if dst >= src {
+			dst++
+		}
+		flow := t.Flow + packet.FlowID(k)
+		shard := net.ShardOf(src)
+		// Smear flow starts across one interval so pairs don't all fire on
+		// the same instant.
+		start := base + t.Offset.D() + interval*time.Duration(k)/time.Duration(pairs)
+		i := 0
+		var tick func()
+		tick = func() {
+			p := arena.New()
+			p.Dst, p.Size, p.Flow = dst, size, flow
+			p.Seq, p.Payload = uint32(i), uint64(i)
+			net.Inject(src, p)
+			i++
+			if i < t.Count {
+				sched.AtShard(shard, sched.Now()+interval, tick)
+			}
+		}
+		sched.AtShard(shard, start, tick)
+	}
 }

@@ -58,6 +58,10 @@ type Spec struct {
 	Duration Duration `json:"duration,omitempty"`
 	// Jitter is the per-hop processing jitter of the network.
 	Jitter Duration `json:"jitter,omitempty"`
+	// Shards splits the event core into per-region shards (0/1 = the
+	// classic single heap). Purely a performance knob: verdicts and
+	// telemetry are byte-identical for any value.
+	Shards int `json:"shards,omitempty"`
 
 	Topology TopologySpec `json:"topology"`
 	Routing  *RoutingSpec `json:"routing,omitempty"`
@@ -90,10 +94,17 @@ func (s *Spec) AttackList() []*AttackSpec {
 // graph.
 type TopologySpec struct {
 	// Kind is "line" (N routers), "abilene", "simple-chi" (N sources, M
-	// sinks) or "custom" (Nodes + Links).
+	// sinks), "isp" (generated hierarchical PoP topology, N routers) or
+	// "custom" (Nodes + Links).
 	Kind string `json:"kind"`
 	N    int    `json:"n,omitempty"`
 	M    int    `json:"m,omitempty"`
+	// Pops, EdgeUplinks, ExtraBackbone and Seed shape the "isp" generator
+	// (zero values take topology.ISPSpec defaults).
+	Pops          int   `json:"pops,omitempty"`
+	EdgeUplinks   int   `json:"edge-uplinks,omitempty"`
+	ExtraBackbone int   `json:"extra-backbone,omitempty"`
+	Seed          int64 `json:"topo-seed,omitempty"`
 	// Nodes and Links describe a custom topology; links are duplex.
 	Nodes []string   `json:"nodes,omitempty"`
 	Links []LinkSpec `json:"links,omitempty"`
@@ -121,6 +132,14 @@ func (t TopologySpec) Build() (*topology.Graph, error) {
 		return topology.Line(n), nil
 	case "abilene":
 		return topology.Abilene(), nil
+	case "isp":
+		return topology.ISP(topology.ISPSpec{
+			Nodes:         t.N,
+			PoPs:          t.Pops,
+			EdgeUplinks:   t.EdgeUplinks,
+			ExtraBackbone: t.ExtraBackbone,
+			Seed:          t.Seed,
+		}), nil
 	case "simple-chi":
 		return t.BuildChi().Graph, nil
 	case "custom":
@@ -184,6 +203,15 @@ type RoutingSpec struct {
 	// Respond wires the protocol's Responder to AnnounceSuspicion at the
 	// suspecting router's daemon — the paper's response mechanism.
 	Respond bool `json:"respond,omitempty"`
+	// StaggerRegions, BundleFlood, FloodHold, BatchCompute and Workers map
+	// onto routing.Options — the substrate's scale knobs for generated
+	// topologies. All zero reproduces the legacy routing event stream
+	// byte-for-byte.
+	StaggerRegions bool     `json:"stagger-regions,omitempty"`
+	BundleFlood    bool     `json:"bundle-flood,omitempty"`
+	FloodHold      Duration `json:"flood-hold,omitempty"`
+	BatchCompute   bool     `json:"batch-compute,omitempty"`
+	Workers        int      `json:"workers,omitempty"`
 }
 
 // AttackSpec compromises one router.
@@ -230,11 +258,18 @@ type AttackSpec struct {
 
 // TrafficSpec is one injected workload.
 type TrafficSpec struct {
-	// Kind is "stream" (Src→Dst) or "pair" (both directions per tick,
-	// the reverse direction under ReverseFlow). Default "stream".
+	// Kind is "stream" (Src→Dst), "pair" (both directions per tick, the
+	// reverse direction under ReverseFlow) or "mesh" (Pairs random
+	// src→dst flows drawn deterministically from the scenario seed; Src
+	// and Dst are ignored). Default "stream".
 	Kind string `json:"kind,omitempty"`
 	Src  int    `json:"src"`
 	Dst  int    `json:"dst"`
+	// Pairs is the number of random flows for "mesh" (default 100). Each
+	// flow injects Count packets, one per Interval, from a single chained
+	// event, so a million-packet mesh never holds more than Pairs pending
+	// injection events.
+	Pairs int `json:"pairs,omitempty"`
 	// Count packets are injected, one per Interval, offset by Offset from
 	// the scenario's traffic base (post-convergence time).
 	Count    int      `json:"count"`

@@ -61,6 +61,9 @@ type Daemon struct {
 	proto  *Protocol
 	router *network.Router
 	id     packet.NodeID
+	// shard is the router's event-shard hint: purely a scheduling-locality
+	// affinity, never consulted for behaviour.
+	shard int
 
 	lsdb      map[packet.NodeID]*LSA
 	seenAlert map[packet.NodeID]uint64
@@ -74,6 +77,16 @@ type Daemon struct {
 	everComputed  bool
 
 	table *Table
+	// lastSig is the exact signature of the inputs the current table was
+	// computed from ((origin, seq) pairs plus exclusion version); sigScratch
+	// is its reusable comparison buffer. See prepare.
+	lastSig    []uint64
+	sigScratch []uint64
+
+	// pending and flushQueued implement bundled flooding (Options.BundleFlood):
+	// accepted LSAs collect here until the flood-hold flush.
+	pending     []*LSA
+	flushQueued bool
 
 	// onRecompute, if set, observes each table installation (tests,
 	// experiment timelines).
@@ -84,39 +97,19 @@ type Daemon struct {
 type Protocol struct {
 	net     *network.Network
 	timers  Timers
+	opts    Options
 	daemons []*Daemon
+	// due maps a batch instant to the daemons whose recompute is coalesced
+	// into it (Options.BatchCompute).
+	due map[time.Duration][]*Daemon
 }
 
 // Attach creates and starts a daemon on every router. Initial LSAs flood at
-// staggered start times; tables converge after the delay/hold timers.
+// staggered start times; tables converge after the delay/hold timers. It is
+// exactly AttachWith with default options: every event it schedules is
+// byte-identical to what this package scheduled before options existed.
 func Attach(net *network.Network, timers Timers) *Protocol {
-	if timers.Delay == 0 && timers.Hold == 0 {
-		timers = DefaultTimers()
-	}
-	p := &Protocol{net: net, timers: timers}
-	for _, r := range net.Routers() {
-		d := &Daemon{
-			proto:     p,
-			router:    r,
-			id:        r.ID(),
-			lsdb:      make(map[packet.NodeID]*LSA),
-			seenAlert: make(map[packet.NodeID]uint64),
-			excl:      NewExclusions(),
-			timers:    timers,
-			// Allow the very first computation to run immediately after
-			// the delay timer regardless of hold.
-			lastCompute: -timers.Hold,
-		}
-		r.HandleControl(KindLSA, d.handleLSA)
-		r.HandleControl(KindAlert, d.handleAlert)
-		p.daemons = append(p.daemons, d)
-	}
-	// Origin LSAs, staggered per router to avoid a synchronized burst.
-	for i, d := range p.daemons {
-		d := d
-		net.Scheduler().At(time.Duration(i)*time.Millisecond, d.originateLSA)
-	}
-	return p
+	return AttachWith(net, Options{Timers: timers})
 }
 
 // Daemon returns the daemon at router id.
@@ -166,7 +159,11 @@ func (d *Daemon) acceptLSA(lsa *LSA, from packet.NodeID) {
 		return
 	}
 	d.lsdb[lsa.Origin] = lsa
-	d.flood(KindLSA, lsa, from)
+	if d.proto.opts.BundleFlood {
+		d.enqueueFlood(lsa)
+	} else {
+		d.flood(KindLSA, lsa, from)
+	}
 	d.scheduleRecompute()
 }
 
@@ -228,30 +225,66 @@ func (d *Daemon) flood(kind string, payload any, except packet.NodeID) {
 }
 
 // scheduleRecompute applies the OSPF delay/hold timers: compute Delay after
-// the trigger, but never within Hold of the previous computation.
+// the trigger, but never within Hold of the previous computation. Under
+// Options.BatchCompute, same-instant recomputes across daemons coalesce into
+// one batch event (see Protocol.runBatch).
 func (d *Daemon) scheduleRecompute() {
 	if d.computeQueued {
 		return
 	}
 	d.computeQueued = true
-	sched := d.proto.net.Scheduler()
+	p := d.proto
+	sched := p.net.Scheduler()
 	at := sched.Now() + d.timers.Delay
 	if earliest := d.lastCompute + d.timers.Hold; d.everComputed && at < earliest {
 		at = earliest
 	}
-	delay := at - sched.Now()
-	sched.After(delay, d.recompute)
+	if p.opts.BatchCompute {
+		if _, ok := p.due[at]; !ok {
+			due := at
+			sched.AtShard(d.shard, due, func() { p.runBatch(due) })
+		}
+		p.due[at] = append(p.due[at], d)
+		return
+	}
+	sched.AtShard(d.shard, at, d.recompute)
 }
 
 // recompute rebuilds the graph from the LSDB, applies exclusions, computes
 // the table, and installs it as the router's forwarder.
 func (d *Daemon) recompute() {
-	d.computeQueued = false
-	d.lastCompute = d.proto.net.Scheduler().Now()
-	d.everComputed = true
+	d.prepare()
+	d.install(d.proto.net.Scheduler().Now())
+}
 
+// prepare computes (or, when nothing recompute reads has changed, reuses)
+// the daemon's table. It touches only daemon-private state plus read-only
+// lookups on the immutable ground-truth graph, so a batch of prepares over
+// distinct daemons may run concurrently (Protocol.runBatch).
+//
+// The memoization is exact, not a hash: lastSig records every input the
+// computation reads — the (origin, seq) pairs of the LSDB (an (origin, seq)
+// pair fully determines an LSA's content: origination builds one LSA object
+// per seq and floods that same object) and the grow-only exclusion-set
+// version. Equal signatures therefore imply an identical result, and a
+// memo hit is observably identical to recomputing.
+func (d *Daemon) prepare() {
+	sig := d.inputSig(d.sigScratch[:0])
+	d.sigScratch = sig
+	if d.table != nil && uint64sEqual(sig, d.lastSig) {
+		return
+	}
+	d.lastSig = append(d.lastSig[:0], sig...)
 	g := d.graphFromLSDB()
 	d.table = ComputeTable(g, d.id, d.excl)
+}
+
+// install publishes the prepared table as the router's forwarder and fires
+// the recompute observer. at is the simulated instant of the installation.
+func (d *Daemon) install(at time.Duration) {
+	d.computeQueued = false
+	d.lastCompute = at
+	d.everComputed = true
 	tbl := d.table
 	self := d.id
 	d.router.SetForwarder(func(p *packet.Packet, from packet.NodeID) (packet.NodeID, bool) {
@@ -261,8 +294,33 @@ func (d *Daemon) recompute() {
 		return tbl.NextHop(from, p.Dst)
 	})
 	if d.onRecompute != nil {
-		d.onRecompute(d.lastCompute)
+		d.onRecompute(at)
 	}
+}
+
+// inputSig appends the exact recompute inputs to buf: (origin, seq) pairs in
+// origin order, then the exclusion version. Iteration is by node index, not
+// map order, so the signature is deterministic.
+func (d *Daemon) inputSig(buf []uint64) []uint64 {
+	n := d.proto.net.Graph().NumNodes()
+	for id := 0; id < n; id++ {
+		if lsa := d.lsdb[packet.NodeID(id)]; lsa != nil {
+			buf = append(buf, uint64(id), lsa.Seq)
+		}
+	}
+	return append(buf, d.excl.Version())
+}
+
+func uint64sEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // graphFromLSDB reconstructs the topology as advertised. A link u→v is

@@ -1,0 +1,171 @@
+// Scale options for the routing substrate on internet-scale topologies.
+//
+// The legacy Attach path floods every LSA as its own control message and
+// recomputes every router's table in its own event — fine for a dozen
+// routers, quadratic pain for a thousand. AttachWith keeps that path
+// byte-identical under zero Options and adds three opt-in mechanisms:
+//
+//   - StaggerRegions quantizes initial LSA origination to the router's
+//     region (PoP) index instead of its router index, so a 1000-router
+//     topology starts flooding within its region count in milliseconds
+//     rather than a full second.
+//   - BundleFlood batches re-flooding: LSAs accepted within FloodHold of
+//     each other leave as one bundle message per neighbor. Novelty is still
+//     seq-gated per LSA at the receiver, so bundles terminate exactly like
+//     per-LSA flooding.
+//   - BatchCompute coalesces all recomputes that land on the same simulated
+//     instant into one event: tables are prepared concurrently on the
+//     runner pool (each prepare touches only daemon-private state, see
+//     Daemon.prepare) and installed sequentially in router-ID order, which
+//     fixes the installation order independent of worker interleaving.
+//
+// The options change which events exist and therefore the event-sequence
+// numbering; runs with different Options are internally deterministic but
+// not byte-comparable to each other. Attach == AttachWith(Options{Timers})
+// is the compatibility anchor the golden fixtures pin.
+package routing
+
+import (
+	"sort"
+	"time"
+
+	"routerwatch/internal/auth"
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/runner"
+)
+
+// KindLSABundle carries a batch of LSAs in one control message
+// (Options.BundleFlood).
+const KindLSABundle = "routing/lsab"
+
+// LSABundle is the payload of a KindLSABundle message.
+type LSABundle struct {
+	LSAs []*LSA
+}
+
+// Options configures AttachWith. The zero value reproduces Attach exactly.
+type Options struct {
+	// Timers are the OSPF delay/hold timers; zero means DefaultTimers.
+	Timers Timers
+
+	// StaggerRegions originates initial LSAs at (region index) ms instead of
+	// (router index) ms: routers in the same region originate at the same
+	// instant, in router-ID event order.
+	StaggerRegions bool
+
+	// BundleFlood collects accepted LSAs for FloodHold and re-floods them as
+	// one bundle per neighbor instead of one message per LSA.
+	BundleFlood bool
+	// FloodHold is the bundling delay; 0 means 1ms. Only meaningful with
+	// BundleFlood.
+	FloodHold time.Duration
+
+	// BatchCompute coalesces same-instant table recomputes into one event,
+	// preparing tables in parallel on Workers goroutines (0 = GOMAXPROCS,
+	// 1 = serial) and installing them in router-ID order.
+	BatchCompute bool
+	Workers      int
+}
+
+// AttachWith creates and starts a daemon on every router with the given
+// scale options. See Attach for the default-path contract.
+func AttachWith(net *network.Network, opts Options) *Protocol {
+	if opts.Timers.Delay == 0 && opts.Timers.Hold == 0 {
+		opts.Timers = DefaultTimers()
+	}
+	if opts.BundleFlood && opts.FloodHold == 0 {
+		opts.FloodHold = time.Millisecond
+	}
+	p := &Protocol{net: net, timers: opts.Timers, opts: opts}
+	if opts.BatchCompute {
+		p.due = make(map[time.Duration][]*Daemon)
+	}
+	for _, r := range net.Routers() {
+		d := &Daemon{
+			proto:     p,
+			router:    r,
+			id:        r.ID(),
+			shard:     net.ShardOf(r.ID()),
+			lsdb:      make(map[packet.NodeID]*LSA),
+			seenAlert: make(map[packet.NodeID]uint64),
+			excl:      NewExclusions(),
+			timers:    opts.Timers,
+			// Allow the very first computation to run immediately after
+			// the delay timer regardless of hold.
+			lastCompute: -opts.Timers.Hold,
+		}
+		r.HandleControl(KindLSA, d.handleLSA)
+		r.HandleControl(KindLSABundle, d.handleLSABundle)
+		r.HandleControl(KindAlert, d.handleAlert)
+		p.daemons = append(p.daemons, d)
+	}
+	// Origin LSAs, staggered to avoid a synchronized burst: per router by
+	// default, per region under StaggerRegions.
+	g := net.Graph()
+	for i, d := range p.daemons {
+		d := d
+		at := time.Duration(i) * time.Millisecond
+		if opts.StaggerRegions {
+			at = time.Duration(g.Region(d.id)) * time.Millisecond
+		}
+		net.Scheduler().AtShard(d.shard, at, d.originateLSA)
+	}
+	return p
+}
+
+// handleLSABundle processes a flooded LSA bundle: each member is accepted
+// through the normal seq-gated path, and novel ones re-flood (bundled).
+func (d *Daemon) handleLSABundle(m *network.ControlMessage) {
+	b, ok := m.Payload.(*LSABundle)
+	if !ok {
+		return
+	}
+	for _, lsa := range b.LSAs {
+		d.acceptLSA(lsa, m.From)
+	}
+}
+
+// enqueueFlood defers re-flooding of a novel LSA to the next bundle flush.
+func (d *Daemon) enqueueFlood(lsa *LSA) {
+	d.pending = append(d.pending, lsa)
+	if d.flushQueued {
+		return
+	}
+	d.flushQueued = true
+	sched := d.proto.net.Scheduler()
+	sched.AtShard(d.shard, sched.Now()+d.proto.opts.FloodHold, d.flushPending)
+}
+
+// flushPending sends everything accepted since the last flush as one bundle
+// to every neighbor. Bundles go to all neighbors, including the ones the
+// member LSAs arrived from — the echo is stale at the receiver (seq-gated in
+// acceptLSA), so flooding still terminates.
+func (d *Daemon) flushPending() {
+	d.flushQueued = false
+	if len(d.pending) == 0 {
+		return
+	}
+	b := &LSABundle{LSAs: d.pending}
+	d.pending = nil
+	for _, nb := range d.proto.net.Graph().Neighbors(d.id) {
+		d.proto.net.SendControlDirect(d.id, nb, KindLSABundle, b, auth.Signature{})
+	}
+}
+
+// runBatch fires one coalesced recompute instant: it prepares the batch's
+// tables concurrently (each prepare is confined to its daemon, so the
+// fan-out is race-free) and installs them serially in router-ID order —
+// the full join plus fixed installation order keep the run deterministic
+// for any worker count.
+func (p *Protocol) runBatch(at time.Duration) {
+	batch := p.due[at]
+	delete(p.due, at)
+	sort.Slice(batch, func(i, j int) bool { return batch[i].id < batch[j].id })
+	// Warm the shared truth graph's lazy neighbor cache before fanning out.
+	p.net.Graph().Neighbors(0)
+	runner.Do(p.opts.Workers, len(batch), func(i int) { batch[i].prepare() })
+	for _, d := range batch {
+		d.install(at)
+	}
+}

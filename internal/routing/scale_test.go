@@ -1,0 +1,176 @@
+package routing
+
+import (
+	"testing"
+	"time"
+
+	"routerwatch/internal/network"
+	"routerwatch/internal/packet"
+	"routerwatch/internal/topology"
+)
+
+// tableMatrix snapshots every daemon's full forwarding behaviour: next hop
+// for every (router, inbound context, destination) triple.
+func tableMatrix(t *testing.T, proto *Protocol, g *topology.Graph) map[[3]packet.NodeID]packet.NodeID {
+	t.Helper()
+	m := make(map[[3]packet.NodeID]packet.NodeID)
+	for _, d := range proto.Daemons() {
+		tbl := d.Table()
+		if tbl == nil {
+			t.Fatalf("router %v has no table", d.ID())
+		}
+		contexts := append([]packet.NodeID{d.ID()}, g.Neighbors(d.ID())...)
+		for _, from := range contexts {
+			for _, dst := range g.Nodes() {
+				nh, ok := tbl.NextHop(from, dst)
+				if !ok {
+					nh = -1
+				}
+				m[[3]packet.NodeID{d.ID(), from, dst}] = nh
+			}
+		}
+	}
+	return m
+}
+
+func ispGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	return topology.ISP(topology.ISPSpec{Nodes: 96, PoPs: 4, Seed: 11})
+}
+
+// All scale options on: the substrate must still converge to exactly the
+// tables the legacy per-router/per-LSA path computes.
+func TestScaleOptionsConvergeToLegacyTables(t *testing.T) {
+	g := ispGraph(t)
+	timers := Timers{Delay: time.Second, Hold: 2 * time.Second}
+
+	legacyNet := network.New(g.Clone(), network.Options{Seed: 5})
+	legacy := Attach(legacyNet, timers)
+	if !legacy.RunUntilConverged(5 * time.Minute) {
+		t.Fatal("legacy path did not converge")
+	}
+
+	scaledNet := network.New(g.Clone(), network.Options{Seed: 5, Shards: 4})
+	scaled := AttachWith(scaledNet, Options{
+		Timers:         timers,
+		StaggerRegions: true,
+		BundleFlood:    true,
+		BatchCompute:   true,
+		Workers:        4,
+	})
+	if !scaled.RunUntilConverged(5 * time.Minute) {
+		t.Fatal("scaled path did not converge")
+	}
+
+	want := tableMatrix(t, legacy, g)
+	got := tableMatrix(t, scaled, g)
+	if len(want) != len(got) {
+		t.Fatalf("matrix sizes differ: %d vs %d", len(want), len(got))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("next hop mismatch at router %v from %v dst %v: legacy %v, scaled %v",
+				k[0], k[1], k[2], v, got[k])
+		}
+	}
+}
+
+// Batch preparation must be invariant in the worker count.
+func TestBatchComputeWorkerInvariance(t *testing.T) {
+	g := ispGraph(t)
+	timers := Timers{Delay: time.Second, Hold: 2 * time.Second}
+	run := func(workers int) map[[3]packet.NodeID]packet.NodeID {
+		net := network.New(g.Clone(), network.Options{Seed: 9})
+		p := AttachWith(net, Options{Timers: timers, BatchCompute: true, Workers: workers})
+		if !p.RunUntilConverged(5 * time.Minute) {
+			t.Fatalf("workers=%d did not converge", workers)
+		}
+		return tableMatrix(t, p, g)
+	}
+	serial := run(1)
+	for _, w := range []int{4, 8} {
+		if got := run(w); len(got) != len(serial) {
+			t.Fatalf("workers=%d: matrix size %d vs %d", w, len(got), len(serial))
+		} else {
+			for k, v := range serial {
+				if got[k] != v {
+					t.Fatalf("workers=%d: mismatch at %v", w, k)
+				}
+			}
+		}
+	}
+}
+
+// Recompute memoization: when nothing the computation reads has changed, the
+// installed table object is reused; any LSDB or exclusion change invalidates.
+func TestRecomputeMemoization(t *testing.T) {
+	g := topology.Abilene()
+	net := network.New(g, network.Options{Seed: 5})
+	proto := Attach(net, Timers{Delay: time.Second, Hold: 2 * time.Second})
+	if !proto.RunUntilConverged(time.Minute) {
+		t.Fatal("no convergence")
+	}
+	d := proto.Daemon(0)
+	before := d.Table()
+	d.prepare()
+	if d.Table() != before {
+		t.Fatal("prepare recomputed despite unchanged inputs")
+	}
+	// An exclusion change must invalidate the memo.
+	d.excl.Add(topology.Segment{1, 2})
+	d.prepare()
+	if d.Table() == before {
+		t.Fatal("prepare reused a table after the exclusion set changed")
+	}
+	// And a fresh LSA (seq bump) must as well.
+	after := d.Table()
+	d.originateLSA()
+	d.prepare()
+	if d.Table() == after {
+		t.Fatal("prepare reused a table after an LSDB change")
+	}
+}
+
+// Memoization must not suppress the observable installation: the forwarder
+// is still reinstalled and the observer still fires on a memo hit.
+func TestMemoHitStillInstalls(t *testing.T) {
+	g := topology.Line(3)
+	net := network.New(g, network.Options{Seed: 1})
+	proto := Attach(net, Timers{Delay: 100 * time.Millisecond, Hold: 200 * time.Millisecond})
+	if !proto.RunUntilConverged(time.Minute) {
+		t.Fatal("no convergence")
+	}
+	d := proto.Daemon(0)
+	fired := 0
+	d.OnRecompute(func(at time.Duration) { fired++ })
+	d.recompute()
+	if fired != 1 {
+		t.Fatalf("onRecompute fired %d times on a memo hit, want 1", fired)
+	}
+}
+
+// Bundled flooding alone (no batching) still converges and the bundles
+// terminate: total control traffic is finite and tables match legacy.
+func TestBundleFloodConverges(t *testing.T) {
+	g := ispGraph(t)
+	timers := Timers{Delay: time.Second, Hold: 2 * time.Second}
+
+	legacyNet := network.New(g.Clone(), network.Options{Seed: 3})
+	legacy := Attach(legacyNet, timers)
+	if !legacy.RunUntilConverged(5 * time.Minute) {
+		t.Fatal("legacy did not converge")
+	}
+
+	net := network.New(g.Clone(), network.Options{Seed: 3})
+	p := AttachWith(net, Options{Timers: timers, BundleFlood: true, FloodHold: 2 * time.Millisecond})
+	if !p.RunUntilConverged(5 * time.Minute) {
+		t.Fatal("bundled flooding did not converge")
+	}
+	want := tableMatrix(t, legacy, g)
+	got := tableMatrix(t, p, g)
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("bundled tables diverge at %v: %v vs %v", k, v, got[k])
+		}
+	}
+}

@@ -25,6 +25,9 @@ type Exclusions struct {
 	segments map[topology.SegmentKey]topology.Segment
 	links    map[[2]packet.NodeID]bool
 	trans    map[[3]packet.NodeID]bool
+	// version counts successful Adds; the set only grows, so equal versions
+	// imply equal sets. Recompute memoization keys on it.
+	version uint64
 }
 
 // NewExclusions returns an empty exclusion set.
@@ -48,6 +51,7 @@ func (e *Exclusions) Add(seg topology.Segment) bool {
 		return false
 	}
 	e.segments[key] = append(topology.Segment(nil), seg...)
+	e.version++
 	if len(seg) == 2 {
 		e.links[[2]packet.NodeID{seg[0], seg[1]}] = true
 		return true
@@ -75,6 +79,10 @@ func (e *Exclusions) Segments() []topology.Segment {
 
 // Len returns the number of excluded segments.
 func (e *Exclusions) Len() int { return len(e.segments) }
+
+// Version returns a counter incremented on every successful Add. Because the
+// set is grow-only, two observations with equal versions saw identical sets.
+func (e *Exclusions) Version() uint64 { return e.version }
 
 // LinkExcluded reports whether the directed link u→v is excised.
 func (e *Exclusions) LinkExcluded(u, v packet.NodeID) bool {

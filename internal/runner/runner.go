@@ -116,6 +116,46 @@ func (c Config) workers(n int) int {
 	return w
 }
 
+// Do runs f(0), ..., f(n-1) to completion on up to workers goroutines
+// (0 = GOMAXPROCS, 1 = inline on the calling goroutine) and returns when
+// all calls have finished. It is the synchronous parallel-for under the
+// sharded simulation core's barrier drains: each f(i) must touch only
+// state partitioned by i, in which case the fan-out is race-free and —
+// because Do imposes a full join — invisible to the caller's determinism.
+func Do(workers, n int, f func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Map runs fn for trials 0..n-1 on the configured pool and returns the
 // results ordered by trial index, plus a timing report. fn must be safe to
 // call from multiple goroutines as long as it follows the package's

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// traceRun executes a self-similar random workload on a scheduler with the
+// given shard count/window and returns the firing trace. The workload is a
+// pure function of firing order: every callback draws from one shared RNG,
+// so two kernels produce identical traces iff they commit events in the
+// same order — exactly the invariant sharding must preserve.
+func traceRun(t *testing.T, shards int, window time.Duration, seed int64, fanout func(int, func(int))) []string {
+	t.Helper()
+	s := New()
+	s.ConfigureShards(shards, window)
+	if fanout != nil {
+		s.SetFanout(fanout)
+	}
+	rng := NewRNG(seed)
+	var trace []string
+	var handles []Handle
+	var spawn func(depth int) func()
+	label := 0
+	spawn = func(depth int) func() {
+		label++
+		id := label
+		return func() {
+			trace = append(trace, fmt.Sprintf("%d@%v", id, s.Now()))
+			if depth <= 0 {
+				return
+			}
+			// Fan out a random number of children at random offsets onto
+			// random shards, sometimes spanning several windows. The shard
+			// hint is drawn with a fixed modulus (scheduleShard wraps it)
+			// so the RNG consumption — and therefore the workload — is
+			// identical for every shard count under comparison.
+			for k := rng.Intn(3); k > 0; k-- {
+				d := time.Duration(rng.Int63n(int64(5 * time.Millisecond)))
+				sh := rng.Intn(64)
+				h := s.CallAfterShard(sh, d, func(arg any, _ int64) { arg.(func())() }, spawn(depth-1), 0)
+				handles = append(handles, h)
+			}
+			// Occasionally cancel an outstanding handle.
+			if len(handles) > 0 && rng.Intn(4) == 0 {
+				handles[rng.Intn(len(handles))].Cancel()
+			}
+		}
+	}
+	for i := 0; i < 40; i++ {
+		at := time.Duration(rng.Int63n(int64(3 * time.Millisecond)))
+		s.AtShard(i%maxInt(shards, 1), at, spawn(4))
+	}
+	s.Run()
+	return trace
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestShardedFiringOrderMatchesClassic is the core determinism property:
+// for any shard count and any window, the committed event sequence is
+// byte-identical to the classic single-heap kernel's.
+func TestShardedFiringOrderMatchesClassic(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
+		want := traceRun(t, 1, 0, seed, nil)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: empty reference trace", seed)
+		}
+		for _, shards := range []int{2, 3, 8} {
+			for _, window := range []time.Duration{time.Microsecond, 100 * time.Microsecond, 2 * time.Millisecond, time.Second} {
+				got := traceRun(t, shards, window, seed, nil)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d shards=%d window=%v: %d events fired, want %d",
+						seed, shards, window, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d shards=%d window=%v: event %d = %s, want %s",
+							seed, shards, window, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRunUntil pins RunUntil semantics across barriers: events up to
+// the deadline fire, later ones stay pending, and the clock lands exactly
+// on the deadline.
+func TestShardedRunUntil(t *testing.T) {
+	s := New()
+	s.ConfigureShards(4, 100*time.Microsecond)
+	var fired []time.Duration
+	for i := 0; i < 50; i++ {
+		at := time.Duration(i) * time.Millisecond
+		s.AtShard(i%4, at, func() { fired = append(fired, s.Now()) })
+	}
+	s.RunUntil(10 * time.Millisecond)
+	if len(fired) != 11 {
+		t.Fatalf("fired %d events, want 11", len(fired))
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v, want 10ms", s.Now())
+	}
+	if s.Pending() != 39 {
+		t.Fatalf("pending = %d, want 39", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 50 {
+		t.Fatalf("fired %d events total, want 50", len(fired))
+	}
+}
+
+// TestShardedMailboxAndBarriers verifies the mechanism actually engages:
+// beyond-window insertions take the mailbox path and barriers run.
+func TestShardedMailboxAndBarriers(t *testing.T) {
+	s := New()
+	s.ConfigureShards(2, time.Millisecond)
+	for i := 0; i < 100; i++ {
+		s.AtShard(i%2, time.Duration(i)*time.Millisecond, func() {})
+	}
+	if s.Mailed() == 0 {
+		t.Fatal("no events took the mailbox path")
+	}
+	s.Run()
+	if s.Barriers() == 0 {
+		t.Fatal("no barriers ran")
+	}
+	if s.Fired() != 100 {
+		t.Fatalf("fired %d, want 100", s.Fired())
+	}
+}
+
+// TestShardedParallelDrain drives a barrier backlog above the fanout
+// threshold with a real goroutine-per-shard fanout; under -race this pins
+// the drain's shard-partitioned race freedom, and the trace equivalence
+// pins that parallelism cannot perturb results.
+func TestShardedParallelDrain(t *testing.T) {
+	build := func(shards int, fanout func(int, func(int))) []time.Duration {
+		s := New()
+		s.ConfigureShards(shards, 50*time.Microsecond)
+		if fanout != nil {
+			s.SetFanout(fanout)
+		}
+		rng := rand.New(rand.NewSource(11))
+		var fired []time.Duration
+		for i := 0; i < 3*fanoutDrainThreshold; i++ {
+			at := time.Duration(rng.Int63n(int64(200 * time.Millisecond)))
+			s.AtShard(i%maxInt(shards, 1), at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		return fired
+	}
+	parallel := func(n int, each func(int)) {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func(i int) {
+				defer wg.Done()
+				each(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	want := build(1, nil)
+	got := build(8, parallel)
+	if len(got) != len(want) {
+		t.Fatalf("parallel drain fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestConfigureShardsLate pins the construction-time contract.
+func TestConfigureShardsLate(t *testing.T) {
+	s := New()
+	s.After(time.Millisecond, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ConfigureShards after scheduling did not panic")
+		}
+	}()
+	s.ConfigureShards(4, time.Millisecond)
+}
+
+// TestShardedTicker runs the Ticker machinery (cancel + reschedule through
+// the pooled path) on a sharded kernel.
+func TestShardedTicker(t *testing.T) {
+	s := New()
+	s.ConfigureShards(3, 100*time.Microsecond)
+	n := 0
+	tk := s.NewTicker(time.Millisecond, func() { n++ })
+	s.RunUntil(5500 * time.Microsecond)
+	tk.Stop()
+	s.Run()
+	if n != 5 {
+		t.Fatalf("ticker fired %d times, want 5", n)
+	}
+}
+
+// TestShardsAccessors pins the classic-mode defaults.
+func TestShardsAccessors(t *testing.T) {
+	s := New()
+	if s.Shards() != 1 || s.Window() != 0 {
+		t.Fatalf("classic kernel reports shards=%d window=%v", s.Shards(), s.Window())
+	}
+	s.ConfigureShards(6, time.Nanosecond) // below floor: clamped
+	if s.Shards() != 6 || s.Window() != minWindow {
+		t.Fatalf("sharded kernel reports shards=%d window=%v", s.Shards(), s.Window())
+	}
+}

@@ -58,6 +58,12 @@ type Graph struct {
 	// cache (any Neighbors call) before sharing a graph across goroutines.
 	nbrCache [][]packet.NodeID
 	adjCache [][]adjEdge
+
+	// regions[v] is v's spatial region (PoP) for the sharded simulation
+	// core; nil when the topology carries no region structure. Regions are
+	// advisory placement metadata: they never influence routing or
+	// forwarding, only which event-queue shard a router's events land on.
+	regions []int
 }
 
 // adjEdge is one cached outgoing edge.
@@ -134,6 +140,51 @@ func (g *Graph) Lookup(name string) (packet.NodeID, bool) {
 
 // NumNodes returns the number of routers.
 func (g *Graph) NumNodes() int { return len(g.names) }
+
+// SetRegion tags a node with its spatial region (PoP index). Regions are
+// placement metadata for the sharded event core; they have no routing
+// semantics.
+func (g *Graph) SetRegion(id packet.NodeID, region int) {
+	if region < 0 {
+		region = 0
+	}
+	for len(g.regions) < len(g.names) {
+		g.regions = append(g.regions, 0)
+	}
+	g.regions[id] = region
+}
+
+// Region returns the node's region, 0 when untagged.
+func (g *Graph) Region(id packet.NodeID) int {
+	if int(id) < 0 || int(id) >= len(g.regions) {
+		return 0
+	}
+	return g.regions[id]
+}
+
+// Regions returns the per-node region table (indexed by NodeID), or nil
+// when the topology carries no region structure. The slice is shared state;
+// callers must not mutate it.
+func (g *Graph) Regions() []int {
+	if g.regions == nil {
+		return nil
+	}
+	for len(g.regions) < len(g.names) {
+		g.regions = append(g.regions, 0)
+	}
+	return g.regions
+}
+
+// NumRegions returns 1 + the highest region tag (1 for untagged graphs).
+func (g *Graph) NumRegions() int {
+	max := 0
+	for _, r := range g.regions {
+		if r > max {
+			max = r
+		}
+	}
+	return max + 1
+}
 
 // Nodes returns all node IDs in ascending order.
 func (g *Graph) Nodes() []packet.NodeID {
@@ -268,6 +319,9 @@ func (g *Graph) Clone() *Graph {
 	}
 	for _, l := range g.Links() {
 		c.AddLink(l)
+	}
+	if g.regions != nil {
+		c.regions = append([]int(nil), g.Regions()...)
 	}
 	return c
 }

@@ -1,0 +1,125 @@
+package topology
+
+import "routerwatch/internal/packet"
+
+// PartitionRegions computes a deterministic k-way spatial partition for a
+// graph that carries no region structure of its own (the hand-built
+// topologies): balanced multi-source BFS from k evenly spaced seed nodes,
+// ties claimed by the lower region. The sharded simulation core uses the
+// result as its node→shard map; since shard placement never affects
+// results, the partition only needs to be deterministic and roughly
+// locality-preserving, not optimal.
+func PartitionRegions(g *Graph, k int) []int {
+	n := g.NumNodes()
+	regions := make([]int, n)
+	if k <= 1 || n == 0 {
+		return regions
+	}
+	if k > n {
+		k = n
+	}
+	for i := range regions {
+		regions[i] = -1
+	}
+	frontiers := make([][]packet.NodeID, k)
+	for r := 0; r < k; r++ {
+		seed := packet.NodeID(r * n / k)
+		if regions[seed] == -1 {
+			regions[seed] = r
+			frontiers[r] = append(frontiers[r], seed)
+		}
+	}
+	// Round-robin BFS: each round every region expands one hop, region
+	// order breaking ties — deterministic because Neighbors is ID-sorted.
+	for {
+		grew := false
+		for r := 0; r < k; r++ {
+			var next []packet.NodeID
+			for _, v := range frontiers[r] {
+				for _, nb := range g.Neighbors(v) {
+					if regions[nb] == -1 {
+						regions[nb] = r
+						next = append(next, nb)
+						grew = true
+					}
+				}
+			}
+			frontiers[r] = next
+		}
+		if !grew {
+			break
+		}
+	}
+	// Disconnected stragglers (none in our graphs, but the contract must
+	// not depend on connectivity): deterministic round-robin by ID.
+	for id := range regions {
+		if regions[id] == -1 {
+			regions[id] = id % k
+		}
+	}
+	return regions
+}
+
+// DegreeHistogram returns counts indexed by node degree (out-degree; equal
+// to undirected degree on duplex graphs).
+func DegreeHistogram(g *Graph) []int {
+	var hist []int
+	for _, id := range g.Nodes() {
+		d := g.Degree(id)
+		for len(hist) <= d {
+			hist = append(hist, 0)
+		}
+		hist[d]++
+	}
+	return hist
+}
+
+// Diameter returns the longest shortest path in hops (ignoring link costs),
+// or -1 for a disconnected graph. O(V·(V+E)) breadth-first sweeps — fine at
+// generator scale (thousands of nodes), not meant for the hot path.
+func Diameter(g *Graph) int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	dist := make([]int, n)
+	queue := make([]packet.NodeID, 0, n)
+	diameter := 0
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = append(queue[:0], packet.NodeID(s))
+		dist[s] = 0
+		reached := 1
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, nb := range g.Neighbors(v) {
+				if dist[nb] == -1 {
+					dist[nb] = dist[v] + 1
+					if dist[nb] > diameter {
+						diameter = dist[nb]
+					}
+					reached++
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if reached < n {
+			return -1
+		}
+	}
+	return diameter
+}
+
+// CrossRegionLinks counts duplex links whose endpoints lie in different
+// regions — the traffic the shard mailboxes carry.
+func CrossRegionLinks(g *Graph) int {
+	cross := 0
+	for _, l := range g.Links() {
+		if g.Region(l.From) != g.Region(l.To) {
+			cross++
+		}
+	}
+	return cross / 2
+}
